@@ -1,0 +1,239 @@
+//! The tape: nodes, backward dispatch, gradient accumulation.
+
+use lcasgd_tensor::Tensor;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Context handed to an op's backward implementation: the incoming output
+/// gradient, read access to parent values, and gradient accumulation.
+pub struct Ctx<'a> {
+    /// Gradient of the final output with respect to this node's value.
+    pub grad: &'a Tensor,
+    /// Nodes strictly before the current one (parents always precede their
+    /// consumers on the tape).
+    nodes: &'a [Node],
+    grads: &'a mut [Option<Tensor>],
+}
+
+impl Ctx<'_> {
+    /// Value of parent node `v` as computed during the forward pass.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Adds `g` to the gradient accumulator of parent node `v`.
+    pub fn accumulate(&mut self, v: Var, g: Tensor) {
+        debug_assert_eq!(
+            self.nodes[v.0].value.shape(),
+            g.shape(),
+            "gradient shape mismatch for node {}",
+            v.0
+        );
+        match &mut self.grads[v.0] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+/// A differentiable operation's reverse pass. Implementations own their
+/// parent handles and any saved forward context (e.g. im2col buffers,
+/// max-pool indices, batch-norm statistics).
+pub trait BackwardOp: Send {
+    /// Propagates `ctx.grad` to this op's parents via `ctx.accumulate`.
+    fn backward(&self, ctx: &mut Ctx<'_>);
+}
+
+struct Node {
+    value: Tensor,
+    /// `None` for leaves (parameters, constants): backward stops here.
+    backward: Option<Box<dyn BackwardOp>>,
+}
+
+/// A single forward pass's computation tape.
+///
+/// Nodes are appended in execution order, so reverse iteration is a valid
+/// reverse-topological order — no explicit sort is needed.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Pre-sizes the tape (a ResNet forward pass appends hundreds of nodes).
+    pub fn with_capacity(n: usize) -> Self {
+        Graph { nodes: Vec::with_capacity(n), grads: Vec::with_capacity(n) }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a leaf node (parameter or constant input). Gradients accumulate
+    /// here but do not propagate further.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, None)
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, backward: Option<Box<dyn BackwardOp>>) -> Var {
+        self.nodes.push(Node { value, backward });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of the last `backward` call w.r.t. `v`,
+    /// if any path reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// Takes ownership of the gradient for `v` (leaves `None` behind).
+    pub fn take_grad(&mut self, v: Var) -> Option<Tensor> {
+        self.grads[v.0].take()
+    }
+
+    /// Runs the reverse pass from scalar node `out` with seed 1.
+    pub fn backward(&mut self, out: Var) {
+        self.backward_with_seed(out, 1.0);
+    }
+
+    /// Runs the reverse pass from scalar node `out`, seeding `∂out/∂out`
+    /// with `seed` instead of 1. LC-ASGD's Literal compensation mode uses
+    /// `seed = (ℓ_m + λ·ℓ_delay)/ℓ_m`; everything else uses [`backward`].
+    ///
+    /// [`backward`]: Self::backward
+    pub fn backward_with_seed(&mut self, out: Var, seed: f32) {
+        assert_eq!(
+            self.nodes[out.0].value.numel(),
+            1,
+            "backward from non-scalar node of shape {:?}",
+            self.nodes[out.0].value.shape()
+        );
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[out.0] = Some(Tensor::full(self.nodes[out.0].value.dims(), seed));
+
+        for i in (0..=out.0).rev() {
+            // Take this node's accumulated gradient; skip unreached nodes.
+            let Some(grad) = self.grads[i].take() else { continue };
+            let (earlier, rest) = self.nodes.split_at(i);
+            if let Some(op) = &rest[0].backward {
+                let mut ctx = Ctx { grad: &grad, nodes: earlier, grads: &mut self.grads[..i] };
+                op.backward(&mut ctx);
+            }
+            // Restore so callers can also read gradients of interior nodes.
+            self.grads[i] = Some(grad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut g = Graph::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let v = g.leaf(t.clone());
+        assert_eq!(g.value(v), &t);
+        assert!(g.grad(v).is_none());
+    }
+
+    #[test]
+    fn backward_on_scalar_leaf_seeds_itself() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::scalar(3.0));
+        g.backward(v);
+        assert_eq!(g.grad(v).unwrap().item(), 1.0);
+        g.backward_with_seed(v, 2.5);
+        assert_eq!(g.grad(v).unwrap().item(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn backward_from_vector_panics() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::zeros(&[3]));
+        g.backward(v);
+    }
+
+    #[test]
+    fn grads_reset_between_backward_calls() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0], &[1]));
+        let y = g.mul(x, x); // x^2, dy/dx = 2x = 4
+        let s = g.sum(y);
+        g.backward(s);
+        let first = g.grad(x).unwrap().clone();
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap(), &first, "second backward must not double-accumulate");
+    }
+}
+
+#[cfg(test)]
+mod diamond_tests {
+    use super::*;
+
+    /// Diamond-shaped graph: x feeds two branches that rejoin. The
+    /// gradient must accumulate contributions from both paths.
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0], &[1]));
+        let a = g.scale(x, 3.0); // 3x
+        let b = g.mul(x, x); // x²
+        let y = g.add(a, b); // 3x + x²  → dy/dx = 3 + 2x = 7
+        let s = g.sum(y);
+        g.backward(s);
+        assert!((g.grad(x).unwrap().data()[0] - 7.0).abs() < 1e-6);
+    }
+
+    /// Nodes on dead branches (not reachable from the loss) receive no
+    /// gradient and do not disturb the live path.
+    #[test]
+    fn dead_branches_get_no_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0], &[1]));
+        let dead = g.scale(x, 100.0);
+        let live = g.scale(x, 2.0);
+        let s = g.sum(live);
+        g.backward(s);
+        assert!(g.grad(dead).is_none());
+        assert_eq!(g.grad(x).unwrap().data(), &[2.0]);
+    }
+
+    /// Interior node gradients are readable after backward (needed by
+    /// diagnostic tooling).
+    #[test]
+    fn interior_gradients_are_retained() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.scale(x, 4.0);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(y).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(s).unwrap().data(), &[1.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # lcasgd-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over
+//! [`lcasgd_tensor::Tensor`].
+//!
+//! A [`Graph`] is built fresh for each forward pass: every op records its
+//! output value plus a boxed backward implementation on the tape. Calling
+//! [`Graph::backward`] seeds the output gradient and walks the tape in
+//! reverse, accumulating gradients into per-node slots. The seed is
+//! exposed ([`Graph::backward_with_seed`]) because LC-ASGD's *Literal*
+//! compensation mode backpropagates `ℓ_m + λ·ℓ_delay` by rescaling the
+//! seed rather than using 1.0.
+//!
+//! Every op's vector-Jacobian product is verified against central finite
+//! differences by the [`gradcheck`] test-suite.
+//!
+//! ```
+//! use lcasgd_autograd::Graph;
+//! use lcasgd_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]));
+//! let y = g.relu(x);
+//! let s = g.sum(y);
+//! g.backward(s);
+//! assert_eq!(g.grad(x).unwrap().data(), &[1.0, 0.0, 1.0]);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod ops;
+
+pub use graph::{Graph, Var};

@@ -1,0 +1,309 @@
+//! Elementwise differentiable ops: arithmetic, activations, broadcasts.
+
+use crate::graph::{BackwardOp, Ctx, Var};
+use crate::Graph;
+use lcasgd_tensor::Tensor;
+
+struct AddBack(Var, Var);
+impl BackwardOp for AddBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        ctx.accumulate(self.0, ctx.grad.clone());
+        ctx.accumulate(self.1, ctx.grad.clone());
+    }
+}
+
+struct SubBack(Var, Var);
+impl BackwardOp for SubBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        ctx.accumulate(self.0, ctx.grad.clone());
+        ctx.accumulate(self.1, ctx.grad.scale(-1.0));
+    }
+}
+
+struct MulBack(Var, Var);
+impl BackwardOp for MulBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        let ga = ctx.grad.mul(ctx.value(self.1));
+        let gb = ctx.grad.mul(ctx.value(self.0));
+        ctx.accumulate(self.0, ga);
+        ctx.accumulate(self.1, gb);
+    }
+}
+
+struct ScaleBack(Var, f32);
+impl BackwardOp for ScaleBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        ctx.accumulate(self.0, ctx.grad.scale(self.1));
+    }
+}
+
+struct ShiftBack(Var);
+impl BackwardOp for ShiftBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        ctx.accumulate(self.0, ctx.grad.clone());
+    }
+}
+
+/// Saves the *output* (y = max(x, 0)); dx = dy · 1[y > 0].
+struct ReluBack {
+    x: Var,
+    y: Tensor,
+}
+impl BackwardOp for ReluBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        let mut g = ctx.grad.clone();
+        for (gv, &yv) in g.data_mut().iter_mut().zip(self.y.data()) {
+            if yv <= 0.0 {
+                *gv = 0.0;
+            }
+        }
+        ctx.accumulate(self.x, g);
+    }
+}
+
+/// dx = dy · y · (1 − y) using the saved output.
+struct SigmoidBack {
+    x: Var,
+    y: Tensor,
+}
+impl BackwardOp for SigmoidBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        let mut g = ctx.grad.clone();
+        for (gv, &yv) in g.data_mut().iter_mut().zip(self.y.data()) {
+            *gv *= yv * (1.0 - yv);
+        }
+        ctx.accumulate(self.x, g);
+    }
+}
+
+/// dx = dy · (1 − y²) using the saved output.
+struct TanhBack {
+    x: Var,
+    y: Tensor,
+}
+impl BackwardOp for TanhBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        let mut g = ctx.grad.clone();
+        for (gv, &yv) in g.data_mut().iter_mut().zip(self.y.data()) {
+            *gv *= 1.0 - yv * yv;
+        }
+        ctx.accumulate(self.x, g);
+    }
+}
+
+/// `[b, ...] + bias[...]`: bias gradient sums over the leading dimension.
+struct AddRowsBack {
+    x: Var,
+    bias: Var,
+}
+impl BackwardOp for AddRowsBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        ctx.accumulate(self.bias, ctx.grad.sum_rows());
+        ctx.accumulate(self.x, ctx.grad.clone());
+    }
+}
+
+/// `[n, c, h, w] + bias[c]`: bias gradient sums over N, H, W.
+struct AddChannelsBack {
+    x: Var,
+    bias: Var,
+}
+impl BackwardOp for AddChannelsBack {
+    fn backward(&self, ctx: &mut Ctx<'_>) {
+        let d = ctx.grad.dims();
+        let (c, hw) = (d[1], d[2] * d[3]);
+        let mut gb = vec![0.0f32; c];
+        for img in ctx.grad.data().chunks_exact(c * hw) {
+            for (ch, acc) in gb.iter_mut().enumerate() {
+                *acc += img[ch * hw..(ch + 1) * hw].iter().sum::<f32>();
+            }
+        }
+        ctx.accumulate(self.bias, Tensor::from_vec(gb, &[c]));
+        ctx.accumulate(self.x, ctx.grad.clone());
+    }
+}
+
+impl Graph {
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Some(Box::new(AddBack(a, b))))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Some(Box::new(SubBack(a, b))))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Some(Box::new(MulBack(a, b))))
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Some(Box::new(ScaleBack(a, s))))
+    }
+
+    /// Addition of a constant (gradient passes through unchanged).
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).add_scalar(s);
+        self.push(v, Some(Box::new(ShiftBack(a))))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let y = self.value(x).relu();
+        let back = ReluBack { x, y: y.clone() };
+        self.push(y, Some(Box::new(back)))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let y = self.value(x).sigmoid();
+        let back = SigmoidBack { x, y: y.clone() };
+        self.push(y, Some(Box::new(back)))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let y = self.value(x).tanh_map();
+        let back = TanhBack { x, y: y.clone() };
+        self.push(y, Some(Box::new(back)))
+    }
+
+    /// Adds `bias` (shape = trailing dims of `x`) to every leading slice.
+    pub fn add_rows(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.value(x).add_rows(self.value(bias));
+        self.push(v, Some(Box::new(AddRowsBack { x, bias })))
+    }
+
+    /// Adds a per-channel bias to an NCHW activation.
+    pub fn add_channels(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.value(x).add_channels(self.value(bias));
+        self.push(v, Some(Box::new(AddChannelsBack { x, bias })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcasgd_tensor::assert_close;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d)
+    }
+
+    #[test]
+    fn add_grads_are_identity() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(vec![1., 2.], &[2]));
+        let b = g.leaf(t(vec![3., 4.], &[2]));
+        let c = g.add(a, b);
+        let s = g.sum(c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 1.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1., 1.]);
+    }
+
+    #[test]
+    fn sub_grad_negates_rhs() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(vec![1., 2.], &[2]));
+        let b = g.leaf(t(vec![3., 4.], &[2]));
+        let c = g.sub(a, b);
+        let s = g.sum(c);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().data(), &[-1., -1.]);
+    }
+
+    #[test]
+    fn product_rule() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(vec![2., 3.], &[2]));
+        let b = g.leaf(t(vec![5., 7.], &[2]));
+        let c = g.mul(a, b);
+        let s = g.sum(c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[5., 7.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn shared_operand_accumulates() {
+        // s = sum(x * x) => ds/dx = 2x
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![3., -4.], &[2]));
+        let y = g.mul(x, x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().data(), &[6., -8.]);
+    }
+
+    #[test]
+    fn relu_kills_negative_paths() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![-1., 2., 0.], &[3]));
+        let y = g.relu(x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().data(), &[0., 1., 0.]);
+    }
+
+    #[test]
+    fn sigmoid_grad_at_zero_is_quarter() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![0.0], &[1]));
+        let y = g.sigmoid(x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert!((g.grad(x).unwrap().data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_grad_at_zero_is_one() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![0.0], &[1]));
+        let y = g.tanh(x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert!((g.grad(x).unwrap().data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_rows_bias_grad_sums_batch() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![0.; 6], &[3, 2]));
+        let b = g.leaf(t(vec![1., 2.], &[2]));
+        let y = g.add_rows(x, b);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().data(), &[3., 3.]);
+        assert_eq!(g.grad(x).unwrap().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn add_channels_bias_grad_sums_nhw() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2, 3, 2, 2]));
+        let b = g.leaf(Tensor::zeros(&[3]));
+        let y = g.add_channels(x, b);
+        let s = g.sum(y);
+        g.backward(s);
+        // each channel bias touches 2 images × 2×2 pixels = 8 elements
+        assert_close(&g.grad(b).unwrap().clone(), &t(vec![8., 8., 8.], &[3]), 1e-6);
+    }
+
+    #[test]
+    fn seed_scales_whole_chain() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![1., 2.], &[2]));
+        let y = g.scale(x, 3.0);
+        let s = g.sum(y);
+        g.backward_with_seed(s, 2.0);
+        assert_eq!(g.grad(x).unwrap().data(), &[6., 6.]);
+    }
+}

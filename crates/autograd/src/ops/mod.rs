@@ -1,0 +1,11 @@
+//! Differentiable ops, grouped by kind. Each module adds builder methods to
+//! [`crate::Graph`] and the corresponding [`crate::graph::BackwardOp`]
+//! implementations.
+
+pub mod conv;
+pub mod elementwise;
+pub mod loss;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+pub mod structural;

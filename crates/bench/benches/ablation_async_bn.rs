@@ -1,0 +1,32 @@
+//! Ablation: Async-BN vs regular BN on the server (paper §5.3). Prints
+//! each mode's short-run accuracy and times the pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcasgd_bench::quick;
+use lcasgd_core::algorithms::Algorithm;
+use lcasgd_core::bnmode::BnMode;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for bn in [BnMode::Regular, BnMode::Async] {
+        for m in [4usize, 16] {
+            let r = quick::cifar_run_bn(Algorithm::LcAsgd, m, bn);
+            println!(
+                "ablation_async_bn: {:8} M={m:<2} short-run test error {:.2}%",
+                bn.name(),
+                r.final_test_error() * 100.0
+            );
+        }
+    }
+    let mut g = c.benchmark_group("ablation_async_bn");
+    g.sample_size(10);
+    for bn in [BnMode::Regular, BnMode::Async] {
+        g.bench_function(bn.name(), |b| {
+            b.iter(|| black_box(quick::cifar_run_bn(Algorithm::LcAsgd, 8, bn).final_test_error()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: the three readings of Formula 5 (DESIGN.md §1). Prints each
+//! mode's short-run accuracy and times the pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcasgd_bench::quick;
+use lcasgd_core::compensation::CompensationMode;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for comp in [CompensationMode::Relative, CompensationMode::Literal, CompensationMode::Off] {
+        let r = quick::cifar_run_comp(16, comp);
+        println!(
+            "ablation_compensation: {:8} M=16 short-run test error {:.2}%",
+            comp.name(),
+            r.final_test_error() * 100.0
+        );
+    }
+    let mut g = c.benchmark_group("ablation_compensation");
+    g.sample_size(10);
+    for comp in [CompensationMode::Relative, CompensationMode::Off] {
+        g.bench_function(comp.name(), |b| {
+            b.iter(|| black_box(quick::cifar_run_comp(16, comp).final_test_error()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

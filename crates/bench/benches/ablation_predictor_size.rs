@@ -1,0 +1,60 @@
+//! Ablation: predictor complexity vs cost (paper §5.4 — "there is a
+//! trade-off between the complexity and the accuracy when designing the
+//! prediction model"). Sweeps the LSTM hidden width of both predictors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcasgd_core::predictor::{LossPredictor, StepPredictor};
+use lcasgd_tensor::Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Accuracy side of the trade-off, printed once: one-step tracking
+    // error of a decaying loss after 300 online steps, per hidden width.
+    for hidden in [16usize, 32, 64, 128] {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut p = LossPredictor::with_hidden(hidden, &mut rng);
+        let mut err = 0.0f32;
+        let mut count = 0;
+        for i in 0..300 {
+            let actual = 2.0 * (-(i as f32) / 150.0).exp() + 0.5;
+            if i >= 200 {
+                if let Some(f) = p.pending_forecast() {
+                    err += (f - actual).abs();
+                    count += 1;
+                }
+            }
+            p.observe_and_predict(actual, 4);
+        }
+        println!(
+            "ablation_predictor_size: hidden {hidden:>3} late one-step MAE {:.4} ({:.3} ms/call)",
+            err / count as f32,
+            p.elapsed_ms / 300.0
+        );
+    }
+
+    let mut g = c.benchmark_group("predictor_size");
+    for hidden in [16usize, 64, 128] {
+        g.bench_function(format!("loss_pred_h{hidden}_k8"), |b| {
+            let mut rng = Rng::seed_from_u64(12);
+            let mut p = LossPredictor::with_hidden(hidden, &mut rng);
+            let mut loss = 2.0f32;
+            b.iter(|| {
+                loss *= 0.999;
+                black_box(p.observe_and_predict(loss, 8).l_delay)
+            });
+        });
+        g.bench_function(format!("step_pred_h{hidden}"), |b| {
+            let mut rng = Rng::seed_from_u64(13);
+            let mut p = StepPredictor::with_hidden(8, hidden, &mut rng);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                black_box(p.observe_and_predict(i % 8, 7.0, 0.002, 0.03))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

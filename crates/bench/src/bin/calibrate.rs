@@ -1,0 +1,53 @@
+//! Scratch calibration binary: timing and qualitative-shape checks used
+//! while tuning the experiment presets (kept as a diagnostic tool).
+//!
+//! Usage: `calibrate [tiny|small]`
+
+use lcasgd_bench::Scenario;
+use lcasgd_core::algorithms::Algorithm;
+use lcasgd_core::config::Scale;
+use lcasgd_core::trainer::run_experiment;
+use std::time::Instant;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        _ => Scale::Tiny,
+    };
+    let s = Scenario::cifar(scale);
+    println!(
+        "cifar scenario: train {} test {} dims {:?}",
+        s.train.len(),
+        s.test.len(),
+        &s.train.inputs.dims()[1..]
+    );
+    let build = |rng: &mut lcasgd_tensor::Rng| s.build_model(rng);
+    {
+        let mut rng = lcasgd_tensor::Rng::seed_from_u64(0);
+        let net = s.build_model(&mut rng);
+        println!("model params: {}", net.num_params());
+    }
+
+    for algo in [Algorithm::Sgd, Algorithm::Ssgd, Algorithm::Asgd, Algorithm::DcAsgd, Algorithm::LcAsgd] {
+        for m in [4usize, 16] {
+            if algo == Algorithm::Sgd && m != 4 {
+                continue;
+            }
+            let cfg = s.config(algo, m, 1);
+            let t0 = Instant::now();
+            let r = run_experiment(&cfg, &build, &s.train, &s.test);
+            let el = t0.elapsed().as_secs_f64();
+            println!(
+                "{:8} M={:2}  final_test {:5.2}%  best {:5.2}%  mean_staleness {:5.2}  vtime {:7.1}s  cpu {:5.1}s  iters {}",
+                algo.to_string(),
+                m,
+                r.final_test_error() * 100.0,
+                r.best_test_error() * 100.0,
+                r.mean_staleness(),
+                r.total_time,
+                el,
+                r.iterations
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Probe: does a straggler-prone cluster (the paper's "high and volatile"
+//! delay regime) make staleness reliably costly, and does LC-ASGD recover
+//! it? Used to pick the default experiment cluster (kept as a tuning
+//! tool).
+//!
+//! Usage: `probe-stragglers [prob] [factor]`
+
+use lcasgd_bench::Scenario;
+use lcasgd_core::algorithms::Algorithm;
+use lcasgd_core::config::Scale;
+use lcasgd_core::trainer::run_experiment;
+use lcasgd_simcluster::ClusterSpec;
+use lcasgd_tensor::Rng;
+
+fn main() {
+    let prob: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let factor: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let s = Scenario::cifar(Scale::Small);
+    let build = |rng: &mut Rng| s.build_model(rng);
+
+    println!("straggler prob {prob} factor {factor}");
+    for (algo, m) in [
+        (Algorithm::Asgd, 4),
+        (Algorithm::Asgd, 16),
+        (Algorithm::DcAsgd, 16),
+        (Algorithm::LcAsgd, 16),
+    ] {
+        let mut errs = Vec::new();
+        let mut stal = 0.0;
+        for seed in [1u64, 2, 3] {
+            let mut cfg = s.config(algo, m, seed);
+            let mut cluster = ClusterSpec::with_stragglers(m, seed);
+            for w in &mut cluster.workers {
+                w.straggle_prob = prob;
+                w.straggle_factor = factor;
+            }
+            cfg.cluster = cluster;
+            let r = run_experiment(&cfg, &build, &s.train, &s.test);
+            errs.push(r.final_test_error() * 100.0);
+            stal = r.mean_staleness();
+        }
+        let mean = errs.iter().sum::<f32>() / errs.len() as f32;
+        println!(
+            "{:8} M={m:<2} errs {:?} mean {mean:5.2}% staleness {stal:5.1}",
+            algo.to_string(),
+            errs.iter().map(|e| format!("{e:.2}")).collect::<Vec<_>>()
+        );
+    }
+}

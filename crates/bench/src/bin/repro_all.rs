@@ -1,0 +1,43 @@
+//! Regenerates every figure and table in one pass (the source of
+//! EXPERIMENTS.md's measured numbers).
+//!
+//! Usage: `repro-all [tiny|small|paper]`
+
+use lcasgd_bench::{figures, scale_from_args, tables, Scenario, REPRO_SEED};
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_args();
+    let t0 = Instant::now();
+    let cifar = Scenario::cifar(scale);
+    let imagenet = Scenario::imagenet(scale);
+
+    println!("# LC-ASGD reproduction — full experiment sweep ({scale:?} scale)\n");
+
+    print!("{}", figures::fig2(&cifar, REPRO_SEED).render_by_epoch());
+    println!();
+    for m in [4usize, 8, 16] {
+        let set = figures::panel(&cifar, m, true, REPRO_SEED);
+        print!("{}", set.render_by_epoch());
+        print!("{}", set.render_by_time());
+        println!();
+    }
+    for m in [4usize, 8, 16] {
+        let set = figures::panel(&imagenet, m, false, REPRO_SEED);
+        print!("{}", set.render_by_epoch());
+        print!("{}", set.render_by_time());
+        println!();
+    }
+    let (fig7, fig8) = figures::fig7_8(&imagenet, 16, REPRO_SEED);
+    print!("{fig7}\n{fig8}\n");
+
+    print!("{}", tables::table1(&cifar, REPRO_SEED));
+    println!();
+    print!("{}", tables::table1(&imagenet, REPRO_SEED));
+    println!();
+    print!("{}", tables::table2_3(&cifar, REPRO_SEED));
+    println!();
+    print!("{}", tables::table2_3(&imagenet, REPRO_SEED));
+
+    eprintln!("\ntotal sweep time: {:.1}s", t0.elapsed().as_secs_f64());
+}

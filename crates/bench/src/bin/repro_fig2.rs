@@ -1,0 +1,12 @@
+//! Regenerates Figure 2: DC-ASGD test error vs epochs for M ∈ {4, 8, 16}
+//! on the CIFAR-10-like benchmark, with the sequential-SGD reference.
+//!
+//! Usage: `repro-fig2 [tiny|small|paper]`
+
+use lcasgd_bench::{figures, scale_from_args, Scenario, REPRO_SEED};
+
+fn main() {
+    let scenario = Scenario::cifar(scale_from_args());
+    let set = figures::fig2(&scenario, REPRO_SEED);
+    print!("{}", set.render_by_epoch());
+}

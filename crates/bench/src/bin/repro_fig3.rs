@@ -1,0 +1,15 @@
+//! Regenerates Figure 3: train/test error vs epochs for all five
+//! algorithms × M ∈ {4, 8, 16} (CIFAR-10-like, Async-BN).
+//!
+//! Usage: `repro-fig3 [tiny|small|paper]`
+
+use lcasgd_bench::{figures, scale_from_args, Scenario, REPRO_SEED};
+
+fn main() {
+    let scenario = Scenario::cifar(scale_from_args());
+    for m in [4usize, 8, 16] {
+        let set = figures::panel(&scenario, m, true, REPRO_SEED);
+        print!("{}", set.render_by_epoch());
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 6: train/test error vs virtual wall-clock seconds
+//! for the four distributed algorithms × M ∈ {4, 8, 16} (ImageNet-like).
+//!
+//! Usage: `repro-fig6 [tiny|small|paper]`
+
+use lcasgd_bench::{figures, scale_from_args, Scenario, REPRO_SEED};
+
+fn main() {
+    let scenario = Scenario::imagenet(scale_from_args());
+    for m in [4usize, 8, 16] {
+        let set = figures::panel(&scenario, m, false, REPRO_SEED);
+        print!("{}", set.render_by_time());
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: the loss predictor's forecasts against the
+//! actual loss series (LC-ASGD, 16 workers, ImageNet-like).
+//!
+//! Usage: `repro-fig7 [tiny|small|paper]`
+
+use lcasgd_bench::{figures, scale_from_args, Scenario, REPRO_SEED};
+
+fn main() {
+    let scenario = Scenario::imagenet(scale_from_args());
+    let (fig7, _) = figures::fig7_8(&scenario, 16, REPRO_SEED);
+    print!("{fig7}");
+}

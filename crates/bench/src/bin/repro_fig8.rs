@@ -1,0 +1,12 @@
+//! Regenerates Figure 8: the step predictor's forecasts against the
+//! actual per-iteration staleness (LC-ASGD, 16 workers, ImageNet-like).
+//!
+//! Usage: `repro-fig8 [tiny|small|paper]`
+
+use lcasgd_bench::{figures, scale_from_args, Scenario, REPRO_SEED};
+
+fn main() {
+    let scenario = Scenario::imagenet(scale_from_args());
+    let (_, fig8) = figures::fig7_8(&scenario, 16, REPRO_SEED);
+    print!("{fig8}");
+}

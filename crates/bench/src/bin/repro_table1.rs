@@ -1,0 +1,18 @@
+//! Regenerates Table 1: final test error + degradation for every
+//! algorithm × worker count × BN mode, on both benchmarks.
+//!
+//! Usage: `repro-table1 [tiny|small|paper] [cifar|imagenet|both]`
+
+use lcasgd_bench::{scale_from_args, tables, Scenario, REPRO_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let which = std::env::args().nth(2).unwrap_or_else(|| "both".into());
+    if which == "cifar" || which == "both" {
+        print!("{}", tables::table1(&Scenario::cifar(scale), REPRO_SEED));
+        println!();
+    }
+    if which == "imagenet" || which == "both" {
+        print!("{}", tables::table1(&Scenario::imagenet(scale), REPRO_SEED));
+    }
+}

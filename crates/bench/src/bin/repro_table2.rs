@@ -1,0 +1,11 @@
+//! Regenerates Table 2: LC-ASGD predictor overhead per training iteration
+//! on the CIFAR-10-like benchmark, M ∈ {4, 8, 16}.
+//!
+//! Usage: `repro-table2 [tiny|small|paper]`
+
+use lcasgd_bench::{scale_from_args, tables, Scenario, REPRO_SEED};
+
+fn main() {
+    let scenario = Scenario::cifar(scale_from_args());
+    print!("{}", tables::table2_3(&scenario, REPRO_SEED));
+}

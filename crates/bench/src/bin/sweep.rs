@@ -1,0 +1,53 @@
+//! Hyper-parameter sweep probe used to position the Small-scale presets
+//! in the regime where the paper's qualitative contrasts are visible
+//! (kept as a tuning tool).
+//!
+//! Usage: `sweep`
+
+use lcasgd_core::algorithms::Algorithm;
+use lcasgd_core::config::{ExperimentConfig, Scale};
+use lcasgd_core::trainer::run_experiment;
+use lcasgd_data::SyntheticImageSpec;
+use lcasgd_nn::resnet::ResNetConfig;
+use lcasgd_nn::LrSchedule;
+use lcasgd_tensor::Rng;
+use std::time::Instant;
+
+fn main() {
+    let epochs = 14;
+    for (noise, label_noise) in [(1.2f32, 0.08f32), (1.5, 0.08)] {
+        let spec = SyntheticImageSpec {
+            noise,
+            label_noise,
+            ..SyntheticImageSpec::cifar10_like(10, 10, 96, 32)
+        };
+        let (train, test) = spec.generate();
+        let resnet = ResNetConfig::tiny(3, 10);
+        let build = |rng: &mut Rng| resnet.build(rng);
+        for lr_mult in [1.0f32, 2.0, 4.0] {
+            for (algo, m) in [
+                (Algorithm::Sgd, 1),
+                (Algorithm::Asgd, 4),
+                (Algorithm::Asgd, 16),
+                (Algorithm::DcAsgd, 16),
+                (Algorithm::LcAsgd, 16),
+            ] {
+                let mut cfg = ExperimentConfig::new(algo, m, Scale::Small, 1);
+                cfg.epochs = epochs;
+                cfg.batch_size = 16;
+                cfg.lr = LrSchedule::paper_step(0.3 * 16.0 / 128.0 * lr_mult, epochs);
+                cfg.max_eval_train = 256;
+                let t0 = Instant::now();
+                let r = run_experiment(&cfg, &build, &train, &test);
+                println!(
+                    "noise {noise:.1}/{label_noise:.2} lr×{lr_mult:<3} {:8} M={m:<2} test {:5.1}% train {:5.1}% cpu {:4.1}s",
+                    algo.to_string(),
+                    r.final_test_error() * 100.0,
+                    r.epochs.last().unwrap().train_error * 100.0,
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            println!();
+        }
+    }
+}

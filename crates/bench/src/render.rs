@@ -1,0 +1,113 @@
+//! Plain-text renderers: aligned series tables and ASCII sparkline plots
+//! for terminal inspection of the regenerated figures.
+
+/// Renders named series sharing an x-axis as an aligned text table.
+/// Series may have differing lengths; missing cells print blank.
+pub fn series_table(title: &str, x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{x_label:>10}"));
+    for (name, _) in series {
+        out.push_str(&format!(" {name:>12}"));
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>10.2}"));
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) => out.push_str(&format!(" {y:>12.4}")),
+                None => out.push_str(&format!(" {:>12}", "")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A single-row ASCII sparkline (8 levels) for quick curve inspection.
+pub fn sparkline(ys: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if ys.is_empty() {
+        return String::new();
+    }
+    let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    ys.iter()
+        .map(|y| {
+            let t = ((y - min) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+            LEVELS[t]
+        })
+        .collect()
+}
+
+/// Renders a generic table with a header row and string cells.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!("{h:>w$} ", w = w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("{cell:>w$} ", w = w + 2));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an error rate as a percentage with two decimals (Table 1 style).
+pub fn pct(err: f32) -> String {
+    format!("{:.2}", err * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_table_aligns_and_handles_ragged() {
+        let out = series_table(
+            "t",
+            "epoch",
+            &[1.0, 2.0, 3.0],
+            &[("a", vec![0.1, 0.2, 0.3]), ("b", vec![0.5])],
+        );
+        assert!(out.contains("== t =="));
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("0.5000"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn table_pads_cells() {
+        let out = table("x", &["col", "wide_column"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("wide_column"));
+    }
+
+    #[test]
+    fn pct_formats_like_table1() {
+        assert_eq!(pct(0.0515), "5.15");
+        assert_eq!(pct(0.2486), "24.86");
+    }
+}

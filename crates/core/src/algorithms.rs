@@ -1,0 +1,74 @@
+//! The five training algorithms under comparison.
+
+use std::fmt;
+
+/// Distributed (or sequential) training algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Sequential single-machine SGD — the accuracy baseline.
+    Sgd,
+    /// Synchronous distributed SGD (Formula 1): barrier each round,
+    /// gradients averaged; effective batch grows with M.
+    Ssgd,
+    /// Asynchronous SGD (Formula 2): no barrier, stale gradients applied
+    /// as they arrive.
+    Asgd,
+    /// Delay-compensated ASGD (Zheng et al., Formula 3): first-order
+    /// Hessian approximation `λ·g⊙g⊙(w_t − w_bak)`.
+    DcAsgd,
+    /// The paper's contribution: ASGD with loss-prediction-based
+    /// compensation via the loss and step predictors.
+    LcAsgd,
+}
+
+impl Algorithm {
+    /// All five algorithms in the paper's presentation order.
+    pub const ALL: [Algorithm; 5] =
+        [Algorithm::Sgd, Algorithm::Ssgd, Algorithm::Asgd, Algorithm::DcAsgd, Algorithm::LcAsgd];
+
+    /// The four distributed ones (ImageNet experiments skip sequential SGD).
+    pub const DISTRIBUTED: [Algorithm; 4] =
+        [Algorithm::Ssgd, Algorithm::Asgd, Algorithm::DcAsgd, Algorithm::LcAsgd];
+
+    /// Whether this algorithm runs on the cluster (vs a single machine).
+    pub fn is_distributed(self) -> bool {
+        !matches!(self, Algorithm::Sgd)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sgd => "SGD",
+            Algorithm::Ssgd => "SSGD",
+            Algorithm::Asgd => "ASGD",
+            Algorithm::DcAsgd => "DC-ASGD",
+            Algorithm::LcAsgd => "LC-ASGD",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Algorithm::LcAsgd.to_string(), "LC-ASGD");
+        assert_eq!(Algorithm::DcAsgd.to_string(), "DC-ASGD");
+    }
+
+    #[test]
+    fn distribution_flags() {
+        assert!(!Algorithm::Sgd.is_distributed());
+        for a in Algorithm::DISTRIBUTED {
+            assert!(a.is_distributed());
+        }
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+}

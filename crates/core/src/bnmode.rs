@@ -1,0 +1,42 @@
+//! Batch-normalization statistic handling at the parameter server
+//! (paper §5.3).
+
+/// How the parameter server maintains global BN running statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BnMode {
+    /// Regular BN: "the parameter server replaces the mean and variance of
+    /// all BN layers using the parameter values received from the latest
+    /// worker" — whichever worker pushed last wins.
+    Regular,
+    /// The paper's Async-BN: the server *accumulates* every worker's batch
+    /// statistics into a global EMA (Formulas 6–7 with momentum `d`), so
+    /// the statistics workers pull are consistent across workers.
+    Async,
+}
+
+impl BnMode {
+    /// Display name matching Table 1's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            BnMode::Regular => "BN",
+            BnMode::Async => "Async-BN",
+        }
+    }
+}
+
+impl std::fmt::Display for BnMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_headers() {
+        assert_eq!(BnMode::Regular.name(), "BN");
+        assert_eq!(BnMode::Async.name(), "Async-BN");
+    }
+}

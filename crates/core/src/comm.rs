@@ -1,0 +1,214 @@
+//! Gradient compression for the worker→server push — the
+//! communication-efficiency axis of the paper's related work (QSGD [2],
+//! TernGrad [22], ECQ-SGD [23]) implemented as an optional extension so it
+//! can be combined with any of the algorithms and ablated.
+//!
+//! Two schemes plus ECQ-style *error feedback*: the compression residual
+//! is accumulated per worker and added to the next gradient before
+//! compressing, so quantization error is compensated over time instead of
+//! lost (the mechanism behind ECQ-SGD's convergence speedup).
+
+/// A gradient compression scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Compression {
+    /// No compression (the paper's own setting).
+    None,
+    /// Keep only the largest-magnitude `k_frac` fraction of entries.
+    TopK {
+        /// Fraction of entries kept, in `(0, 1]`.
+        k_frac: f32,
+    },
+    /// Uniform stochastic-free quantization to `2^bits − 1` levels per
+    /// sign, scaled by the max magnitude (QSGD-style without the
+    /// stochastic rounding, which would break replayability).
+    Uniform {
+        /// Bits per entry (2..=8).
+        bits: u8,
+    },
+}
+
+/// A compressed gradient message.
+#[derive(Clone, Debug)]
+pub enum CompressedGrad {
+    Dense(Vec<f32>),
+    /// Sparse (index, value) pairs.
+    Sparse { len: usize, entries: Vec<(u32, f32)> },
+    /// Quantized levels plus the scale: value = level · scale.
+    Quantized { scale: f32, levels: Vec<i8> },
+}
+
+impl CompressedGrad {
+    /// Approximate wire size in bytes (for compression-ratio reporting).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            CompressedGrad::Dense(v) => v.len() * 4,
+            CompressedGrad::Sparse { entries, .. } => 8 + entries.len() * 8,
+            CompressedGrad::Quantized { levels, .. } => 4 + levels.len(),
+        }
+    }
+
+    /// Reconstructs the dense gradient.
+    pub fn decompress(&self) -> Vec<f32> {
+        match self {
+            CompressedGrad::Dense(v) => v.clone(),
+            CompressedGrad::Sparse { len, entries } => {
+                let mut out = vec![0.0f32; *len];
+                for &(i, v) in entries {
+                    out[i as usize] = v;
+                }
+                out
+            }
+            CompressedGrad::Quantized { scale, levels } => {
+                levels.iter().map(|&l| l as f32 * scale).collect()
+            }
+        }
+    }
+}
+
+impl Compression {
+    /// Compresses `grads`, folding in and updating the worker's error-
+    /// feedback residual when one is provided (`residual.len()` must match
+    /// `grads.len()`; pass `None` to disable compensation).
+    pub fn compress(&self, grads: &[f32], residual: Option<&mut Vec<f32>>) -> CompressedGrad {
+        // Fold the carried residual into the signal to compress.
+        let mut signal: Vec<f32> = match &residual {
+            Some(r) => {
+                assert_eq!(r.len(), grads.len(), "residual length mismatch");
+                grads.iter().zip(r.iter()).map(|(g, e)| g + e).collect()
+            }
+            None => grads.to_vec(),
+        };
+
+        let out = match *self {
+            Compression::None => CompressedGrad::Dense(signal.clone()),
+            Compression::TopK { k_frac } => {
+                assert!(k_frac > 0.0 && k_frac <= 1.0, "k_frac out of range");
+                let k = ((grads.len() as f32 * k_frac).ceil() as usize).clamp(1, grads.len());
+                // Partial select by magnitude.
+                let mut idx: Vec<u32> = (0..grads.len() as u32).collect();
+                idx.select_nth_unstable_by(k - 1, |&a, &b| {
+                    signal[b as usize]
+                        .abs()
+                        .partial_cmp(&signal[a as usize].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut entries: Vec<(u32, f32)> =
+                    idx[..k].iter().map(|&i| (i, signal[i as usize])).collect();
+                entries.sort_unstable_by_key(|&(i, _)| i);
+                CompressedGrad::Sparse { len: grads.len(), entries }
+            }
+            Compression::Uniform { bits } => {
+                assert!((2..=8).contains(&bits), "bits out of range");
+                let max = signal.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let levels_per_sign = ((1u32 << (bits - 1)) - 1) as f32;
+                let scale = if max > 0.0 { max / levels_per_sign } else { 1.0 };
+                let levels: Vec<i8> = signal
+                    .iter()
+                    .map(|&v| (v / scale).round().clamp(-levels_per_sign, levels_per_sign) as i8)
+                    .collect();
+                CompressedGrad::Quantized { scale, levels }
+            }
+        };
+
+        // Update the residual: e = signal − decompress(out).
+        if let Some(r) = residual {
+            let approx = out.decompress();
+            for ((e, s), a) in r.iter_mut().zip(&mut signal).zip(&approx) {
+                *e = *s - a;
+            }
+        }
+        out
+    }
+
+    /// Compression ratio (dense bytes / wire bytes) for `n` entries.
+    pub fn ratio(&self, n: usize) -> f32 {
+        let dense = (n * 4) as f32;
+        let probe = self.compress(&vec![1.0; n.max(1)], None);
+        dense / probe.wire_bytes() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f32> {
+        vec![0.1, -3.0, 0.02, 2.0, -0.5, 0.0, 1.0, -0.01]
+    }
+
+    #[test]
+    fn none_is_lossless() {
+        let g = sample();
+        let c = Compression::None.compress(&g, None);
+        assert_eq!(c.decompress(), g);
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let g = sample();
+        let c = Compression::TopK { k_frac: 0.25 }.compress(&g, None);
+        let d = c.decompress();
+        // 2 of 8 kept: -3.0 and 2.0.
+        assert_eq!(d[1], -3.0);
+        assert_eq!(d[3], 2.0);
+        assert_eq!(d.iter().filter(|&&v| v != 0.0).count(), 2);
+    }
+
+    #[test]
+    fn uniform_quantization_bounded_error() {
+        let g = sample();
+        let c = Compression::Uniform { bits: 8 }.compress(&g, None);
+        let d = c.decompress();
+        let max = 3.0f32;
+        let step = max / 127.0;
+        for (a, b) in g.iter().zip(&d) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_feedback_recovers_dropped_mass() {
+        // A constant small gradient is entirely dropped by top-k each
+        // round — without feedback it never reaches the server; with
+        // feedback the residual accumulates until it wins a slot.
+        let g = vec![1.0, 0.001, 0.001, 0.001];
+        let scheme = Compression::TopK { k_frac: 0.25 };
+        let mut residual = vec![0.0; 4];
+        let mut delivered = vec![0.0f32; 4];
+        for _ in 0..2000 {
+            let c = scheme.compress(&g, Some(&mut residual));
+            for (d, v) in delivered.iter_mut().zip(c.decompress()) {
+                *d += v;
+            }
+        }
+        // Every coordinate's delivered mass approaches 2000·g_i.
+        for (i, (&d, &gi)) in delivered.iter().zip(&g).enumerate() {
+            let expect = 2000.0 * gi;
+            assert!(
+                (d - expect).abs() <= expect * 0.5 + 1.0,
+                "coord {i}: delivered {d} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_sizes_and_ratio() {
+        let n = 1000;
+        assert!(Compression::TopK { k_frac: 0.01 }.ratio(n) > 10.0);
+        assert!((Compression::Uniform { bits: 8 }.ratio(n) - 3.98).abs() < 0.1);
+        assert!((Compression::None.ratio(n) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantized_roundtrip_zero_vector() {
+        let g = vec![0.0; 5];
+        let c = Compression::Uniform { bits: 4 }.compress(&g, None);
+        assert_eq!(c.decompress(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_frac out of range")]
+    fn topk_validates_fraction() {
+        Compression::TopK { k_frac: 0.0 }.compress(&[1.0], None);
+    }
+}

@@ -1,0 +1,138 @@
+//! The three readings of the paper's Formula 5,
+//! `g_m = ∇_{w_t}(ℓ_m + λ·ℓ_delay)`.
+//!
+//! `ℓ_delay` is a *scalar* sent by the server (the summed loss predictions
+//! for the next `k_m` steps, Formula 9). Read literally, the gradient of a
+//! constant is zero, so the formula is a no-op in any reverse-mode
+//! framework — the paper does not say how the scalar enters the backward
+//! pass. We therefore implement the plausible interpretations and expose
+//! them as an ablation (see DESIGN.md §1 and the `ablation_compensation`
+//! bench):
+//!
+//! * [`CompensationMode::Literal`] — treat the compensated scalar as a
+//!   rescaled loss: seed the backward pass with
+//!   `(ℓ_m + λ·ℓ_delay)/ℓ_m` instead of 1. This is the only way the
+//!   formula as written changes anything.
+//! * [`CompensationMode::Relative`] — staleness damping (default): scale
+//!   the gradient by `1 + λ·(ℓ̄_pred − ℓ̂₁)/(|ℓ̂₁| + ε)`, clamped to
+//!   `[0.1, 1]`. `ℓ̄_pred = ℓ_delay/k_m` is the predicted *mean* future
+//!   loss and `ℓ̂₁` the predictor's one-step forecast (a smoothed stand-in
+//!   for the noisy batch loss). If the predictor says the global loss
+//!   will have dropped by the time this gradient lands, the (stale)
+//!   gradient is damped toward zero; it is never amplified. This matches
+//!   the paper's stated intent ("allows workers to use more accurate loss
+//!   values to compute the gradients") and is what reproduces the paper's
+//!   qualitative results.
+//! * [`CompensationMode::Off`] — no compensation (reduces LC-ASGD to ASGD
+//!   plus predictors; the control arm).
+
+/// How a worker folds the server's predicted `ℓ_delay` into its backward
+/// pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompensationMode {
+    Literal,
+    Relative,
+    Off,
+}
+
+impl CompensationMode {
+    /// Backward-seed multiplier for a worker whose measured loss is
+    /// `loss`, with predicted summed future loss `l_delay` over `k` steps,
+    /// the predictor's one-step forecast `one_step`, and compensation
+    /// strength `lambda`.
+    ///
+    /// Returns the factor the gradient is scaled by (1.0 = plain ASGD).
+    pub fn seed(self, loss: f32, l_delay: f32, one_step: f32, k: usize, lambda: f32) -> f32 {
+        const EPS: f32 = 1e-6;
+        const LO: f32 = 0.1;
+        const HI: f32 = 3.0;
+        match self {
+            CompensationMode::Off => 1.0,
+            CompensationMode::Literal => {
+                if loss.abs() < EPS {
+                    1.0
+                } else {
+                    ((loss + lambda * l_delay) / loss).clamp(LO, HI)
+                }
+            }
+            CompensationMode::Relative => {
+                if k == 0 {
+                    return 1.0;
+                }
+                // Predicted progress over the staleness window, measured
+                // against the predictor's *own* one-step forecast rather
+                // than the raw batch loss — individual batch losses are
+                // noisy and would turn the correction into random
+                // per-batch re-weighting.
+                let mean_pred = l_delay / k as f32;
+                // Damping only: a stale gradient is never *amplified* —
+                // the correction accounts for progress the model is
+                // predicted to make while the gradient is in flight, and
+                // that can only reduce the gradient's validity. The upper
+                // clamp at 1.0 also keeps predictor noise from acting as a
+                // random learning-rate boost at high staleness.
+                (1.0 + lambda * (mean_pred - one_step) / (one_step.abs() + EPS)).clamp(LO, 1.0)
+            }
+        }
+    }
+
+    /// Display name for benches/ablation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompensationMode::Literal => "literal",
+            CompensationMode::Relative => "relative",
+            CompensationMode::Off => "off",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_identity() {
+        assert_eq!(CompensationMode::Off.seed(2.0, 10.0, 2.0, 5, 0.5), 1.0);
+    }
+
+    #[test]
+    fn literal_scales_by_compensated_ratio() {
+        // (2 + 0.1·4) / 2 = 1.2
+        let s = CompensationMode::Literal.seed(2.0, 4.0, 2.0, 2, 0.1);
+        assert!((s - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn literal_handles_zero_loss() {
+        assert_eq!(CompensationMode::Literal.seed(0.0, 4.0, 2.0, 2, 0.1), 1.0);
+    }
+
+    #[test]
+    fn relative_damps_when_future_improves() {
+        // predicted mean future loss 1.0 < one-step forecast 2.0 → factor < 1
+        let s = CompensationMode::Relative.seed(2.0, 2.0, 2.0, 2, 0.5);
+        assert!(s < 1.0, "expected damping, got {s}");
+        assert!(s >= 0.1);
+    }
+
+    #[test]
+    fn relative_never_amplifies() {
+        // Even when the predicted future loss exceeds the current one the
+        // factor caps at 1.0 (damping-only correction).
+        let s = CompensationMode::Relative.seed(2.0, 6.0, 2.0, 2, 0.5);
+        assert!((s - 1.0).abs() < 1e-6, "expected cap at 1.0, got {s}");
+    }
+
+    #[test]
+    fn relative_zero_steps_is_identity() {
+        assert_eq!(CompensationMode::Relative.seed(2.0, 0.0, 2.0, 0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn seeds_are_clamped() {
+        let s = CompensationMode::Literal.seed(0.001, 1000.0, 0.001, 1, 1.0);
+        assert!(s <= 3.0);
+        let s = CompensationMode::Relative.seed(5.0, 0.0, 5.0, 10, 100.0);
+        assert!(s >= 0.1);
+    }
+}

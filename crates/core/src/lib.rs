@@ -1,0 +1,36 @@
+//! # lcasgd-core
+//!
+//! The paper's contribution and its baselines:
+//!
+//! * [`predictor`] — the two online-trained LSTM predictors that define
+//!   LC-ASGD: the **loss predictor** (Algorithm 3) forecasting the global
+//!   loss `k` steps ahead, and the **step predictor** (Algorithm 4)
+//!   forecasting how many other updates will land while a worker computes;
+//! * [`server`] — the parameter server (Algorithm 2): weight updates
+//!   (Formula 8), the `iter` arrival log, and BN statistics accumulation
+//!   (Formulas 6–7 for Async-BN);
+//! * [`worker`] — the worker-side computation (Algorithm 1): pull, forward
+//!   with BN-stat recording, compensated backward (Formula 5), push;
+//! * [`algorithms`] — SGD / SSGD / ASGD / DC-ASGD / LC-ASGD selection;
+//! * [`compensation`] — the three readings of Formula 5 (see DESIGN.md §1);
+//! * [`trainer`] — experiment drivers over the discrete-event cluster
+//!   simulator (and a thread-backend validation driver);
+//! * [`metrics`] — epoch records, staleness, predictor traces, overheads.
+
+pub mod algorithms;
+pub mod bnmode;
+pub mod comm;
+pub mod compensation;
+pub mod config;
+pub mod metrics;
+pub mod predictor;
+pub mod server;
+pub mod trainer;
+pub mod worker;
+
+pub use algorithms::Algorithm;
+pub use bnmode::BnMode;
+pub use comm::Compression;
+pub use compensation::CompensationMode;
+pub use config::{CostModel, ExperimentConfig, Scale};
+pub use metrics::{EpochRecord, OverheadStats, PredictorTrace, RunResult};

@@ -1,0 +1,8 @@
+//! LC-ASGD's two online predictors (the models that "reside in the
+//! parameter server and predict the loss to compensate for the delay").
+
+pub mod loss_predictor;
+pub mod step_predictor;
+
+pub use loss_predictor::{LossPrediction, LossPredictor};
+pub use step_predictor::StepPredictor;

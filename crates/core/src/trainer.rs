@@ -1,0 +1,807 @@
+//! Experiment drivers: run any of the five algorithms against a dataset on
+//! the simulated cluster (plus a real-thread ASGD driver for validation).
+//!
+//! ## Co-simulation model
+//!
+//! The numeric computation (forward/backward passes on real tensors) is
+//! executed eagerly at the moment the triggering message is *processed* in
+//! virtual-time order, while its effects are deferred to the corresponding
+//! arrival events. Staleness therefore emerges exactly as in a real
+//! cluster: a gradient computed against the weights snapshotted at pull
+//! time is applied only after other workers' updates have landed.
+
+use crate::algorithms::Algorithm;
+use crate::bnmode::BnMode;
+use crate::config::{DataPartition, ExperimentConfig};
+use crate::metrics::{EpochRecord, OverheadStats, PredictorTrace, RunResult};
+use crate::predictor::{LossPredictor, StepPredictor};
+use crate::server::ParameterServer;
+use crate::worker::WorkerNode;
+use lcasgd_autograd::ops::norm::BnBatchStats;
+use lcasgd_data::{BatchIter, Dataset};
+use lcasgd_nn::metrics::evaluate;
+use lcasgd_nn::network::BnState;
+use lcasgd_nn::Network;
+use lcasgd_simcluster::ClusterSim;
+use lcasgd_tensor::{Rng, Tensor};
+
+/// A model factory: must be deterministic in the RNG it is given so every
+/// algorithm starts "based on the same randomly initialized model" (§5).
+pub type ModelFn<'a> = &'a dyn Fn(&mut Rng) -> Network;
+
+/// Runs one experiment. Dispatches on `cfg.algorithm`.
+pub fn run_experiment(
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+) -> RunResult {
+    match cfg.algorithm {
+        Algorithm::Sgd => run_sequential(cfg, build, train, test),
+        Algorithm::Ssgd => run_ssgd(cfg, build, train, test),
+        Algorithm::Asgd | Algorithm::DcAsgd | Algorithm::LcAsgd => {
+            run_async(cfg, build, train, test)
+        }
+    }
+}
+
+// ---------------------------------------------------------------- eval
+
+struct EvalHarness<'a> {
+    net: Network,
+    train_x: Tensor,
+    train_y: Vec<usize>,
+    test: &'a Dataset,
+    batch: usize,
+}
+
+impl<'a> EvalHarness<'a> {
+    fn new(cfg: &ExperimentConfig, build: ModelFn<'_>, train: &Dataset, test: &'a Dataset) -> Self {
+        // The eval replica shares the architecture; its weights are
+        // overwritten before every evaluation.
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let net = build(&mut rng);
+        let n = train.len().min(cfg.max_eval_train);
+        let idx: Vec<usize> = (0..n).collect();
+        let (train_x, train_y) = train.batch(&idx);
+        EvalHarness { net, train_x, train_y, test, batch: cfg.eval_batch }
+    }
+
+    fn evaluate(&mut self, weights: &[f32], bn: &BnState) -> (f32, f32) {
+        self.net.set_flat_params(weights);
+        self.net.set_bn_state(bn);
+        let (train_err, _) = evaluate(&self.net, &self.train_x, &self.train_y, self.batch);
+        let (test_err, _) = evaluate(&self.net, &self.test.inputs, &self.test.labels, self.batch);
+        (train_err, test_err)
+    }
+}
+
+fn epoch_record(
+    epoch: usize,
+    time: f64,
+    harness: &mut EvalHarness<'_>,
+    server: &ParameterServer,
+    epoch_losses: &mut Vec<f32>,
+    lr: f32,
+) -> EpochRecord {
+    let (train_error, test_error) = harness.evaluate(&server.weights, &server.bn);
+    let train_loss = if epoch_losses.is_empty() {
+        f32::NAN
+    } else {
+        epoch_losses.iter().sum::<f32>() / epoch_losses.len() as f32
+    };
+    epoch_losses.clear();
+    EpochRecord { epoch, time, train_error, test_error, train_loss, lr }
+}
+
+
+/// The example indices each worker draws from, per the partition setting.
+fn worker_shards(cfg: &ExperimentConfig, m: usize, n: usize) -> Vec<Vec<usize>> {
+    match cfg.partition {
+        DataPartition::Shared => (0..m).map(|_| (0..n).collect()).collect(),
+        DataPartition::Partitioned => BatchIter::partition(n, m),
+    }
+}
+
+// ---------------------------------------------------------------- SGD
+
+/// Sequential single-machine SGD: the accuracy baseline. Virtual time is
+/// one iteration cost per update — no communication.
+fn run_sequential(
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+) -> RunResult {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let canonical = build(&mut rng);
+    let mut server = ParameterServer::new(&canonical, 1, BnMode::Regular, cfg.bn_momentum);
+    let mut worker = WorkerNode::new(canonical, train.len(), cfg.batch_size, cfg.seed ^ 0x5EED);
+    let mut harness = EvalHarness::new(cfg, build, train, test);
+
+    let updates_per_epoch = train.len().div_ceil(cfg.batch_size);
+    let mut records = Vec::with_capacity(cfg.epochs);
+    let mut losses = Vec::new();
+    let mut time = 0.0;
+    for epoch in 0..cfg.epochs {
+        let lr = cfg.lr.at_epoch(epoch);
+        for _ in 0..updates_per_epoch {
+            let (loss, grads, batch_stats) = worker.compute_gradient(&server.weights, train);
+            server.apply_grad(&grads, lr);
+            server.absorb_bn(&worker.bn_running(), &batch_stats);
+            losses.push(loss);
+            time += cfg.cost.iteration();
+        }
+        records.push(epoch_record(epoch + 1, time, &mut harness, &server, &mut losses, lr));
+    }
+
+    RunResult {
+        label: "SGD".into(),
+        epochs: records,
+        staleness: Vec::new(),
+        trace: None,
+        overhead: None,
+        iterations: server.version,
+        total_time: time,
+    }
+}
+
+// ---------------------------------------------------------------- SSGD
+
+/// Synchronous distributed SGD: per round every worker computes a gradient
+/// on the same weights; the server waits for all of them (the barrier),
+/// averages, and updates once (Formula 1).
+fn run_ssgd(
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+) -> RunResult {
+    let m = cfg.workers.max(1);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let canonical = build(&mut rng);
+    let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
+    let mut shards = worker_shards(cfg, m, train.len());
+    let mut workers: Vec<WorkerNode> = (0..m)
+        .map(|w| {
+            let mut wrng = Rng::seed_from_u64(cfg.seed);
+            let shard = std::mem::take(&mut shards[w]);
+            WorkerNode::with_indices(build(&mut wrng), shard, cfg.batch_size, cfg.seed ^ (w as u64).wrapping_mul(0x9E37) ^ 0xB5)
+        })
+        .collect();
+    let mut harness = EvalHarness::new(cfg, build, train, test);
+    let mut sim: ClusterSim<usize> = ClusterSim::new(cfg.cluster.clone());
+
+    // One round consumes M batches: effective batch M·b, so an epoch is
+    // n/(M·b) rounds (the "increasing workers = increasing batch size"
+    // equivalence of §5.1).
+    let rounds_per_epoch = train.len().div_ceil(m * cfg.batch_size).max(1);
+    let mut records = Vec::with_capacity(cfg.epochs);
+    let mut losses = Vec::new();
+    let mut round_start = 0.0f64;
+
+    for epoch in 0..cfg.epochs {
+        // Linear LR scaling for the averaged update (see
+        // `ExperimentConfig::ssgd_lr_scale`).
+        let lr = cfg.lr.at_epoch(epoch) * cfg.ssgd_lr_scale;
+        for _ in 0..rounds_per_epoch {
+            let mut grads = Vec::with_capacity(m);
+            let mut round_stats: Vec<(BnState, Vec<BnBatchStats>)> = Vec::with_capacity(m);
+            for (w, worker) in workers.iter_mut().enumerate() {
+                let (loss, g, batch_stats) = worker.compute_gradient(&server.weights, train);
+                losses.push(loss);
+                grads.push(g);
+                round_stats.push((worker.bn_running(), batch_stats));
+                sim.submit(w, round_start, cfg.cost.iteration(), w);
+            }
+            // Barrier: the round ends when the slowest worker's gradient
+            // arrives.
+            let mut barrier = round_start;
+            for _ in 0..m {
+                let arr = sim.next_arrival().expect("SSGD round under-filled");
+                barrier = barrier.max(arr.time);
+            }
+            server.apply_grad_avg(&grads, lr);
+            for (running, batch) in &round_stats {
+                server.absorb_bn(running, batch);
+            }
+            // Broadcast of the new weights before the next round.
+            let bcast = (0..m).map(|w| sim.downlink(w)).fold(0.0, f64::max);
+            round_start = barrier + bcast;
+        }
+        records.push(epoch_record(epoch + 1, round_start, &mut harness, &server, &mut losses, lr));
+    }
+
+    RunResult {
+        label: format!("SSGD ({})", cfg.bn_mode),
+        epochs: records,
+        staleness: vec![0; server.version as usize],
+        trace: None,
+        overhead: None,
+        iterations: server.version,
+        total_time: round_start,
+    }
+}
+
+// ---------------------------------------------------------------- async
+
+/// Message payloads of the asynchronous protocols.
+enum Msg {
+    /// Worker requests the latest weights (Algorithm 1 line 1 / Algorithm
+    /// 2 line 11).
+    Pull,
+    /// LC-ASGD only: the worker's forward results (Algorithm 1 line 8).
+    State { loss: f32, batch_stats: Vec<BnBatchStats>, t_comm: f64 },
+    /// Gradient push (Algorithm 1 line 12).
+    Grad {
+        grads: Vec<f32>,
+        pull_version: u64,
+        loss: f32,
+        batch_stats: Vec<BnBatchStats>,
+        running: BnState,
+    },
+}
+
+/// ASGD / DC-ASGD / LC-ASGD event loop.
+fn run_async(
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+) -> RunResult {
+    let m = cfg.workers.max(1);
+    let is_lc = cfg.algorithm == Algorithm::LcAsgd;
+    let is_dc = cfg.algorithm == Algorithm::DcAsgd;
+
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let canonical = build(&mut rng);
+    let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
+    let mut shards = worker_shards(cfg, m, train.len());
+    let mut workers: Vec<WorkerNode> = (0..m)
+        .map(|w| {
+            let mut wrng = Rng::seed_from_u64(cfg.seed);
+            let shard = std::mem::take(&mut shards[w]);
+            WorkerNode::with_indices(build(&mut wrng), shard, cfg.batch_size, cfg.seed ^ (w as u64).wrapping_mul(0x517C) ^ 0xA1)
+        })
+        .collect();
+    let mut harness = EvalHarness::new(cfg, build, train, test);
+    let mut sim: ClusterSim<Msg> = ClusterSim::new(cfg.cluster.clone());
+
+    // Predictors (LC-ASGD only).
+    let mut pred_rng = Rng::seed_from_u64(cfg.seed ^ 0x9_11D);
+    let mut loss_pred = LossPredictor::new(&mut pred_rng);
+    let mut step_pred = StepPredictor::new(m, &mut pred_rng);
+    let mut prev_step_pred: Vec<Option<f32>> = vec![None; m];
+    let mut trace = PredictorTrace::default();
+
+    let updates_per_epoch = train.len().div_ceil(cfg.batch_size).max(1);
+    let target = cfg.epochs * updates_per_epoch;
+
+    // DC-ASGD backups: the weights each worker pulled (w_bak in Formula 3).
+    let mut backups: Vec<Vec<f32>> = vec![Vec::new(); m];
+    // Per-worker error-feedback residuals for gradient compression.
+    let mut residuals: Vec<Vec<f32>> = vec![Vec::new(); m];
+    let compressing = cfg.compression != crate::comm::Compression::None;
+
+    let mut issued = 0usize; // pulls issued (each leads to one gradient)
+    for w in 0..m {
+        if issued < target {
+            sim.submit(w, 0.0, 0.0, Msg::Pull);
+            issued += 1;
+        }
+    }
+
+    let mut applied = 0usize;
+    let mut records = Vec::with_capacity(cfg.epochs);
+    let mut losses = Vec::new();
+    let mut staleness = Vec::with_capacity(target);
+
+    while applied < target {
+        let arr = sim.next_arrival().expect("event queue drained before target updates");
+        let t = arr.time;
+        let w = arr.worker;
+        match arr.payload {
+            Msg::Pull => {
+                let down = sim.downlink(w);
+                workers[w].version_at_pull = server.version;
+                workers[w].last_t_comm = arr.uplink + down;
+                if is_lc {
+                    let (loss, batch_stats) = workers[w].forward_phase(&server.weights, train);
+                    sim.submit(
+                        w,
+                        t + down,
+                        cfg.cost.forward,
+                        Msg::State { loss, batch_stats, t_comm: workers[w].last_t_comm },
+                    );
+                } else {
+                    if is_dc {
+                        backups[w] = server.weights.clone();
+                    }
+                    let (loss, mut grads, batch_stats) = workers[w].compute_gradient(&server.weights, train);
+                    if compressing {
+                        grads = push_through_wire(&cfg.compression, grads, &mut residuals[w]);
+                    }
+                    let running = workers[w].bn_running();
+                    let dur = sim.submit(
+                        w,
+                        t + down,
+                        cfg.cost.iteration(),
+                        Msg::Grad { grads, pull_version: workers[w].version_at_pull, loss, batch_stats, running },
+                    );
+                    workers[w].last_t_comp = dur;
+                    // The worker starts its next iteration (pull) as soon
+                    // as it has pushed this gradient.
+                    if issued < target {
+                        sim.submit(w, t + down + dur, 0.0, Msg::Pull);
+                        issued += 1;
+                    }
+                }
+            }
+            Msg::State { loss, batch_stats, t_comm } => {
+                // Algorithm 2 lines 2–7.
+                let actual_step = server.log_arrival(w) as f32;
+
+                // Deterministic nominal predictor charges keep the event
+                // timeline bit-reproducible; the predictors' own measured
+                // CPU time is reported in `OverheadStats` (Tables 2–3).
+                let km = step_pred.observe_and_predict(w, actual_step, t_comm as f32, workers[w].last_t_comp as f32);
+                sim.charge_server(cfg.cost.step_pred);
+
+                let km_int = km.round().max(0.0) as usize;
+                let one_step_forecast = loss_pred.pending_forecast();
+                let lp = loss_pred.observe_and_predict(loss, km_int);
+                sim.charge_server(cfg.cost.loss_pred);
+
+                if cfg.record_traces {
+                    trace.finish_order.push(w);
+                    trace.actual_loss.push(loss);
+                    trace.predicted_loss.push(one_step_forecast.unwrap_or(loss));
+                    if let Some(prev) = prev_step_pred[w] {
+                        trace.actual_step.push(actual_step);
+                        trace.predicted_step.push(prev);
+                    }
+                }
+                prev_step_pred[w] = Some(km);
+
+                server.absorb_bn(&workers[w].bn_running(), &batch_stats);
+
+                // Algorithm 1 lines 9–12: the worker receives ℓ_delay and
+                // backpropagates the compensated loss.
+                let seed = cfg.compensation.seed(loss, lp.l_delay, lp.one_step, km_int, cfg.lambda);
+                let mut grads = workers[w].backward_phase(seed);
+                if compressing {
+                    grads = push_through_wire(&cfg.compression, grads, &mut residuals[w]);
+                }
+                let down = sim.downlink(w);
+                let dur = sim.submit(
+                    w,
+                    t + down,
+                    cfg.cost.backward,
+                    Msg::Grad {
+                        grads,
+                        pull_version: workers[w].version_at_pull,
+                        loss,
+                        batch_stats: Vec::new(),
+                        running: BnState::default(),
+                    },
+                );
+                workers[w].last_t_comp = dur;
+                if issued < target {
+                    sim.submit(w, t + down + dur, 0.0, Msg::Pull);
+                    issued += 1;
+                }
+            }
+            Msg::Grad { grads, pull_version, loss, batch_stats, running } => {
+                staleness.push((server.version - pull_version) as u32);
+                let epoch_now = applied / updates_per_epoch;
+                let lr = cfg.lr.at_epoch(epoch_now);
+                if is_dc {
+                    server.apply_grad_dc(&grads, lr, cfg.lambda, &backups[w]);
+                } else {
+                    server.apply_grad(&grads, lr);
+                }
+                if !is_lc {
+                    server.log_arrival(w);
+                    server.absorb_bn(&running, &batch_stats);
+                }
+                losses.push(loss);
+                applied += 1;
+                if applied % updates_per_epoch == 0 {
+                    let epoch = applied / updates_per_epoch;
+                    records.push(epoch_record(epoch, sim.now(), &mut harness, &server, &mut losses, lr));
+                }
+            }
+        }
+    }
+
+    let overhead = is_lc.then(|| OverheadStats {
+        loss_pred_ms: loss_pred.elapsed_ms,
+        step_pred_ms: step_pred.elapsed_ms,
+        iterations: server.version,
+    });
+
+    RunResult {
+        label: format!("{} ({})", cfg.algorithm, cfg.bn_mode),
+        epochs: records,
+        staleness,
+        trace: (is_lc && cfg.record_traces).then_some(trace),
+        overhead,
+        iterations: server.version,
+        total_time: sim.now(),
+    }
+}
+
+
+/// Simulates a lossy gradient push: compress with per-worker error
+/// feedback, then decompress on the server side.
+fn push_through_wire(
+    scheme: &crate::comm::Compression,
+    grads: Vec<f32>,
+    residual: &mut Vec<f32>,
+) -> Vec<f32> {
+    if residual.len() != grads.len() {
+        *residual = vec![0.0; grads.len()];
+    }
+    scheme.compress(&grads, Some(residual)).decompress()
+}
+
+// ------------------------------------------------------------- threaded
+
+/// Real-thread ASGD for cross-validating the simulator: workers are OS
+/// threads computing true gradients concurrently; the server applies them
+/// in whatever order the scheduler produces. Returns the final test error
+/// and the observed staleness samples.
+pub fn run_threaded_asgd(
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+) -> RunResult {
+    use lcasgd_simcluster::ThreadCluster;
+    use parking_lot::Mutex;
+
+    enum TReq {
+        Pull,
+        Grad { grads: Vec<f32>, pull_version: u64, loss: f32 },
+    }
+    enum TResp {
+        Weights { flat: Vec<f32>, version: u64 },
+        Stop,
+    }
+
+    let m = cfg.workers.max(1);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let canonical = build(&mut rng);
+    let mut server = ParameterServer::new(&canonical, m, BnMode::Regular, cfg.bn_momentum);
+    let updates_per_epoch = train.len().div_ceil(cfg.batch_size).max(1);
+    let target = cfg.epochs * updates_per_epoch;
+
+    let mut applied = 0usize;
+    let mut staleness = Vec::new();
+    let mut losses = Vec::new();
+    let workers: Mutex<Vec<Option<WorkerNode>>> = Mutex::new(
+        (0..m)
+            .map(|w| {
+                let mut wrng = Rng::seed_from_u64(cfg.seed);
+                Some(WorkerNode::new(build(&mut wrng), train.len(), cfg.batch_size, cfg.seed ^ (w as u64) ^ 0x77))
+            })
+            .collect(),
+    );
+
+    ThreadCluster::run(
+        m,
+        |_w, req: TReq| match req {
+            TReq::Pull => {
+                if applied >= target {
+                    Some(TResp::Stop)
+                } else {
+                    Some(TResp::Weights { flat: server.weights.clone(), version: server.version })
+                }
+            }
+            TReq::Grad { grads, pull_version, loss } => {
+                // Late gradients past the target are dropped, as a real
+                // server shutting down would.
+                if applied < target {
+                    let lr = cfg.lr.at_epoch(applied / updates_per_epoch);
+                    staleness.push((server.version - pull_version) as u32);
+                    server.apply_grad(&grads, lr);
+                    losses.push(loss);
+                    applied += 1;
+                }
+                None
+            }
+        },
+        |h| {
+            let mut node = workers.lock()[h.worker()].take().expect("worker taken twice");
+            loop {
+                match h.request(TReq::Pull) {
+                    TResp::Stop => break,
+                    TResp::Weights { flat, version } => {
+                        let (loss, grads, _) = node.compute_gradient(&flat, train);
+                        h.send(TReq::Grad { grads, pull_version: version, loss });
+                    }
+                }
+            }
+        },
+    );
+
+    // Single final evaluation (the thread backend is for validating
+    // staleness/convergence, not for learning curves).
+    let mut harness = EvalHarness::new(cfg, build, train, test);
+    let (train_error, test_error) = harness.evaluate(&server.weights, &server.bn);
+    let train_loss = if losses.is_empty() { f32::NAN } else { losses.iter().sum::<f32>() / losses.len() as f32 };
+    RunResult {
+        label: "ASGD (threads)".into(),
+        epochs: vec![EpochRecord {
+            epoch: cfg.epochs,
+            time: 0.0,
+            train_error,
+            test_error,
+            train_loss,
+            lr: cfg.lr.at_epoch(cfg.epochs.saturating_sub(1)),
+        }],
+        staleness,
+        trace: None,
+        overhead: None,
+        iterations: server.version,
+        total_time: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compensation::CompensationMode;
+    use crate::config::Scale;
+    use lcasgd_data::synth::blobs_split;
+    use lcasgd_nn::mlp::mlp;
+    use lcasgd_nn::LrSchedule;
+
+    fn blob_cfg(algorithm: Algorithm, workers: usize) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(algorithm, workers, Scale::Tiny, 11);
+        cfg.epochs = 12;
+        cfg.batch_size = 10;
+        cfg.lr = LrSchedule::constant(0.1);
+        cfg
+    }
+
+    fn build_mlp(rng: &mut Rng) -> Network {
+        mlp(&[6, 16, 4], true, rng)
+    }
+
+    fn data() -> (Dataset, Dataset) {
+        blobs_split(4, 6, 30, 10, 0.6, 21)
+    }
+
+    #[test]
+    fn sequential_sgd_learns_blobs() {
+        let (train, test) = data();
+        let cfg = blob_cfg(Algorithm::Sgd, 1);
+        let r = run_experiment(&cfg, &build_mlp, &train, &test);
+        assert_eq!(r.epochs.len(), cfg.epochs);
+        assert!(r.final_test_error() < 0.15, "err {}", r.final_test_error());
+        assert!(r.epochs[0].test_error > r.final_test_error());
+        assert_eq!(r.iterations as usize, cfg.epochs * 12); // 120/10 per epoch
+        assert!(r.total_time > 0.0);
+    }
+
+    #[test]
+    fn asgd_learns_and_has_staleness() {
+        let (train, test) = data();
+        let cfg = blob_cfg(Algorithm::Asgd, 4);
+        let r = run_experiment(&cfg, &build_mlp, &train, &test);
+        assert!(r.final_test_error() < 0.2, "err {}", r.final_test_error());
+        assert!(r.mean_staleness() > 0.5, "staleness {}", r.mean_staleness());
+        assert_eq!(r.staleness.len() as u64, r.iterations);
+    }
+
+    #[test]
+    fn dc_asgd_learns() {
+        let (train, test) = data();
+        let cfg = blob_cfg(Algorithm::DcAsgd, 4);
+        let r = run_experiment(&cfg, &build_mlp, &train, &test);
+        assert!(r.final_test_error() < 0.2, "err {}", r.final_test_error());
+    }
+
+    #[test]
+    fn lc_asgd_learns_with_predictors_and_overhead() {
+        let (train, test) = data();
+        let mut cfg = blob_cfg(Algorithm::LcAsgd, 4);
+        cfg.record_traces = true;
+        let r = run_experiment(&cfg, &build_mlp, &train, &test);
+        assert!(r.final_test_error() < 0.25, "err {}", r.final_test_error());
+        let o = r.overhead.as_ref().expect("LC must report overhead");
+        assert!(o.loss_pred_ms > 0.0 && o.step_pred_ms > 0.0);
+        let t = r.trace.as_ref().expect("traces requested");
+        assert!(!t.actual_loss.is_empty());
+        assert_eq!(t.actual_loss.len(), t.predicted_loss.len());
+        assert_eq!(t.actual_step.len(), t.predicted_step.len());
+        assert!(!t.finish_order.is_empty());
+    }
+
+    #[test]
+    fn ssgd_rounds_and_learning() {
+        let (train, test) = data();
+        let cfg = blob_cfg(Algorithm::Ssgd, 4);
+        let r = run_experiment(&cfg, &build_mlp, &train, &test);
+        // rounds/epoch = ceil(120 / (4*10)) = 3
+        assert_eq!(r.iterations as usize, cfg.epochs * 3);
+        assert!(r.final_test_error() < 0.25, "err {}", r.final_test_error());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (train, test) = data();
+        let cfg = blob_cfg(Algorithm::LcAsgd, 4);
+        let a = run_experiment(&cfg, &build_mlp, &train, &test);
+        let b = run_experiment(&cfg, &build_mlp, &train, &test);
+        assert_eq!(a.final_test_error(), b.final_test_error());
+        assert_eq!(a.staleness, b.staleness);
+        assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    fn compensation_off_equals_plain_asgd_updates() {
+        // With compensation Off the LC gradient path reduces to ASGD's
+        // (same math; only message pattern and BN timing differ).
+        let (train, test) = data();
+        let mut cfg = blob_cfg(Algorithm::LcAsgd, 2);
+        cfg.compensation = CompensationMode::Off;
+        let r = run_experiment(&cfg, &build_mlp, &train, &test);
+        assert!(r.final_test_error() < 0.3);
+    }
+
+    #[test]
+    fn asgd_staleness_grows_with_workers() {
+        let (train, test) = data();
+        let r4 = run_experiment(&blob_cfg(Algorithm::Asgd, 4), &build_mlp, &train, &test);
+        let r16 = run_experiment(&blob_cfg(Algorithm::Asgd, 16), &build_mlp, &train, &test);
+        assert!(
+            r16.mean_staleness() > r4.mean_staleness() * 2.0,
+            "4w {} vs 16w {}",
+            r4.mean_staleness(),
+            r16.mean_staleness()
+        );
+    }
+
+    #[test]
+    fn asgd_wallclock_beats_ssgd() {
+        // No barrier → ASGD finishes the same number of epochs faster.
+        let (train, test) = data();
+        let a = run_experiment(&blob_cfg(Algorithm::Asgd, 8), &build_mlp, &train, &test);
+        let s = run_experiment(&blob_cfg(Algorithm::Ssgd, 8), &build_mlp, &train, &test);
+        // Per epoch, ASGD applies n/b updates spread over M workers; SSGD
+        // pays a barrier per round.
+        let a_time = a.total_time / a.epochs.len() as f64;
+        let s_time = s.total_time / s.epochs.len() as f64;
+        assert!(a_time < s_time * 1.05, "asgd {a_time} vs ssgd {s_time}");
+    }
+
+    #[test]
+    fn threaded_asgd_converges_and_reports_staleness() {
+        let (train, test) = data();
+        let mut cfg = blob_cfg(Algorithm::Asgd, 4);
+        cfg.epochs = 10;
+        // Threads need a BN-free model: BN-state replace semantics across
+        // racing threads are validated in the simulator instead.
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], false, rng);
+        let r = run_threaded_asgd(&cfg, &build, &train, &test);
+        assert_eq!(r.iterations as usize, 10 * 12);
+        assert!(r.final_test_error() < 0.3, "err {}", r.final_test_error());
+        assert_eq!(r.staleness.len() as u64, r.iterations);
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use crate::config::{DataPartition, Scale};
+    use lcasgd_data::synth::blobs_split;
+    use lcasgd_nn::mlp::mlp;
+    use lcasgd_nn::LrSchedule;
+
+    #[test]
+    fn partitioned_data_trains_every_algorithm() {
+        let (train, test) = blobs_split(4, 6, 32, 12, 0.6, 51);
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], true, rng);
+        for algo in [Algorithm::Ssgd, Algorithm::Asgd, Algorithm::LcAsgd] {
+            let mut cfg = ExperimentConfig::new(algo, 4, Scale::Tiny, 13);
+            cfg.epochs = 10;
+            cfg.batch_size = 8;
+            cfg.lr = LrSchedule::constant(0.1);
+            cfg.ssgd_lr_scale = 1.0;
+            cfg.partition = DataPartition::Partitioned;
+            let r = run_experiment(&cfg, &build, &train, &test);
+            assert!(
+                r.final_test_error() < 0.3,
+                "{algo} partitioned err {}",
+                r.final_test_error()
+            );
+        }
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover() {
+        let cfg = {
+            let mut c = ExperimentConfig::new(Algorithm::Asgd, 4, Scale::Tiny, 1);
+            c.partition = DataPartition::Partitioned;
+            c
+        };
+        let shards = worker_shards(&cfg, 4, 10);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_mode_gives_full_data_to_everyone() {
+        let cfg = ExperimentConfig::new(Algorithm::Asgd, 3, Scale::Tiny, 1);
+        let shards = worker_shards(&cfg, 3, 7);
+        for s in shards {
+            assert_eq!(s.len(), 7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod compression_tests {
+    use super::*;
+    use crate::comm::Compression;
+    use crate::config::Scale;
+    use lcasgd_data::synth::blobs_split;
+    use lcasgd_nn::mlp::mlp;
+    use lcasgd_nn::LrSchedule;
+
+    #[test]
+    fn compressed_asgd_still_learns() {
+        let (train, test) = blobs_split(4, 6, 30, 10, 0.6, 61);
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], true, rng);
+        for compression in [
+            Compression::TopK { k_frac: 0.25 },
+            Compression::Uniform { bits: 8 },
+        ] {
+            let mut cfg = ExperimentConfig::new(Algorithm::Asgd, 4, Scale::Tiny, 19);
+            cfg.epochs = 14;
+            cfg.batch_size = 10;
+            cfg.lr = LrSchedule::constant(0.1);
+            cfg.compression = compression;
+            let r = run_experiment(&cfg, &build, &train, &test);
+            assert!(
+                r.final_test_error() < 0.3,
+                "{compression:?} err {}",
+                r.final_test_error()
+            );
+        }
+    }
+
+    #[test]
+    fn compression_changes_the_trajectory() {
+        let (train, test) = blobs_split(4, 6, 30, 10, 0.6, 61);
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], true, rng);
+        let mut base = ExperimentConfig::new(Algorithm::Asgd, 4, Scale::Tiny, 19);
+        base.epochs = 4;
+        base.batch_size = 10;
+        let plain = run_experiment(&base, &build, &train, &test);
+        let mut lossy = base.clone();
+        lossy.compression = Compression::TopK { k_frac: 0.1 };
+        let compressed = run_experiment(&lossy, &build, &train, &test);
+        assert_ne!(
+            plain.epochs.last().unwrap().train_loss,
+            compressed.epochs.last().unwrap().train_loss
+        );
+    }
+
+    #[test]
+    fn lc_asgd_composes_with_compression() {
+        let (train, test) = blobs_split(4, 6, 30, 10, 0.6, 62);
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], true, rng);
+        let mut cfg = ExperimentConfig::new(Algorithm::LcAsgd, 4, Scale::Tiny, 20);
+        cfg.epochs = 14;
+        cfg.batch_size = 10;
+        cfg.lr = LrSchedule::constant(0.1);
+        cfg.compression = Compression::Uniform { bits: 6 };
+        let r = run_experiment(&cfg, &build, &train, &test);
+        assert!(r.final_test_error() < 0.35, "err {}", r.final_test_error());
+        assert!(r.overhead.is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Mini-batch iteration with seeded shuffling.
+
+use crate::synth::Dataset;
+use lcasgd_tensor::{Rng, Tensor};
+
+/// Epoch-oriented batch iterator: reshuffles example order at the start of
+/// each epoch with its own RNG stream, yielding `(inputs, labels)` batches.
+/// The final short batch is kept (not dropped) so every example is seen.
+pub struct BatchIter {
+    order: Vec<usize>,
+    pos: usize,
+    batch: usize,
+    rng: Rng,
+}
+
+impl BatchIter {
+    /// Iterator over `n` examples in batches of `batch`.
+    pub fn new(n: usize, batch: usize, seed: u64) -> Self {
+        Self::from_indices((0..n).collect(), batch, seed)
+    }
+
+    /// Iterator over an explicit example subset — the building block for
+    /// partitioned-data training, where each worker owns a disjoint shard
+    /// (the paper's stated future-work extension).
+    pub fn from_indices(indices: Vec<usize>, batch: usize, seed: u64) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(!indices.is_empty(), "empty example subset");
+        let mut it = BatchIter { order: indices, pos: 0, batch, rng: Rng::seed_from_u64(seed) };
+        it.reshuffle();
+        it
+    }
+
+    /// Number of examples this iterator covers.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the iterator covers no examples (cannot be constructed so;
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Splits `n` examples into `parts` contiguous shards of near-equal
+    /// size. Contiguous (not round-robin) on purpose: the synthetic
+    /// generators interleave classes with period `num_classes`, so a
+    /// round-robin split with `parts` divisible by the class count would
+    /// hand each worker a *single class* — the pathological non-IID case —
+    /// while contiguous blocks stay class-balanced.
+    pub fn partition(n: usize, parts: usize) -> Vec<Vec<usize>> {
+        assert!(parts > 0);
+        let base = n / parts;
+        let extra = n % parts;
+        let mut shards = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            shards.push((start..start + len).collect());
+            start += len;
+        }
+        shards
+    }
+
+    fn reshuffle(&mut self) {
+        self.rng.shuffle(&mut self.order);
+        self.pos = 0;
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.order.len().div_ceil(self.batch)
+    }
+
+    /// Index list of the next batch; reshuffles when the epoch is
+    /// exhausted (so the stream is endless).
+    pub fn next_indices(&mut self) -> &[usize] {
+        if self.pos >= self.order.len() {
+            self.reshuffle();
+        }
+        let end = (self.pos + self.batch).min(self.order.len());
+        let out = &self.order[self.pos..end];
+        self.pos = end;
+        out
+    }
+
+    /// Next batch materialized from a dataset.
+    pub fn next_batch(&mut self, data: &Dataset) -> (Tensor, Vec<usize>) {
+        if self.pos >= self.order.len() {
+            self.reshuffle();
+        }
+        let end = (self.pos + self.batch).min(self.order.len());
+        let idx: Vec<usize> = self.order[self.pos..end].to_vec();
+        self.pos = end;
+        data.batch(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::blobs;
+
+    #[test]
+    fn covers_every_example_each_epoch() {
+        let mut it = BatchIter::new(10, 3, 1);
+        let mut seen = Vec::new();
+        for _ in 0..it.batches_per_epoch() {
+            seen.extend_from_slice(it.next_indices());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        assert_eq!(BatchIter::new(10, 3, 1).batches_per_epoch(), 4);
+        assert_eq!(BatchIter::new(9, 3, 1).batches_per_epoch(), 3);
+    }
+
+    #[test]
+    fn reshuffles_between_epochs() {
+        let mut it = BatchIter::new(64, 64, 2);
+        let first: Vec<usize> = it.next_indices().to_vec();
+        let second: Vec<usize> = it.next_indices().to_vec();
+        assert_ne!(first, second, "astronomically unlikely identical shuffles");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = BatchIter::new(20, 7, 42);
+        let mut b = BatchIter::new(20, 7, 42);
+        for _ in 0..6 {
+            assert_eq!(a.next_indices(), b.next_indices());
+        }
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let shards = BatchIter::partition(10, 3);
+        assert_eq!(shards.len(), 3);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Contiguous blocks, remainder spread over the first shards.
+        assert_eq!(shards[0], vec![0, 1, 2, 3]);
+        assert_eq!(shards[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn subset_iterator_stays_in_subset() {
+        let mut it = BatchIter::from_indices(vec![2, 5, 7], 2, 1);
+        assert_eq!(it.len(), 3);
+        for _ in 0..10 {
+            for &i in it.next_indices() {
+                assert!([2, 5, 7].contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn next_batch_matches_dataset_rows() {
+        let d = blobs(2, 4, 8, 0.2, 3);
+        let mut it = BatchIter::new(d.len(), 5, 1);
+        let (x, y) = it.next_batch(&d);
+        assert_eq!(x.dims()[0], 5);
+        assert_eq!(y.len(), 5);
+    }
+}

@@ -1,0 +1,18 @@
+//! # lcasgd-data
+//!
+//! Deterministic synthetic datasets standing in for CIFAR-10 and ImageNet
+//! (neither is redistributable/feasible to download here; see DESIGN.md §1
+//! for why the substitution preserves the behaviour under study).
+//!
+//! Class-conditional *structured* images: each class owns a set of spatial
+//! frequency/orientation prototypes per channel; samples are prototypes
+//! plus per-sample Gaussian noise and random phase shifts. The resulting
+//! task (a) is genuinely learnable but not trivially separable, (b) has
+//! meaningful per-channel statistics (so BatchNorm matters), and (c)
+//! produces loss curves with the same qualitative phases as the paper's.
+
+pub mod batch;
+pub mod synth;
+
+pub use batch::BatchIter;
+pub use synth::{Dataset, SyntheticImageSpec};

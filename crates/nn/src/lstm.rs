@@ -1,0 +1,393 @@
+//! Multi-layer LSTM with an affine head — the architecture of both LC-ASGD
+//! predictors ("two LSTM layers in the front of the network and a linear
+//! layer at the end", paper §4.3–4.4).
+//!
+//! The predictors are trained *online*, one `(input, label)` pair at a
+//! time (truncated BPTT of length 1): the recurrent state is carried
+//! across steps as plain tensors (detached), and each [`Lstm::train_step`]
+//! builds a one-step graph, backpropagates an MSE loss, and applies a
+//! clipped SGD update.
+
+use crate::layer::Linear;
+use lcasgd_autograd::{Graph, Var};
+use lcasgd_tensor::{init, Rng, Tensor};
+
+/// One LSTM layer's weights, packed as `W: [4h, in+h]`, `b: [4h]` with the
+/// gate order `i, f, g, o`.
+pub struct LstmCell {
+    pub weight: Tensor,
+    pub bias: Tensor,
+    hidden: usize,
+}
+
+impl LstmCell {
+    fn new(input: usize, hidden: usize, rng: &mut Rng) -> Self {
+        let mut bias = Tensor::zeros(&[4 * hidden]);
+        // Forget-gate bias of 1: the standard trick so a fresh LSTM starts
+        // by remembering rather than forgetting.
+        for v in &mut bias.data_mut()[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        LstmCell {
+            weight: init::xavier_uniform(&[4 * hidden, input + hidden], input + hidden, 4 * hidden, rng),
+            bias,
+            hidden,
+        }
+    }
+
+    /// One recurrence step. `x: [1, in]`, `h`/`c`: `[1, hidden]` graph vars.
+    /// Returns `(h', c')` vars.
+    fn step(&self, g: &mut Graph, x: Var, h: Var, c: Var, params: &mut Vec<Var>) -> (Var, Var) {
+        let w = g.leaf(self.weight.clone());
+        let b = g.leaf(self.bias.clone());
+        params.push(w);
+        params.push(b);
+        let xh = g.concat_cols(x, h);
+        let gates = g.linear(xh, w, b); // [1, 4h]
+        let hsz = self.hidden;
+        let i_pre = g.slice_cols(gates, 0, hsz);
+        let f_pre = g.slice_cols(gates, hsz, hsz);
+        let g_pre = g.slice_cols(gates, 2 * hsz, hsz);
+        let o_pre = g.slice_cols(gates, 3 * hsz, hsz);
+        let i = g.sigmoid(i_pre);
+        let f = g.sigmoid(f_pre);
+        let cand = g.tanh(g_pre);
+        let o = g.sigmoid(o_pre);
+        let fc = g.mul(f, c);
+        let ig = g.mul(i, cand);
+        let c_new = g.add(fc, ig);
+        let c_act = g.tanh(c_new);
+        let h_new = g.mul(o, c_act);
+        (h_new, c_new)
+    }
+}
+
+/// Recurrent state: one `(h, c)` pair per layer, batch 1.
+#[derive(Clone, Debug)]
+pub struct LstmState {
+    pub layers: Vec<(Tensor, Tensor)>,
+}
+
+impl LstmState {
+    /// All-zero initial state.
+    pub fn zeros(hidden: usize, num_layers: usize) -> Self {
+        LstmState {
+            layers: (0..num_layers)
+                .map(|_| (Tensor::zeros(&[1, hidden]), Tensor::zeros(&[1, hidden])))
+                .collect(),
+        }
+    }
+}
+
+/// Stacked LSTM + linear head, batch size 1.
+pub struct Lstm {
+    cells: Vec<LstmCell>,
+    head: Linear,
+    input_dim: usize,
+    hidden: usize,
+    /// Gradient-norm clip applied in [`train_step`](Self::train_step);
+    /// online training on raw loss series occasionally sees spikes.
+    pub grad_clip: f32,
+}
+
+impl Lstm {
+    /// `input_dim -> [hidden × num_layers] -> out_dim`.
+    pub fn new(input_dim: usize, hidden: usize, num_layers: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        assert!(num_layers >= 1);
+        let mut cells = Vec::with_capacity(num_layers);
+        cells.push(LstmCell::new(input_dim, hidden, rng));
+        for _ in 1..num_layers {
+            cells.push(LstmCell::new(hidden, hidden, rng));
+        }
+        Lstm { cells, head: Linear::new_xavier(hidden, out_dim, rng), input_dim, hidden, grad_clip: 5.0 }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden width (the paper uses 64 for the loss predictor, 128 for the
+    /// step predictor).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh zero state.
+    pub fn zero_state(&self) -> LstmState {
+        LstmState::zeros(self.hidden, self.cells.len())
+    }
+
+    /// Builds the one-step graph. Returns the output var, the new state
+    /// vars per layer, and pushes parameter vars in a fixed order.
+    fn build_step(
+        &self,
+        g: &mut Graph,
+        x: Var,
+        state: &LstmState,
+        params: &mut Vec<Var>,
+    ) -> (Var, Vec<(Var, Var)>) {
+        let mut cur = x;
+        let mut new_state = Vec::with_capacity(self.cells.len());
+        for (cell, (h, c)) in self.cells.iter().zip(&state.layers) {
+            let hv = g.leaf(h.clone());
+            let cv = g.leaf(c.clone());
+            let (h2, c2) = cell.step(g, cur, hv, cv, params);
+            new_state.push((h2, c2));
+            cur = h2;
+        }
+        let out = self.head.forward_raw(g, cur, params);
+        (out, new_state)
+    }
+
+    /// Forward-only step: consumes `x: [1, input_dim]`, returns the output
+    /// `[1, out_dim]` and the advanced state.
+    pub fn predict(&self, x: &Tensor, state: &LstmState) -> (Tensor, LstmState) {
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let mut params = Vec::new();
+        let (out, new_state) = self.build_step(&mut g, xv, state, &mut params);
+        let state = LstmState {
+            layers: new_state
+                .iter()
+                .map(|&(h, c)| (g.value(h).clone(), g.value(c).clone()))
+                .collect(),
+        };
+        (g.value(out).clone(), state)
+    }
+
+    /// One online training step: forward from `state` on `x`, MSE against
+    /// `target: [1, out_dim]`, backward, clipped SGD update with rate `lr`.
+    /// Returns the loss and the advanced (detached) state.
+    pub fn train_step(&mut self, x: &Tensor, target: &Tensor, state: &LstmState, lr: f32) -> (f32, LstmState) {
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let mut params = Vec::new();
+        let (out, new_state) = self.build_step(&mut g, xv, state, &mut params);
+        let loss = g.mse(out, target.clone());
+        g.backward(loss);
+        let loss_val = g.value(loss).item();
+
+        // Collect gradients in registration order and apply a global-norm
+        // clipped SGD step.
+        let grads: Vec<Option<Tensor>> = params.iter().map(|&p| g.take_grad(p)).collect();
+        let total_sq: f64 = grads
+            .iter()
+            .flatten()
+            .map(|t| t.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>())
+            .sum();
+        let norm = total_sq.sqrt() as f32;
+        let scale = if norm > self.grad_clip { self.grad_clip / norm } else { 1.0 };
+
+        let mut it = grads.into_iter();
+        self.visit_params_mut(&mut |t| {
+            if let Some(Some(grad)) = it.next() {
+                t.add_assign_scaled(&grad, -lr * scale);
+            }
+        });
+
+        let state = LstmState {
+            layers: new_state
+                .iter()
+                .map(|&(h, c)| (g.value(h).clone(), g.value(c).clone()))
+                .collect(),
+        };
+        (loss_val, state)
+    }
+
+    /// Rolls the model forward `k` steps feeding each prediction back as
+    /// the next input (requires `out_dim == input_dim`, true for the loss
+    /// predictor). Returns the `k` predicted outputs. The entry state is
+    /// not mutated.
+    pub fn rollout(&self, x0: &Tensor, state: &LstmState, k: usize) -> Vec<Tensor> {
+        let mut out = Vec::with_capacity(k);
+        let mut x = x0.clone();
+        let mut st = state.clone();
+        for _ in 0..k {
+            let (y, next) = self.predict(&x, &st);
+            st = next;
+            x = y.clone();
+            out.push(y);
+        }
+        out
+    }
+
+    /// Visits parameters in the same order `build_step` registers them:
+    /// per-cell (weight, bias), then head (weight, bias).
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Tensor)) {
+        for cell in &mut self.cells {
+            f(&mut cell.weight);
+            f(&mut cell.bias);
+        }
+        f(&mut self.head.weight);
+        f(&mut self.head.bias);
+    }
+
+    /// Total parameter count (for overhead accounting).
+    pub fn num_params(&self) -> usize {
+        let mut n = 0;
+        for cell in &self.cells {
+            n += cell.weight.numel() + cell.bias.numel();
+        }
+        n + self.head.weight.numel() + self.head.bias.numel()
+    }
+}
+
+impl Linear {
+    /// Forward used outside the `Layer` enum (no `ForwardCtx`), registering
+    /// params into a caller-provided list.
+    pub fn forward_raw(&self, g: &mut Graph, x: Var, params: &mut Vec<Var>) -> Var {
+        let w = g.leaf(self.weight.clone());
+        let b = g.leaf(self.bias.clone());
+        params.push(w);
+        params.push(b);
+        g.linear(x, w, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_state_advance() {
+        let mut rng = Rng::seed_from_u64(111);
+        let lstm = Lstm::new(3, 8, 2, 1, &mut rng);
+        let st = lstm.zero_state();
+        let x = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[1, 3]);
+        let (y, st2) = lstm.predict(&x, &st);
+        assert_eq!(y.dims(), &[1, 1]);
+        assert_eq!(st2.layers.len(), 2);
+        assert_eq!(st2.layers[0].0.dims(), &[1, 8]);
+        // State must actually change.
+        assert_ne!(st2.layers[0].0.data(), st.layers[0].0.data());
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let mut rng = Rng::seed_from_u64(112);
+        let lstm = Lstm::new(1, 4, 2, 1, &mut rng);
+        let st = lstm.zero_state();
+        let x = Tensor::from_vec(vec![0.5], &[1, 1]);
+        let (a, _) = lstm.predict(&x, &st);
+        let (b, _) = lstm.predict(&x, &st);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_training_learns_constant_series() {
+        // Feeding a constant series, the predictor should converge to
+        // predicting that constant.
+        let mut rng = Rng::seed_from_u64(113);
+        let mut lstm = Lstm::new(1, 8, 2, 1, &mut rng);
+        let mut st = lstm.zero_state();
+        let x = Tensor::from_vec(vec![0.7], &[1, 1]);
+        let target = Tensor::from_vec(vec![0.7], &[1, 1]);
+        let mut last = f32::INFINITY;
+        for i in 0..400 {
+            let (loss, next) = lstm.train_step(&x, &target, &st, 0.05);
+            st = next;
+            if i >= 399 {
+                last = loss;
+            }
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    #[test]
+    fn online_training_tracks_slowly_decaying_series() {
+        // A geometric decay mimics a loss curve; after online training the
+        // one-step-ahead prediction error should be small.
+        let mut rng = Rng::seed_from_u64(114);
+        let mut lstm = Lstm::new(1, 16, 2, 1, &mut rng);
+        let mut st = lstm.zero_state();
+        let series: Vec<f32> = (0..300).map(|i| 2.0 * (0.99f32).powi(i) + 0.5).collect();
+        let mut errs = Vec::new();
+        for w in series.windows(2) {
+            let x = Tensor::from_vec(vec![w[0]], &[1, 1]);
+            let t = Tensor::from_vec(vec![w[1]], &[1, 1]);
+            let (loss, next) = lstm.train_step(&x, &t, &st, 0.02);
+            st = next;
+            errs.push(loss);
+        }
+        let late: f32 = errs[250..].iter().sum::<f32>() / 49.0;
+        assert!(late < 5e-3, "late avg one-step MSE {late}");
+    }
+
+    #[test]
+    fn rollout_does_not_mutate_entry_state() {
+        let mut rng = Rng::seed_from_u64(115);
+        let lstm = Lstm::new(1, 4, 1, 1, &mut rng);
+        let st = lstm.zero_state();
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let k = 5;
+        let preds = lstm.rollout(&x, &st, k);
+        assert_eq!(preds.len(), k);
+        // Same call again gives identical results (state untouched).
+        let preds2 = lstm.rollout(&x, &st, k);
+        for (a, b) in preds.iter().zip(&preds2) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn grad_clip_bounds_update() {
+        let mut rng = Rng::seed_from_u64(116);
+        let mut lstm = Lstm::new(1, 4, 1, 1, &mut rng);
+        lstm.grad_clip = 1e-6; // essentially freeze
+        let st = lstm.zero_state();
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            lstm.visit_params_mut(&mut |t| v.extend_from_slice(t.data()));
+            v
+        };
+        let x = Tensor::from_vec(vec![10.0], &[1, 1]);
+        let t = Tensor::from_vec(vec![-10.0], &[1, 1]);
+        let _ = lstm.train_step(&x, &t, &st, 1.0);
+        let mut after = Vec::new();
+        lstm.visit_params_mut(&mut |t| after.extend_from_slice(t.data()));
+        let delta: f32 = before.iter().zip(&after).map(|(a, b)| (a - b).abs()).sum();
+        assert!(delta < 1e-4, "clip failed, total delta {delta}");
+    }
+}
+
+#[cfg(test)]
+mod sensitivity_tests {
+    use super::*;
+
+    #[test]
+    fn output_depends_on_input() {
+        let mut rng = Rng::seed_from_u64(301);
+        let lstm = Lstm::new(2, 8, 2, 1, &mut rng);
+        let st = lstm.zero_state();
+        let (a, _) = lstm.predict(&Tensor::from_vec(vec![0.1, 0.0], &[1, 2]), &st);
+        let (b, _) = lstm.predict(&Tensor::from_vec(vec![0.9, 0.5], &[1, 2]), &st);
+        assert_ne!(a, b, "LSTM must react to its input");
+    }
+
+    #[test]
+    fn output_depends_on_state_history() {
+        // Same input, different histories → different outputs (memory).
+        let mut rng = Rng::seed_from_u64(302);
+        let lstm = Lstm::new(1, 8, 1, 1, &mut rng);
+        let x = Tensor::from_vec(vec![0.3], &[1, 1]);
+        let fresh = lstm.zero_state();
+        let (_, warmed) = lstm.predict(&Tensor::from_vec(vec![5.0], &[1, 1]), &fresh);
+        let (from_fresh, _) = lstm.predict(&x, &fresh);
+        let (from_warmed, _) = lstm.predict(&x, &warmed);
+        assert_ne!(from_fresh, from_warmed);
+    }
+
+    #[test]
+    fn num_params_matches_visit() {
+        let mut rng = Rng::seed_from_u64(303);
+        let mut lstm = Lstm::new(3, 16, 2, 1, &mut rng);
+        let mut visited = 0;
+        lstm.visit_params_mut(&mut |t| visited += t.numel());
+        assert_eq!(visited, lstm.num_params());
+        // 2×LSTM + head = 5 weight/bias pairs... (per-cell W/b + head W/b)
+        let mut count = 0;
+        lstm.visit_params_mut(&mut |_| count += 1);
+        assert_eq!(count, 2 * 2 + 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Classification metrics: error rate (the paper's y-axis everywhere).
+
+use crate::network::Network;
+use lcasgd_autograd::Graph;
+use lcasgd_tensor::Tensor;
+
+/// Fraction of rows whose argmax logit disagrees with the label.
+pub fn error_rate(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.dims()[0], labels.len(), "batch/label mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let wrong = preds.iter().zip(labels).filter(|(p, l)| p != l).count();
+    wrong as f32 / labels.len() as f32
+}
+
+/// Evaluates a network on `(inputs, labels)` in inference mode, in
+/// mini-batches, returning `(error rate, mean loss)`.
+pub fn evaluate(net: &Network, inputs: &Tensor, labels: &[usize], batch: usize) -> (f32, f32) {
+    let n = labels.len();
+    assert_eq!(inputs.dims()[0], n);
+    let mut wrong = 0usize;
+    let mut loss_sum = 0.0f64;
+    let mut batches = 0usize;
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch).min(n);
+        let rows: Vec<usize> = (start..end).collect();
+        let xb = inputs.gather_rows(&rows);
+        let yb = &labels[start..end];
+        let mut g = Graph::new();
+        let (logits, _) = net.forward(&mut g, xb, false);
+        let loss = g.softmax_cross_entropy(logits, yb);
+        loss_sum += g.value(loss).item() as f64;
+        batches += 1;
+        let preds = g.value(logits).argmax_rows();
+        wrong += preds.iter().zip(yb).filter(|(p, l)| p != l).count();
+        start = end;
+    }
+    (wrong as f32 / n as f32, (loss_sum / batches.max(1) as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::mlp;
+    use lcasgd_tensor::Rng;
+
+    #[test]
+    fn error_rate_counts_mismatches() {
+        let logits = Tensor::from_vec(vec![1., 0., 0., 1., 1., 0.], &[3, 2]);
+        // preds: 0, 1, 0
+        assert!((error_rate(&logits, &[0, 1, 1]) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(error_rate(&logits, &[0, 1, 0]), 0.0);
+        assert_eq!(error_rate(&logits, &[1, 0, 1]), 1.0);
+    }
+
+    #[test]
+    fn evaluate_runs_batched() {
+        let mut rng = Rng::seed_from_u64(141);
+        let net = mlp(&[3, 8, 2], true, &mut rng);
+        let x = Tensor::randn(&[10, 3], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let (err_small_batch, loss1) = evaluate(&net, &x, &labels, 3);
+        let (err_full_batch, _) = evaluate(&net, &x, &labels, 10);
+        assert!((err_small_batch - err_full_batch).abs() < 1e-6, "batching must not change error");
+        assert!(loss1.is_finite());
+    }
+}

@@ -1,0 +1,179 @@
+//! Timing models: worker compute speed, link latency, cluster presets.
+
+use lcasgd_tensor::Rng;
+
+/// Per-worker compute-time model. A phase with nominal cost `c` takes
+/// `c · speed · LogNormal(0, jitter_sigma)` seconds, multiplied by
+/// `straggle_factor` when a straggler episode fires (probability
+/// `straggle_prob` per phase). This mirrors the paper's observation that
+/// real-cluster delay is "high and volatile".
+#[derive(Clone, Debug)]
+pub struct WorkerModel {
+    /// Relative slowness (1.0 = nominal hardware).
+    pub speed: f64,
+    /// Lognormal jitter sigma (0 = deterministic).
+    pub jitter_sigma: f64,
+    /// Probability a phase straggles.
+    pub straggle_prob: f64,
+    /// Slowdown multiplier during a straggler episode.
+    pub straggle_factor: f64,
+}
+
+impl Default for WorkerModel {
+    fn default() -> Self {
+        WorkerModel { speed: 1.0, jitter_sigma: 0.0, straggle_prob: 0.0, straggle_factor: 1.0 }
+    }
+}
+
+impl WorkerModel {
+    /// Samples the duration of a phase with nominal cost `nominal`.
+    pub fn sample_time(&self, nominal: f64, rng: &mut Rng) -> f64 {
+        assert!(nominal >= 0.0);
+        let jitter = if self.jitter_sigma > 0.0 {
+            // Mean-1 lognormal: exp(N(-σ²/2, σ)).
+            rng.lognormal(-self.jitter_sigma * self.jitter_sigma / 2.0, self.jitter_sigma)
+        } else {
+            1.0
+        };
+        let straggle =
+            if self.straggle_prob > 0.0 && rng.chance(self.straggle_prob) { self.straggle_factor } else { 1.0 };
+        nominal * self.speed * jitter * straggle
+    }
+}
+
+/// Per-link latency model: `base + Exp(1/jitter_mean)` seconds each way.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    pub base_latency: f64,
+    /// Mean of the exponential jitter component (0 = deterministic).
+    pub jitter_mean: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel { base_latency: 1e-3, jitter_mean: 0.0 }
+    }
+}
+
+impl LinkModel {
+    /// Samples a one-way message latency.
+    pub fn sample_latency(&self, rng: &mut Rng) -> f64 {
+        let jitter = if self.jitter_mean > 0.0 { rng.exponential(1.0 / self.jitter_mean) } else { 0.0 };
+        self.base_latency + jitter
+    }
+}
+
+/// A full cluster description: M workers plus the link fabric.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    pub workers: Vec<WorkerModel>,
+    pub link: LinkModel,
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// Homogeneous, jitter-free cluster (useful for deterministic tests).
+    pub fn uniform(m: usize) -> Self {
+        ClusterSpec { workers: vec![WorkerModel::default(); m], link: LinkModel::default(), seed: 0 }
+    }
+
+    /// The default experimental cluster: mild speed heterogeneity (±20%
+    /// spread), 25% lognormal jitter, 1 ms base latency with 0.5 ms
+    /// exponential jitter — the regime where ASGD staleness is volatile,
+    /// matching the paper's Figure 8 (order "generally regular" but with
+    /// variance).
+    pub fn heterogeneous(m: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_C1C5);
+        let workers = (0..m)
+            .map(|_| WorkerModel {
+                speed: rng.uniform_range(0.8, 1.2),
+                jitter_sigma: 0.25,
+                straggle_prob: 0.0,
+                straggle_factor: 1.0,
+            })
+            .collect();
+        ClusterSpec {
+            workers,
+            link: LinkModel { base_latency: 1e-3, jitter_mean: 5e-4 },
+            seed,
+        }
+    }
+
+    /// Like [`heterogeneous`](Self::heterogeneous) but with straggler
+    /// episodes: each phase has a 2% chance of running 8× slower (failure
+    /// injection for the robustness experiments).
+    pub fn with_stragglers(m: usize, seed: u64) -> Self {
+        let mut spec = Self::heterogeneous(m, seed);
+        for w in &mut spec.workers {
+            w.straggle_prob = 0.02;
+            w.straggle_factor = 8.0;
+        }
+        spec
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_model_is_exact() {
+        let m = WorkerModel::default();
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(m.sample_time(2.5, &mut rng), 2.5);
+    }
+
+    #[test]
+    fn speed_scales_linearly() {
+        let m = WorkerModel { speed: 2.0, ..Default::default() };
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(m.sample_time(3.0, &mut rng), 6.0);
+    }
+
+    #[test]
+    fn jitter_preserves_mean_roughly() {
+        let m = WorkerModel { jitter_sigma: 0.3, ..Default::default() };
+        let mut rng = Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| m.sample_time(1.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn stragglers_fatten_the_tail() {
+        let base = WorkerModel { jitter_sigma: 0.1, ..Default::default() };
+        let strag = WorkerModel { straggle_prob: 0.1, straggle_factor: 10.0, ..base.clone() };
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 5_000;
+        let max_base = (0..n).map(|_| base.sample_time(1.0, &mut rng)).fold(0.0, f64::max);
+        let max_strag = (0..n).map(|_| strag.sample_time(1.0, &mut rng)).fold(0.0, f64::max);
+        assert!(max_strag > max_base * 3.0, "{max_strag} vs {max_base}");
+    }
+
+    #[test]
+    fn link_latency_at_least_base() {
+        let l = LinkModel { base_latency: 0.01, jitter_mean: 0.005 };
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(l.sample_latency(&mut rng) >= 0.01);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_spec_is_deterministic_and_varied() {
+        let a = ClusterSpec::heterogeneous(8, 7);
+        let b = ClusterSpec::heterogeneous(8, 7);
+        for (x, y) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(x.speed, y.speed);
+        }
+        let speeds: Vec<f64> = a.workers.iter().map(|w| w.speed).collect();
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.05, "expected heterogeneity, got {speeds:?}");
+    }
+}

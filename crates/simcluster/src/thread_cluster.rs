@@ -1,0 +1,173 @@
+//! Real-thread parameter-server scaffold.
+//!
+//! The discrete-event simulator gives reproducible staleness; this backend
+//! gives *organic* staleness from genuine OS-level asynchrony. Both speak
+//! the same request/response protocol, so lcasgd-core's algorithms can be
+//! validated on either.
+//!
+//! Topology: one server loop on the caller's thread, `m` worker threads.
+//! Workers send `Req`s through an MPSC channel; each request optionally
+//! carries a oneshot-style reply channel. The server applies a closure to
+//! every request in arrival order — mirroring Algorithm 2's
+//! `repeat … until forever` loop — until all workers have hung up.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread;
+
+/// A worker's handle to the server.
+pub struct WorkerHandle<Req, Resp> {
+    worker: usize,
+    tx: Sender<Envelope<Req, Resp>>,
+}
+
+struct Envelope<Req, Resp> {
+    worker: usize,
+    req: Req,
+    reply: Option<Sender<Resp>>,
+}
+
+impl<Req: Send, Resp: Send> WorkerHandle<Req, Resp> {
+    /// Sends a request and blocks for the server's response (pull weights,
+    /// push state and await ℓ_delay, …).
+    pub fn request(&self, req: Req) -> Resp {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Envelope { worker: self.worker, req, reply: Some(rtx) })
+            .expect("server hung up");
+        rrx.recv().expect("server dropped reply")
+    }
+
+    /// Fire-and-forget send (push gradients).
+    pub fn send(&self, req: Req) {
+        self.tx
+            .send(Envelope { worker: self.worker, req, reply: None })
+            .expect("server hung up");
+    }
+
+    /// This worker's rank.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+}
+
+/// Runs a parameter-server round: spawns `m` worker threads executing
+/// `worker_fn`, processes their messages with `server_fn` in arrival
+/// order, and returns when every worker has finished.
+///
+/// `server_fn(worker, request)` returns `Some(resp)` for requests that
+/// expect a reply and `None` otherwise; replying `None` to a blocking
+/// request is a protocol bug and panics.
+pub struct ThreadCluster;
+
+impl ThreadCluster {
+    pub fn run<Req, Resp, S, W>(num_workers: usize, mut server_fn: S, worker_fn: W)
+    where
+        Req: Send + 'static,
+        Resp: Send + 'static,
+        S: FnMut(usize, Req) -> Option<Resp>,
+        W: Fn(WorkerHandle<Req, Resp>) + Send + Sync,
+    {
+        let (tx, rx): (Sender<Envelope<Req, Resp>>, Receiver<Envelope<Req, Resp>>) = unbounded();
+        thread::scope(|scope| {
+            for w in 0..num_workers {
+                let handle = WorkerHandle { worker: w, tx: tx.clone() };
+                let worker_fn = &worker_fn;
+                scope.spawn(move || worker_fn(handle));
+            }
+            // Drop the original sender so the loop ends when workers do.
+            drop(tx);
+            while let Ok(env) = rx.recv() {
+                let resp = server_fn(env.worker, env.req);
+                match (env.reply, resp) {
+                    (Some(reply), Some(r)) => {
+                        // A worker may have panicked/exited; ignore closed replies.
+                        let _ = reply.send(r);
+                    }
+                    (None, _) => {}
+                    (Some(_), None) => panic!("server returned no reply to a blocking request"),
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn counter_server_sums_worker_contributions() {
+        let mut total = 0u64;
+        ThreadCluster::run(
+            4,
+            |_w, req: u64| -> Option<()> {
+                total += req;
+                None
+            },
+            |h| {
+                for i in 1..=10u64 {
+                    h.send(i);
+                }
+            },
+        );
+        assert_eq!(total, 4 * 55);
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let counter = AtomicUsize::new(0);
+        ThreadCluster::run(
+            3,
+            |w, _req: ()| Some(w * 100),
+            |h| {
+                let resp = h.request(());
+                assert_eq!(resp, h.worker() * 100);
+                counter.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn server_processes_sequentially() {
+        // The server closure is FnMut with exclusive state: no locking
+        // needed, by construction. Interleave blocking+nonblocking traffic.
+        let mut log: Vec<(usize, i32)> = Vec::new();
+        ThreadCluster::run(
+            2,
+            |w, req: i32| {
+                log.push((w, req));
+                if req >= 0 {
+                    Some(req * 2)
+                } else {
+                    None
+                }
+            },
+            |h| {
+                for i in 0..5 {
+                    let r = h.request(i);
+                    assert_eq!(r, i * 2);
+                    h.send(-1);
+                }
+            },
+        );
+        assert_eq!(log.len(), 20);
+    }
+
+    #[test]
+    fn worker_ranks_are_distinct() {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        ThreadCluster::run(
+            8,
+            |_w, _req: ()| Some(()),
+            |h| {
+                seen.lock().push(h.worker());
+                let _ = h.request(());
+            },
+        );
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight initialization schemes.
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Standard normal entries scaled by `std`.
+    pub fn randn(dims: &[usize], std: f32, rng: &mut Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| (rng.normal() as f32) * std).collect(), dims)
+    }
+
+    /// Uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|_| rng.uniform_range(lo as f64, hi as f64) as f32).collect(),
+            dims,
+        )
+    }
+}
+
+/// Kaiming/He normal initialization for a layer with the given fan-in —
+/// the scheme ResNet uses for conv/linear weights feeding ReLUs.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt() as f32;
+    Tensor::randn(dims, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization — used for the LSTM predictors,
+/// whose gates feed sigmoids/tanh.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    Tensor::rand_uniform(dims, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_std_is_calibrated() {
+        let mut rng = Rng::seed_from_u64(21);
+        let t = he_normal(&[200, 200], 200, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.numel() as f32;
+        let expect = 2.0 / 200.0;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var - expect).abs() < 0.2 * expect, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn xavier_uniform_bound() {
+        let mut rng = Rng::seed_from_u64(22);
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(t.max_value() <= bound && t.min_value() >= -bound);
+        // Should actually fill a good part of the range.
+        assert!(t.max_value() > bound * 0.8);
+    }
+
+    #[test]
+    fn randn_deterministic_with_seed() {
+        let mut a = Rng::seed_from_u64(5);
+        let mut b = Rng::seed_from_u64(5);
+        assert_eq!(Tensor::randn(&[10], 1.0, &mut a), Tensor::randn(&[10], 1.0, &mut b));
+    }
+}

@@ -1,0 +1,271 @@
+//! Convolution support: im2col / col2im lowering.
+//!
+//! `conv2d` is lowered to a single large matmul per batch:
+//! `im2col(input) [n·oh·ow, cin·kh·kw] × weightᵀ [cin·kh·kw, cout]`, which
+//! reuses the parallel matmul kernel instead of a bespoke conv loop. The
+//! backward passes (in `lcasgd-autograd`) use `col2im` for the input
+//! gradient and the transposed products for the weight gradient.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Static description of a 2-D convolution's geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of `h × w`. Panics when the kernel
+    /// does not fit (misconfigured network).
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
+        let ow = (w + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of columns of the im2col matrix (`cin·kh·kw`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfolds `input` (NCHW) into patch rows: output is
+/// `[n·oh·ow, cin·k·k]`, where row `(img, oy, ox)` holds the receptive
+/// field of output pixel `(oy, ox)` of image `img`, zero-padded.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col expects NCHW, got {:?}", input.shape());
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, spec.in_channels, "im2col channel mismatch");
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let plen = spec.patch_len();
+    let mut out = Tensor::zeros(&[n * oh * ow, plen]);
+    let src = input.data();
+    let img_stride = c * h * w;
+    let rows_per_img = oh * ow;
+
+    out.data_mut()
+        .par_chunks_mut(rows_per_img * plen)
+        .enumerate()
+        .for_each(|(img, img_rows)| {
+            let base = img * img_stride;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &mut img_rows[(oy * ow + ox) * plen..(oy * ow + ox + 1) * plen];
+                    let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                    let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                    for ch in 0..c {
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            let dst = &mut row[(ch * k + ky) * k..(ch * k + ky + 1) * k];
+                            if iy < 0 || iy >= h as isize {
+                                dst.fill(0.0);
+                                continue;
+                            }
+                            let src_row = base + ch * h * w + iy as usize * w;
+                            for (kx, d) in dst.iter_mut().enumerate() {
+                                let ix = ix0 + kx as isize;
+                                *d = if ix < 0 || ix >= w as isize {
+                                    0.0
+                                } else {
+                                    src[src_row + ix as usize]
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Folds patch-row gradients back onto the input: the adjoint of
+/// [`im2col`]. `cols` is `[n·oh·ow, cin·k·k]`; the result is NCHW with the
+/// given spatial size. Overlapping patches accumulate.
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    let plen = spec.patch_len();
+    assert_eq!(cols.dims(), &[n * oh * ow, plen], "col2im shape");
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let img_stride = c * h * w;
+    let rows_per_img = oh * ow;
+    let src = cols.data();
+
+    out.data_mut()
+        .par_chunks_mut(img_stride)
+        .enumerate()
+        .for_each(|(img, dst)| {
+            let img_rows = &src[img * rows_per_img * plen..(img + 1) * rows_per_img * plen];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &img_rows[(oy * ow + ox) * plen..(oy * ow + ox + 1) * plen];
+                    let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                    let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                    for ch in 0..c {
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst_row = ch * h * w + iy as usize * w;
+                            let srow = &row[(ch * k + ky) * k..(ch * k + ky + 1) * k];
+                            for (kx, &v) in srow.iter().enumerate() {
+                                let ix = ix0 + kx as isize;
+                                if ix >= 0 && ix < w as isize {
+                                    dst[dst_row + ix as usize] += v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Convolution forward pass via im2col. `input` is NCHW, `weight` is
+/// `[cout, cin, k, k]`. Returns `[n, cout, oh, ow]`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let dims = input.dims();
+    let (n, _, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(
+        weight.dims(),
+        &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+        "conv2d weight shape"
+    );
+    let (oh, ow) = spec.out_hw(h, w);
+    let cols = im2col(input, spec); // [n·oh·ow, plen]
+    let wmat = weight.reshaped(&[spec.out_channels, spec.patch_len()]);
+    // [n·oh·ow, plen] × [cout, plen]ᵀ -> [n·oh·ow, cout]
+    let prod = cols.matmul_nt(&wmat);
+    // Reorder [n·oh·ow, cout] -> [n, cout, oh, ow].
+    let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+    let pd = prod.data();
+    let hw = oh * ow;
+    out.data_mut()
+        .chunks_mut(spec.out_channels * hw)
+        .enumerate()
+        .for_each(|(img, dst)| {
+            for p in 0..hw {
+                let row = &pd[(img * hw + p) * spec.out_channels..(img * hw + p + 1) * spec.out_channels];
+                for (co, &v) in row.iter().enumerate() {
+                    dst[co * hw + p] = v;
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, Rng};
+
+    fn random(dims: &[usize], rng: &mut Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.normal() as f32).collect(), dims)
+    }
+
+    /// Direct convolution loop used as ground truth.
+    fn naive_conv(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let (oh, ow) = spec.out_hw(h, w);
+        let k = spec.kernel;
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        for img in 0..n {
+            for co in 0..spec.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        acc += input.at(&[img, ci, iy as usize, ix as usize])
+                                            * weight.at(&[co, ci, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(&[img, co, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_hw_formula() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!(spec.out_hw(8, 8), (8, 8)); // same-padding 3x3
+        let spec2 = Conv2dSpec { kernel: 3, stride: 2, padding: 1, ..spec };
+        assert_eq!(spec2.out_hw(8, 8), (4, 4));
+        let spec3 = Conv2dSpec { kernel: 1, stride: 1, padding: 0, ..spec };
+        assert_eq!(spec3.out_hw(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn conv_matches_naive_3x3_pad1() {
+        let mut rng = Rng::seed_from_u64(11);
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 4, kernel: 3, stride: 1, padding: 1 };
+        let x = random(&[2, 3, 6, 6], &mut rng);
+        let w = random(&[4, 3, 3, 3], &mut rng);
+        assert_close(&conv2d(&x, &w, &spec), &naive_conv(&x, &w, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_strided() {
+        let mut rng = Rng::seed_from_u64(12);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1 };
+        let x = random(&[1, 2, 7, 7], &mut rng);
+        let w = random(&[3, 2, 3, 3], &mut rng);
+        assert_close(&conv2d(&x, &w, &spec), &naive_conv(&x, &w, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_1x1() {
+        let mut rng = Rng::seed_from_u64(13);
+        let spec = Conv2dSpec { in_channels: 4, out_channels: 2, kernel: 1, stride: 1, padding: 0 };
+        let x = random(&[2, 4, 5, 5], &mut rng);
+        let w = random(&[2, 4, 1, 1], &mut rng);
+        assert_close(&conv2d(&x, &w, &spec), &naive_conv(&x, &w, &spec), 1e-4);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // checked with random tensors.
+        let mut rng = Rng::seed_from_u64(14);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        let x = random(&[2, 2, 5, 5], &mut rng);
+        let cols = im2col(&x, &spec);
+        let y = random(cols.dims(), &mut rng);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &spec, 2, 5, 5);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_identity_kernel1() {
+        // kernel 1, stride 1, no padding: im2col rows are just the pixels
+        // in channel-major order.
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let cols = im2col(&x, &spec);
+        assert_eq!(cols.dims(), &[4, 2]);
+        // pixel (0,0): channels (0, 4); pixel (0,1): (1, 5)...
+        assert_eq!(cols.data(), &[0., 4., 1., 5., 2., 6., 3., 7.]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Matrix multiplication: rayon-parallel over output rows with a cache-
+//! blocked inner kernel.
+//!
+//! The kernel iterates `i, k, j` (accumulating into the output row) so the
+//! innermost loop is a unit-stride fused multiply-add over `b`'s row — the
+//! auto-vectorizer turns this into packed SIMD. Parallelism splits the
+//! output rows across rayon workers; each worker writes disjoint rows so no
+//! synchronization is needed.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows-of-output threshold before dispatching to rayon. A single LSTM
+/// predictor step multiplies `[1, h] × [h, 4h]`; those must stay serial.
+const PAR_ROWS: usize = 8;
+/// Minimum total FLOPs before parallelizing.
+const PAR_FLOPS: usize = 1 << 18;
+
+fn matmul_rows(out_rows: &mut [f32], a_rows: &[f32], b: &[f32], k: usize, n: usize) {
+    // out[i, :] += a[i, k] * b[k, :]
+    for (out_row, a_row) in out_rows.chunks_exact_mut(n).zip(a_rows.chunks_exact(k)) {
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..kk * n + n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// `[m, k] × [k, n] -> [m, n]` matrix product.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs rank {}", self.shape().rank());
+        assert_eq!(other.shape().rank(), 2, "matmul rhs rank {}", other.shape().rank());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims: [{m}, {k}] × [{k2}, {n}]");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let flops = m * n * k;
+        if m >= PAR_ROWS && flops >= PAR_FLOPS {
+            // Split output rows into contiguous bands, one rayon task each.
+            let band = (m / rayon::current_num_threads().max(1)).max(1);
+            out.data_mut()
+                .par_chunks_mut(band * n)
+                .zip(a.par_chunks(band * k))
+                .for_each(|(out_band, a_band)| matmul_rows(out_band, a_band, b, k, n));
+        } else {
+            matmul_rows(out.data_mut(), a, b, k, n);
+        }
+        out
+    }
+
+    /// `self.transpose() × other` without materializing the transpose:
+    /// `[k, m]ᵀ × [k, n] -> [m, n]`. Used by linear-layer backward passes.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2);
+        assert_eq!(other.shape().rank(), 2);
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims");
+        let a = self.data();
+        let b = other.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        // out[i, j] = sum_k a[k, i] * b[k, j]; accumulate k-major so both
+        // reads stream sequentially.
+        let od = out.data_mut();
+        for kk in 0..k {
+            let a_row = &a[kk * m..kk * m + m];
+            let b_row = &b[kk * n..kk * n + n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let o = &mut od[i * n..i * n + n];
+                for (ov, &bv) in o.iter_mut().zip(b_row) {
+                    *ov += aki * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × other.transpose()` without materializing the transpose:
+    /// `[m, k] × [n, k]ᵀ -> [m, n]`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2);
+        assert_eq!(other.shape().rank(), 2);
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims");
+        let a = self.data();
+        let b = other.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        let compute_row = |i: usize, out_row: &mut [f32]| {
+            let a_row = &a[i * k..i * k + k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..j * k + k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        };
+        if m >= PAR_ROWS && m * n * k >= PAR_FLOPS {
+            out.data_mut()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| compute_row(i, row));
+        } else {
+            for (i, row) in out.data_mut().chunks_mut(n).enumerate() {
+                compute_row(i, row);
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `[m, k] × [k] -> [m]`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2);
+        assert_eq!(v.shape().rank(), 1);
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(k, v.dims()[0], "matvec inner dims");
+        let a = self.data();
+        let x = v.data();
+        let mut out = Tensor::zeros(&[m]);
+        for (i, o) in out.data_mut().iter_mut().enumerate() {
+            let row = &a[i * k..i * k + k];
+            *o = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Dot product of two rank-1 tensors (f64 accumulation).
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "dot shape mismatch");
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum::<f64>() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, Rng};
+
+    fn random(dims: &[usize], rng: &mut Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.normal() as f32).collect(), dims)
+    }
+
+    /// Straightforward triple loop used as the ground truth.
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = Rng::seed_from_u64(1);
+        let a = random(&[3, 5], &mut rng);
+        let b = random(&[5, 4], &mut rng);
+        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_parallel_path() {
+        // Large enough to trigger the rayon band split.
+        let mut rng = Rng::seed_from_u64(2);
+        let a = random(&[96, 80], &mut rng);
+        let b = random(&[80, 64], &mut rng);
+        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = random(&[6, 6], &mut rng);
+        assert_close(&a.matmul(&Tensor::eye(6)), &a, 1e-5);
+        assert_close(&Tensor::eye(6).matmul(&a), &a, 1e-5);
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(4);
+        let a = random(&[7, 5], &mut rng);
+        let b = random(&[7, 6], &mut rng);
+        assert_close(&a.matmul_tn(&b), &a.transpose2d().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(5);
+        let a = random(&[7, 5], &mut rng);
+        let b = random(&[6, 5], &mut rng);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose2d()), 1e-4);
+    }
+
+    #[test]
+    fn matvec_equals_matmul_column() {
+        let mut rng = Rng::seed_from_u64(6);
+        let a = random(&[4, 9], &mut rng);
+        let v = random(&[9], &mut rng);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshaped(&[9, 1]));
+        assert_close(&mv, &mm.reshape(&[4]), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn inner_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn dot_symmetry_and_norm() {
+        let mut rng = Rng::seed_from_u64(7);
+        let a = random(&[33], &mut rng);
+        let b = random(&[33], &mut rng);
+        assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-5);
+        assert!((a.dot(&a).sqrt() - a.norm()).abs() < 1e-4);
+    }
+}

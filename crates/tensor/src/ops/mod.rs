@@ -1,0 +1,15 @@
+//! Tensor operations, grouped by kind.
+//!
+//! Every op validates shapes eagerly (panicking with a descriptive message)
+//! so that shape bugs surface at the op that caused them, not three layers
+//! downstream in a backward pass.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod reduce;
+
+/// Minimum element count before an elementwise op dispatches to rayon.
+/// Below this, the rayon fork/join overhead dwarfs the arithmetic (the LSTM
+/// predictors operate on vectors of 64–128 floats).
+pub const PAR_THRESHOLD: usize = 16 * 1024;

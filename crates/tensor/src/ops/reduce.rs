@@ -1,0 +1,183 @@
+//! Reductions: sums, means, argmax, per-row and per-channel statistics.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (f64 accumulation to bound drift on big tensors).
+    pub fn sum(&self) -> f32 {
+        self.data().iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        assert!(self.numel() > 0, "mean of empty tensor");
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    pub fn max_value(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min_value(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums a `[b, n]` matrix over the batch dimension to `[n]`.
+    /// This is the reverse of [`add_rows`](Tensor::add_rows), used by bias
+    /// gradients.
+    pub fn sum_rows(&self) -> Tensor {
+        assert!(self.shape().rank() >= 1, "sum_rows on scalar");
+        let b = self.dims()[0];
+        let row = self.numel() / b.max(1);
+        let mut out = vec![0.0f32; row];
+        for chunk in self.data().chunks_exact(row) {
+            for (o, &x) in out.iter_mut().zip(chunk) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, &self.dims()[1..])
+    }
+
+    /// Per-row argmax of a `[b, n]` matrix: returns the index of the max
+    /// element of each row. Used to turn logits into predicted classes.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape().rank(), 2, "argmax_rows expects rank 2");
+        let n = self.dims()[1];
+        self.data()
+            .chunks_exact(n)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Per-channel mean of an NCHW activation: `[n, c, h, w] -> [c]`.
+    /// The statistic BatchNorm normalizes with.
+    pub fn channel_mean(&self) -> Tensor {
+        let (n, c, h, w) = self.nchw();
+        let count = (n * h * w).max(1) as f64;
+        let hw = h * w;
+        let mut out = vec![0.0f64; c];
+        for img in self.data().chunks_exact(c * hw) {
+            for (ch, o) in out.iter_mut().enumerate() {
+                *o += img[ch * hw..(ch + 1) * hw].iter().map(|&x| x as f64).sum::<f64>();
+            }
+        }
+        Tensor::from_vec(out.into_iter().map(|x| (x / count) as f32).collect(), &[c])
+    }
+
+    /// Per-channel (biased) variance of an NCHW activation given its mean.
+    pub fn channel_var(&self, mean: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.nchw();
+        assert_eq!(mean.dims(), &[c], "channel_var mean shape");
+        let count = (n * h * w).max(1) as f64;
+        let hw = h * w;
+        let md = mean.data();
+        let mut out = vec![0.0f64; c];
+        for img in self.data().chunks_exact(c * hw) {
+            for (ch, o) in out.iter_mut().enumerate() {
+                let m = md[ch] as f64;
+                *o += img[ch * hw..(ch + 1) * hw]
+                    .iter()
+                    .map(|&x| {
+                        let d = x as f64 - m;
+                        d * d
+                    })
+                    .sum::<f64>();
+            }
+        }
+        Tensor::from_vec(out.into_iter().map(|x| (x / count) as f32).collect(), &[c])
+    }
+
+    /// Per-column mean of a `[b, n]` matrix: `-> [n]`. BatchNorm1d statistic.
+    pub fn column_mean(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "column_mean expects rank 2");
+        let b = self.dims()[0].max(1);
+        self.sum_rows().scale(1.0 / b as f32)
+    }
+
+    /// Per-column (biased) variance of a `[b, n]` matrix given its mean.
+    pub fn column_var(&self, mean: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2);
+        let (b, n) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(mean.dims(), &[n]);
+        let md = mean.data();
+        let mut out = vec![0.0f64; n];
+        for row in self.data().chunks_exact(n) {
+            for ((o, &x), &m) in out.iter_mut().zip(row).zip(md) {
+                let d = x as f64 - m as f64;
+                *o += d * d;
+            }
+        }
+        Tensor::from_vec(out.into_iter().map(|x| (x / b.max(1) as f64) as f32).collect(), &[n])
+    }
+
+    fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.shape().rank(), 4, "expected NCHW, got {:?}", self.shape());
+        (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn sum_mean_minmax() {
+        let t = Tensor::from_vec(vec![1., -2., 3., 6.], &[4]);
+        assert_eq!(t.sum(), 8.0);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.max_value(), 6.0);
+        assert_eq!(t.min_value(), -2.0);
+    }
+
+    #[test]
+    fn sum_rows_is_bias_grad_shape() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let s = t.sum_rows();
+        assert_eq!(s.dims(), &[3]);
+        assert_eq!(s.data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn channel_stats_match_manual() {
+        // 2 images, 2 channels, 1x2 spatial.
+        let t = Tensor::from_vec(vec![1., 3., 10., 10., 5., 7., 20., 20.], &[2, 2, 1, 2]);
+        let m = t.channel_mean();
+        assert_close(&m, &Tensor::from_vec(vec![4., 15.], &[2]), 1e-6);
+        let v = t.channel_var(&m);
+        // channel 0 values: 1,3,5,7 -> var 5; channel 1: 10,10,20,20 -> var 25
+        assert_close(&v, &Tensor::from_vec(vec![5., 25.], &[2]), 1e-6);
+    }
+
+    #[test]
+    fn column_stats_match_manual() {
+        let t = Tensor::from_vec(vec![1., 10., 3., 20.], &[2, 2]);
+        let m = t.column_mean();
+        assert_close(&m, &Tensor::from_vec(vec![2., 15.], &[2]), 1e-6);
+        let v = t.column_var(&m);
+        assert_close(&v, &Tensor::from_vec(vec![1., 25.], &[2]), 1e-6);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[3, 2]);
+        let shifted = t.add_scalar(100.0);
+        let v1 = t.column_var(&t.column_mean());
+        let v2 = shifted.column_var(&shifted.column_mean());
+        assert_close(&v1, &v2, 1e-3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Library extensions in one tour: gradient compression on the push path
+//! (QSGD/ECQ-style, with error feedback) and checkpoint/restore.
+//!
+//! ```sh
+//! cargo run --release --example compression_and_checkpoints
+//! ```
+
+use lc_asgd::core::comm::Compression;
+use lc_asgd::nn::checkpoint::Checkpoint;
+use lc_asgd::prelude::*;
+
+fn main() {
+    let (train, test) = SyntheticImageSpec::cifar10_like(8, 8, 24, 10).generate();
+    let resnet = lc_asgd::nn::resnet::ResNetConfig::tiny(3, 10);
+    let build = |rng: &mut Rng| resnet.build(rng);
+
+    println!("{:<22} {:>10} {:>12}", "push compression", "err %", "wire ratio");
+    for compression in [
+        Compression::None,
+        Compression::Uniform { bits: 8 },
+        Compression::Uniform { bits: 4 },
+        Compression::TopK { k_frac: 0.1 },
+    ] {
+        let mut cfg = ExperimentConfig::new(Algorithm::LcAsgd, 8, Scale::Tiny, 77);
+        cfg.epochs = 10;
+        cfg.compression = compression;
+        let r = run_experiment(&cfg, &build, &train, &test);
+        println!(
+            "{:<22} {:>10.2} {:>11.1}x",
+            format!("{compression:?}"),
+            r.final_test_error() * 100.0,
+            compression.ratio(20_000)
+        );
+    }
+
+    // Checkpoint a trained model and restore it into a fresh instance.
+    let mut rng = Rng::seed_from_u64(77);
+    let net = resnet.build(&mut rng);
+    let path = std::env::temp_dir().join("lcasgd_example.ckpt");
+    Checkpoint::capture(&net).save(&path).expect("save checkpoint");
+    let mut clone = resnet.build(&mut Rng::seed_from_u64(1234));
+    Checkpoint::load(&path).expect("load checkpoint").restore(&mut clone);
+    assert_eq!(net.flat_params(), clone.flat_params());
+    println!("\ncheckpoint round-trip through {} OK ({} params)", path.display(), net.num_params());
+    std::fs::remove_file(&path).ok();
+}

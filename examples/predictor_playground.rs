@@ -1,0 +1,50 @@
+//! The two LC-ASGD predictors in isolation: feed the loss predictor a
+//! synthetic loss curve and the step predictor a synthetic cluster trace,
+//! and print forecast vs. actual.
+//!
+//! ```sh
+//! cargo run --release --example predictor_playground
+//! ```
+
+use lc_asgd::core::predictor::{LossPredictor, StepPredictor};
+use lc_asgd::prelude::*;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(3);
+
+    // --- Loss predictor on a decaying + noisy loss curve -------------
+    let mut lp = LossPredictor::new(&mut rng);
+    let mut noise_rng = Rng::seed_from_u64(4);
+    println!("loss predictor (2×LSTM-64):");
+    println!("{:>6} {:>10} {:>10} {:>10}", "iter", "actual", "forecast", "abs err");
+    let mut mae = 0.0f32;
+    let n = 600;
+    for i in 0..n {
+        let actual = 2.3 * (-(i as f32) / 250.0).exp() + 0.4 + 0.02 * noise_rng.normal() as f32;
+        let forecast = lp.pending_forecast().unwrap_or(actual);
+        mae += (forecast - actual).abs();
+        if i % 75 == 0 {
+            println!("{i:>6} {actual:>10.4} {forecast:>10.4} {:>10.4}", (forecast - actual).abs());
+        }
+        lp.observe_and_predict(actual, 4);
+    }
+    println!("mean abs one-step error: {:.4}  (total predictor CPU: {:.1} ms)\n", mae / n as f32, lp.elapsed_ms);
+
+    // --- Step predictor on a 2-speed cluster --------------------------
+    let m = 8;
+    let mut sp = StepPredictor::new(m, &mut rng);
+    println!("step predictor (2×LSTM-128), worker 0 slow / worker 1 fast:");
+    println!("{:>6} {:>18} {:>18}", "round", "slow pred (k≈12)", "fast pred (k≈3)");
+    let mut jitter = Rng::seed_from_u64(5);
+    for round in 0..240 {
+        // Worker 0 is 4× slower → sees ~12 other updates; worker 1 ~3.
+        let slow_k = 12.0 + jitter.normal() as f32;
+        let fast_k = 3.0 + 0.5 * jitter.normal() as f32;
+        let p0 = sp.observe_and_predict(0, slow_k.max(0.0), 0.002, 0.12);
+        let p1 = sp.observe_and_predict(1, fast_k.max(0.0), 0.002, 0.03);
+        if round % 30 == 29 {
+            println!("{round:>6} {p0:>18.2} {p1:>18.2}");
+        }
+    }
+    println!("(predictions should settle near 12 and 3)");
+}

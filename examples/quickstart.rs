@@ -1,0 +1,44 @@
+//! Quickstart: train a small model with LC-ASGD on a synthetic dataset
+//! and compare it against plain ASGD.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lc_asgd::prelude::*;
+
+fn main() {
+    // 1. A synthetic CIFAR-10-like dataset (deterministic; see
+    //    lcasgd-data for how the class structure is generated).
+    let spec = SyntheticImageSpec::cifar10_like(8, 8, 32, 12);
+    let (train, test) = spec.generate();
+    println!("dataset: {} train / {} test images, {} classes", train.len(), test.len(), train.num_classes);
+
+    // 2. A model builder. Every algorithm starts from the same random
+    //    initialization because the builder is deterministic in its RNG.
+    let resnet = lc_asgd::nn::resnet::ResNetConfig::tiny(3, 10);
+    let build = |rng: &mut Rng| resnet.build(rng);
+
+    // 3. Run LC-ASGD with 8 simulated workers, then ASGD for comparison.
+    for algorithm in [Algorithm::LcAsgd, Algorithm::Asgd] {
+        let mut cfg = ExperimentConfig::new(algorithm, 8, Scale::Tiny, 42);
+        cfg.epochs = 10;
+        let result = run_experiment(&cfg, &build, &train, &test);
+        println!(
+            "\n{}: final test error {:.2}% (mean gradient staleness {:.1})",
+            result.label,
+            result.final_test_error() * 100.0,
+            result.mean_staleness()
+        );
+        for e in result.epochs.iter().step_by(2) {
+            println!(
+                "  epoch {:>2}  train {:>5.1}%  test {:>5.1}%  loss {:.3}  t={:>6.1}s",
+                e.epoch,
+                e.train_error * 100.0,
+                e.test_error * 100.0,
+                e.train_loss,
+                e.time
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! LC-ASGD predictor behaviour inside full training runs: the traces that
+//! become Figures 7–8 must show the predictors actually tracking their
+//! targets, and the compensation must engage.
+
+use lc_asgd::nn::resnet::ResNetConfig;
+use lc_asgd::prelude::*;
+
+fn run_lc(workers: usize, epochs: usize) -> RunResult {
+    let (train, test) = SyntheticImageSpec::cifar10_like(8, 8, 16, 8).generate();
+    let resnet = ResNetConfig::tiny(3, 10);
+    let build = |rng: &mut Rng| resnet.build(rng);
+    let mut cfg = ExperimentConfig::new(Algorithm::LcAsgd, workers, Scale::Tiny, 23);
+    cfg.epochs = epochs;
+    cfg.record_traces = true;
+    run_experiment(&cfg, &build, &train, &test)
+}
+
+#[test]
+fn loss_predictor_tracks_the_loss_series() {
+    let r = run_lc(8, 10);
+    let t = r.trace.expect("traces recorded");
+    assert!(t.actual_loss.len() >= 80, "enough samples, got {}", t.actual_loss.len());
+    // Compare the predictor against the naive "predict previous value"
+    // baseline over the second half of training (after warm-up).
+    let half = t.actual_loss.len() / 2;
+    let mut pred_err = 0.0f64;
+    let mut naive_err = 0.0f64;
+    for i in half.max(1)..t.actual_loss.len() {
+        pred_err += (t.predicted_loss[i] - t.actual_loss[i]).abs() as f64;
+        naive_err += (t.actual_loss[i - 1] - t.actual_loss[i]).abs() as f64;
+    }
+    assert!(
+        pred_err < naive_err * 1.5,
+        "LSTM forecast ({pred_err:.3}) should be comparable to the last-value baseline ({naive_err:.3})"
+    );
+}
+
+#[test]
+fn step_predictor_tracks_mean_staleness() {
+    let r = run_lc(8, 10);
+    let t = r.trace.expect("traces recorded");
+    assert!(!t.actual_step.is_empty());
+    let half = t.actual_step.len() / 2;
+    let mean_actual: f32 =
+        t.actual_step[half..].iter().sum::<f32>() / (t.actual_step.len() - half) as f32;
+    let mean_pred: f32 =
+        t.predicted_step[half..].iter().sum::<f32>() / (t.predicted_step.len() - half) as f32;
+    assert!(
+        (mean_pred - mean_actual).abs() < mean_actual.max(1.0),
+        "predicted mean step {mean_pred:.2} vs actual {mean_actual:.2}"
+    );
+}
+
+#[test]
+fn finish_order_covers_all_workers() {
+    let m = 8;
+    let r = run_lc(m, 6);
+    let t = r.trace.expect("traces recorded");
+    let mut seen = vec![false; m];
+    for &w in &t.finish_order {
+        seen[w] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every worker must appear in the iter log");
+}
+
+#[test]
+fn overhead_is_measured_and_plausible() {
+    let r = run_lc(4, 6);
+    let o = r.overhead.expect("overhead recorded");
+    assert!(o.iterations > 0);
+    let per_iter = o.avg_loss_pred_ms() + o.avg_step_pred_ms();
+    // Two small LSTMs on one core: between microseconds and tens of ms.
+    assert!(per_iter > 0.001 && per_iter < 100.0, "per-iter predictor cost {per_iter} ms");
+}

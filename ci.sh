@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the repo root: ./ci.sh
+#
+# Order matters: the cheap style/lint gates run after the build so a
+# broken tree fails fast with a compiler error instead of a lint one.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# Crates this sequence of PRs actively touches; lint-gated at -D warnings.
+TOUCHED=(-p lcasgd-simcluster -p lcasgd-netcluster -p lcasgd-core -p lc-asgd)
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check (touched crates)"
+cargo fmt --check "${TOUCHED[@]}"
+
+echo "==> cargo clippy -D warnings (touched crates)"
+cargo clippy -q "${TOUCHED[@]}" --all-targets -- -D warnings
+
+echo "CI OK"

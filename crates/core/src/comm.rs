@@ -8,6 +8,9 @@
 //! compressing, so quantization error is compensated over time instead of
 //! lost (the mechanism behind ECQ-SGD's convergence speedup).
 
+use lcasgd_simcluster::backend::wire;
+use lcasgd_simcluster::{ClusterError, WireMsg, WireReader};
+
 /// A gradient compression scheme.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Compression {
@@ -32,9 +35,15 @@ pub enum Compression {
 pub enum CompressedGrad {
     Dense(Vec<f32>),
     /// Sparse (index, value) pairs.
-    Sparse { len: usize, entries: Vec<(u32, f32)> },
+    Sparse {
+        len: usize,
+        entries: Vec<(u32, f32)>,
+    },
     /// Quantized levels plus the scale: value = level · scale.
-    Quantized { scale: f32, levels: Vec<i8> },
+    Quantized {
+        scale: f32,
+        levels: Vec<i8>,
+    },
 }
 
 impl CompressedGrad {
@@ -61,6 +70,74 @@ impl CompressedGrad {
             CompressedGrad::Quantized { scale, levels } => {
                 levels.iter().map(|&l| l as f32 * scale).collect()
             }
+        }
+    }
+}
+
+/// Wire encoding: `CompressedGrad` is the payload of the gradient push in
+/// backend-driven runs, so the on-wire byte count actually shrinks when a
+/// compression scheme is active (tag byte, then the variant's fields; all
+/// little-endian, `u64` counts — the shared codec conventions).
+impl WireMsg for CompressedGrad {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CompressedGrad::Dense(v) => {
+                wire::put_u8(buf, 0);
+                wire::put_vec_f32(buf, v);
+            }
+            CompressedGrad::Sparse { len, entries } => {
+                wire::put_u8(buf, 1);
+                wire::put_u64(buf, *len as u64);
+                wire::put_u64(buf, entries.len() as u64);
+                for &(i, v) in entries {
+                    wire::put_u32(buf, i);
+                    wire::put_f32(buf, v);
+                }
+            }
+            CompressedGrad::Quantized { scale, levels } => {
+                wire::put_u8(buf, 2);
+                wire::put_f32(buf, *scale);
+                wire::put_u64(buf, levels.len() as u64);
+                for &l in levels {
+                    wire::put_u8(buf, l as u8);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
+        match r.u8()? {
+            0 => Ok(CompressedGrad::Dense(r.vec_f32()?)),
+            1 => {
+                let len = r.u64()? as usize;
+                // Indices are u32, so a valid dense length fits in one;
+                // anything larger is a corrupt count, rejected before it
+                // can size a decompression buffer.
+                if len > u32::MAX as usize {
+                    return Err(ClusterError::Protocol(format!(
+                        "sparse gradient claims {len} dense entries"
+                    )));
+                }
+                let n = r.len(8)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let i = r.u32()?;
+                    if i as usize >= len {
+                        return Err(ClusterError::Protocol(format!(
+                            "sparse index {i} out of range for dense length {len}"
+                        )));
+                    }
+                    entries.push((i, r.f32()?));
+                }
+                Ok(CompressedGrad::Sparse { len, entries })
+            }
+            2 => {
+                let scale = r.f32()?;
+                let n = r.len(1)?;
+                let levels = (0..n).map(|_| r.u8().map(|b| b as i8)).collect::<Result<_, _>>()?;
+                Ok(CompressedGrad::Quantized { scale, levels })
+            }
+            tag => Err(ClusterError::Protocol(format!("unknown CompressedGrad tag {tag}"))),
         }
     }
 }
@@ -174,7 +251,7 @@ mod tests {
         let g = vec![1.0, 0.001, 0.001, 0.001];
         let scheme = Compression::TopK { k_frac: 0.25 };
         let mut residual = vec![0.0; 4];
-        let mut delivered = vec![0.0f32; 4];
+        let mut delivered = [0.0f32; 4];
         for _ in 0..2000 {
             let c = scheme.compress(&g, Some(&mut residual));
             for (d, v) in delivered.iter_mut().zip(c.decompress()) {
@@ -210,5 +287,31 @@ mod tests {
     #[should_panic(expected = "k_frac out of range")]
     fn topk_validates_fraction() {
         Compression::TopK { k_frac: 0.0 }.compress(&[1.0], None);
+    }
+
+    #[test]
+    fn compressed_grads_roundtrip_the_wire() {
+        let g = sample();
+        for scheme in [
+            Compression::None,
+            Compression::TopK { k_frac: 0.25 },
+            Compression::Uniform { bits: 6 },
+        ] {
+            let c = scheme.compress(&g, None);
+            let back = CompressedGrad::decoded(&c.encoded()).unwrap();
+            assert_eq!(back.decompress(), c.decompress(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_grads_are_rejected() {
+        // Unknown tag.
+        assert!(matches!(CompressedGrad::decoded(&[9]), Err(ClusterError::Protocol(_))));
+        // Sparse entry indexing past the declared dense length.
+        let bad = CompressedGrad::Sparse { len: 2, entries: vec![(5, 1.0)] };
+        assert!(matches!(CompressedGrad::decoded(&bad.encoded()), Err(ClusterError::Protocol(_))));
+        // Truncated dense payload.
+        let ok = CompressedGrad::Dense(vec![1.0, 2.0]).encoded();
+        assert!(CompressedGrad::decoded(&ok[..ok.len() - 2]).is_err());
     }
 }

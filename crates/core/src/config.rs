@@ -151,6 +151,30 @@ impl Scale {
     }
 }
 
+/// Liveness/retry tuning for runs driven over a real network backend
+/// (`trainer::run_cluster` on `lcasgd-netcluster`). Kept as plain
+/// millisecond counts so the algorithm layer stays free of any socket
+/// dependency; the caller maps these onto the backend's own config type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetTuning {
+    /// Worker heartbeat period.
+    pub heartbeat_interval_ms: u64,
+    /// Server-side silence window before a worker is declared dead.
+    pub heartbeat_timeout_ms: u64,
+    /// Deadline for one blocking request round trip (pull / push-state).
+    pub request_timeout_ms: u64,
+}
+
+impl Default for NetTuning {
+    fn default() -> Self {
+        NetTuning {
+            heartbeat_interval_ms: 250,
+            heartbeat_timeout_ms: 2_000,
+            request_timeout_ms: 30_000,
+        }
+    }
+}
+
 /// Full configuration of one training run.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -192,6 +216,8 @@ pub struct ExperimentConfig {
     /// work extension: QSGD/TernGrad/ECQ-SGD-style; error feedback is
     /// always on when compression is).
     pub compression: Compression,
+    /// Timeouts for network-backed runs (`trainer::run_cluster` over TCP).
+    pub net: NetTuning,
 }
 
 impl ExperimentConfig {
@@ -221,6 +247,7 @@ impl ExperimentConfig {
             record_traces: false,
             partition: DataPartition::Shared,
             compression: Compression::None,
+            net: NetTuning::default(),
         }
     }
 

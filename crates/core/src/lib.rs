@@ -14,8 +14,13 @@
 //! * [`algorithms`] — SGD / SSGD / ASGD / DC-ASGD / LC-ASGD selection;
 //! * [`compensation`] — the three readings of Formula 5 (see DESIGN.md §1);
 //! * [`trainer`] — experiment drivers over the discrete-event cluster
-//!   simulator (and a thread-backend validation driver);
-//! * [`metrics`] — epoch records, staleness, predictor traces, overheads.
+//!   simulator, plus [`trainer::run_cluster`]: the same five algorithms
+//!   over any [`ClusterBackend`](lcasgd_simcluster::ClusterBackend)
+//!   (simulator, real threads, or TCP sockets);
+//! * [`protocol`] — the wire encoding of the pull / push-state / push-grad
+//!   messages those backends carry;
+//! * [`metrics`] — epoch records, staleness, predictor traces, overheads,
+//!   transport statistics.
 
 pub mod algorithms;
 pub mod bnmode;
@@ -24,6 +29,7 @@ pub mod compensation;
 pub mod config;
 pub mod metrics;
 pub mod predictor;
+pub mod protocol;
 pub mod server;
 pub mod trainer;
 pub mod worker;
@@ -32,5 +38,6 @@ pub use algorithms::Algorithm;
 pub use bnmode::BnMode;
 pub use comm::Compression;
 pub use compensation::CompensationMode;
-pub use config::{CostModel, ExperimentConfig, Scale};
+pub use config::{CostModel, ExperimentConfig, NetTuning, Scale};
 pub use metrics::{EpochRecord, OverheadStats, PredictorTrace, RunResult};
+pub use protocol::{ClusterReq, ClusterResp};

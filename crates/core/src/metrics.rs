@@ -1,5 +1,7 @@
 //! Run results: everything the figure/table harnesses consume.
 
+use lcasgd_simcluster::TransportStats;
+
 /// One row of a learning curve (Figures 3–6 plot these).
 #[derive(Clone, Debug)]
 pub struct EpochRecord {
@@ -93,6 +95,12 @@ pub struct RunResult {
     pub iterations: u64,
     /// Virtual seconds for the whole run.
     pub total_time: f64,
+    /// Transport accounting (bytes, round trips, serialization time) when
+    /// the run was driven through a [`ClusterBackend`]; `None` for the
+    /// co-simulated drivers, which never serialize.
+    ///
+    /// [`ClusterBackend`]: lcasgd_simcluster::ClusterBackend
+    pub transport: Option<TransportStats>,
 }
 
 impl RunResult {
@@ -140,7 +148,14 @@ mod tests {
     use super::*;
 
     fn rec(epoch: usize, test_error: f32) -> EpochRecord {
-        EpochRecord { epoch, time: epoch as f64, train_error: 0.1, test_error, train_loss: 1.0, lr: 0.3 }
+        EpochRecord {
+            epoch,
+            time: epoch as f64,
+            train_error: 0.1,
+            test_error,
+            train_loss: 1.0,
+            lr: 0.3,
+        }
     }
 
     #[test]
@@ -153,6 +168,7 @@ mod tests {
             overhead: None,
             iterations: 10,
             total_time: 1.0,
+            transport: None,
         };
         assert_eq!(r.final_test_error(), 0.3);
         assert_eq!(r.best_test_error(), 0.2);
@@ -169,6 +185,7 @@ mod tests {
             overhead: None,
             iterations: 1,
             total_time: 1.0,
+            transport: None,
         };
         let deg = r.degradation_vs(0.0515);
         assert!((deg - 10.097).abs() < 0.05, "{deg}");
@@ -184,6 +201,7 @@ mod tests {
             overhead: None,
             iterations: 5,
             total_time: 0.16,
+            transport: None,
         };
         assert!((r.mean_staleness() - 3.2).abs() < 1e-9);
         let h = r.staleness_histogram(3);
@@ -263,6 +281,7 @@ mod convergence_tests {
             overhead: None,
             iterations: 7,
             total_time: 10.0,
+            transport: None,
         }
     }
 

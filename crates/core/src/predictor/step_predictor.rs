@@ -83,7 +83,13 @@ impl StepPredictor {
     /// from the server's `iter` list). Trains on the previous observation
     /// → actual step, then forecasts the step count of the iteration now
     /// starting. The forecast is clamped to `[0, 4·M]`.
-    pub fn observe_and_predict(&mut self, m: usize, actual_step: f32, t_comm: f32, t_comp: f32) -> f32 {
+    pub fn observe_and_predict(
+        &mut self,
+        m: usize,
+        actual_step: f32,
+        t_comm: f32,
+        t_comp: f32,
+    ) -> f32 {
         let t0 = Instant::now();
         self.update_scales(t_comm, t_comp);
         let mw = self.num_workers.max(1) as f32;
@@ -99,7 +105,8 @@ impl StepPredictor {
 
         // Line 3: forecast the next step from the current observation.
         let cur = self.normalize(actual_step, t_comm, t_comp);
-        let (pred, _) = self.lstm.predict(&Tensor::from_vec(cur.to_vec(), &[1, 3]), &self.streams[m].state);
+        let (pred, _) =
+            self.lstm.predict(&Tensor::from_vec(cur.to_vec(), &[1, 3]), &self.streams[m].state);
         // Line 4: remember the current observation for the next round.
         self.streams[m].prev = Some(cur);
 

@@ -1,0 +1,304 @@
+//! Wire messages for backend-driven training.
+//!
+//! [`trainer::run_cluster`](crate::trainer::run_cluster) speaks Algorithm
+//! 1's pull / push-state / push-grad protocol through the shared
+//! [`ClusterBackend`](lcasgd_simcluster::ClusterBackend) contract, so the
+//! payloads here must cross a real wire: every message implements
+//! [`WireMsg`] with the codec conventions of the simcluster backend
+//! (little-endian, `u64` counts, tag bytes for enums).
+//!
+//! The gradient travels as a [`CompressedGrad`], so an active compression
+//! scheme shrinks the actual TCP bytes — the transport statistics in
+//! [`RunResult`](crate::metrics::RunResult) then show the real ratio.
+
+use crate::comm::CompressedGrad;
+use lcasgd_autograd::ops::norm::BnBatchStats;
+use lcasgd_nn::network::BnState;
+use lcasgd_simcluster::backend::wire;
+use lcasgd_simcluster::{ClusterError, WireMsg, WireReader};
+use lcasgd_tensor::Tensor;
+
+/// Worker → server messages (Algorithm 1's uplink).
+pub enum ClusterReq {
+    /// Request the latest weights (Algorithm 1 line 1).
+    Pull,
+    /// LC-ASGD only: forward results pushed to the server, answered with
+    /// the compensation inputs (Algorithm 1 line 8, Algorithm 2 lines
+    /// 2–7). `t_comm`/`t_comp` are the worker's measured communication
+    /// and compute seconds — the step predictor's input features.
+    State { loss: f32, running: BnState, batch_stats: Vec<BnBatchStats>, t_comm: f32, t_comp: f32 },
+    /// Gradient push (Algorithm 1 line 12). Fire-and-forget.
+    Grad {
+        grads: CompressedGrad,
+        pull_version: u64,
+        loss: f32,
+        batch_stats: Vec<BnBatchStats>,
+        running: BnState,
+    },
+}
+
+/// Server → worker replies (Algorithm 2's downlink).
+pub enum ClusterResp {
+    /// Current weights and their version (staleness is measured against
+    /// it when the gradient comes back).
+    Weights { flat: Vec<f32>, version: u64 },
+    /// Reply to `State`: everything the worker needs to build the
+    /// compensated loss seed (Formula 5) locally.
+    Compensation { l_delay: f32, one_step: f32, km: u32 },
+    /// Training target reached; the worker should hang up.
+    Stop,
+}
+
+// ------------------------------------------------------- field helpers
+
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    let dims = t.dims();
+    wire::put_u64(buf, dims.len() as u64);
+    for &d in dims {
+        wire::put_u64(buf, d as u64);
+    }
+    wire::put_vec_f32(buf, t.data());
+}
+
+fn read_tensor(r: &mut WireReader<'_>) -> Result<Tensor, ClusterError> {
+    let ndims = r.len(8)?;
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(r.u64()? as usize);
+    }
+    let data = r.vec_f32()?;
+    let numel: usize = dims.iter().product();
+    if numel != data.len() {
+        return Err(ClusterError::Protocol(format!(
+            "tensor shape {dims:?} wants {numel} values, payload has {}",
+            data.len()
+        )));
+    }
+    Ok(Tensor::from_vec(data, &dims))
+}
+
+fn put_bn_state(buf: &mut Vec<u8>, s: &BnState) {
+    wire::put_u64(buf, s.means.len() as u64);
+    for t in &s.means {
+        put_tensor(buf, t);
+    }
+    wire::put_u64(buf, s.vars.len() as u64);
+    for t in &s.vars {
+        put_tensor(buf, t);
+    }
+}
+
+fn read_bn_state(r: &mut WireReader<'_>) -> Result<BnState, ClusterError> {
+    let n = r.len(1)?;
+    let means = (0..n).map(|_| read_tensor(r)).collect::<Result<_, _>>()?;
+    let n = r.len(1)?;
+    let vars = (0..n).map(|_| read_tensor(r)).collect::<Result<_, _>>()?;
+    Ok(BnState { means, vars })
+}
+
+fn put_batch_stats(buf: &mut Vec<u8>, stats: &[BnBatchStats]) {
+    wire::put_u64(buf, stats.len() as u64);
+    for s in stats {
+        put_tensor(buf, &s.mean);
+        put_tensor(buf, &s.var);
+    }
+}
+
+fn read_batch_stats(r: &mut WireReader<'_>) -> Result<Vec<BnBatchStats>, ClusterError> {
+    let n = r.len(1)?;
+    (0..n).map(|_| Ok(BnBatchStats { mean: read_tensor(r)?, var: read_tensor(r)? })).collect()
+}
+
+// ------------------------------------------------------------- WireMsg
+
+impl WireMsg for ClusterReq {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ClusterReq::Pull => wire::put_u8(buf, 0),
+            ClusterReq::State { loss, running, batch_stats, t_comm, t_comp } => {
+                wire::put_u8(buf, 1);
+                wire::put_f32(buf, *loss);
+                put_bn_state(buf, running);
+                put_batch_stats(buf, batch_stats);
+                wire::put_f32(buf, *t_comm);
+                wire::put_f32(buf, *t_comp);
+            }
+            ClusterReq::Grad { grads, pull_version, loss, batch_stats, running } => {
+                wire::put_u8(buf, 2);
+                grads.encode(buf);
+                wire::put_u64(buf, *pull_version);
+                wire::put_f32(buf, *loss);
+                put_batch_stats(buf, batch_stats);
+                put_bn_state(buf, running);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
+        match r.u8()? {
+            0 => Ok(ClusterReq::Pull),
+            1 => Ok(ClusterReq::State {
+                loss: r.f32()?,
+                running: read_bn_state(r)?,
+                batch_stats: read_batch_stats(r)?,
+                t_comm: r.f32()?,
+                t_comp: r.f32()?,
+            }),
+            2 => Ok(ClusterReq::Grad {
+                grads: CompressedGrad::decode(r)?,
+                pull_version: r.u64()?,
+                loss: r.f32()?,
+                batch_stats: read_batch_stats(r)?,
+                running: read_bn_state(r)?,
+            }),
+            tag => Err(ClusterError::Protocol(format!("unknown ClusterReq tag {tag}"))),
+        }
+    }
+}
+
+impl WireMsg for ClusterResp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ClusterResp::Weights { flat, version } => {
+                wire::put_u8(buf, 0);
+                wire::put_vec_f32(buf, flat);
+                wire::put_u64(buf, *version);
+            }
+            ClusterResp::Compensation { l_delay, one_step, km } => {
+                wire::put_u8(buf, 1);
+                wire::put_f32(buf, *l_delay);
+                wire::put_f32(buf, *one_step);
+                wire::put_u32(buf, *km);
+            }
+            ClusterResp::Stop => wire::put_u8(buf, 2),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
+        match r.u8()? {
+            0 => Ok(ClusterResp::Weights { flat: r.vec_f32()?, version: r.u64()? }),
+            1 => Ok(ClusterResp::Compensation {
+                l_delay: r.f32()?,
+                one_step: r.f32()?,
+                km: r.u32()?,
+            }),
+            2 => Ok(ClusterResp::Stop),
+            tag => Err(ClusterError::Protocol(format!("unknown ClusterResp tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn_state() -> BnState {
+        BnState {
+            means: vec![Tensor::from_vec(vec![0.5, -1.0], &[2])],
+            vars: vec![Tensor::from_vec(vec![1.0, 2.0], &[2])],
+        }
+    }
+
+    fn batch_stats() -> Vec<BnBatchStats> {
+        vec![BnBatchStats {
+            mean: Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]),
+            var: Tensor::from_vec(vec![1.0, 1.1, 1.2], &[3]),
+        }]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            ClusterReq::Pull,
+            ClusterReq::State {
+                loss: 2.5,
+                running: bn_state(),
+                batch_stats: batch_stats(),
+                t_comm: 0.01,
+                t_comp: 0.2,
+            },
+            ClusterReq::Grad {
+                grads: CompressedGrad::Sparse { len: 4, entries: vec![(1, -3.0), (3, 0.5)] },
+                pull_version: 42,
+                loss: 1.25,
+                batch_stats: Vec::new(),
+                running: BnState::default(),
+            },
+        ];
+        for req in reqs {
+            let back = ClusterReq::decoded(&req.encoded()).unwrap();
+            match (&req, &back) {
+                (ClusterReq::Pull, ClusterReq::Pull) => {}
+                (
+                    ClusterReq::State {
+                        loss: a,
+                        t_comm: ta,
+                        t_comp: ca,
+                        running: ra,
+                        batch_stats: ba,
+                    },
+                    ClusterReq::State {
+                        loss: b,
+                        t_comm: tb,
+                        t_comp: cb,
+                        running: rb,
+                        batch_stats: bb,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(ta, tb);
+                    assert_eq!(ca, cb);
+                    assert_eq!(ra.means.len(), rb.means.len());
+                    assert_eq!(ba.len(), bb.len());
+                    assert_eq!(ba[0].mean.data(), bb[0].mean.data());
+                }
+                (
+                    ClusterReq::Grad { grads: ga, pull_version: va, loss: la, .. },
+                    ClusterReq::Grad { grads: gb, pull_version: vb, loss: lb, .. },
+                ) => {
+                    assert_eq!(va, vb);
+                    assert_eq!(la, lb);
+                    assert_eq!(ga.decompress(), gb.decompress());
+                }
+                _ => panic!("variant changed across the wire"),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let w = ClusterResp::Weights { flat: vec![1.0, -2.0, 3.5], version: 7 };
+        match ClusterResp::decoded(&w.encoded()).unwrap() {
+            ClusterResp::Weights { flat, version } => {
+                assert_eq!(flat, vec![1.0, -2.0, 3.5]);
+                assert_eq!(version, 7);
+            }
+            _ => panic!("variant changed"),
+        }
+        let c = ClusterResp::Compensation { l_delay: 2.0, one_step: 1.5, km: 3 };
+        match ClusterResp::decoded(&c.encoded()).unwrap() {
+            ClusterResp::Compensation { l_delay, one_step, km } => {
+                assert_eq!((l_delay, one_step, km), (2.0, 1.5, 3));
+            }
+            _ => panic!("variant changed"),
+        }
+        assert!(matches!(
+            ClusterResp::decoded(&ClusterResp::Stop.encoded()),
+            Ok(ClusterResp::Stop)
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_protocol_errors() {
+        assert!(matches!(ClusterReq::decoded(&[77]), Err(ClusterError::Protocol(_))));
+        assert!(matches!(ClusterResp::decoded(&[77]), Err(ClusterError::Protocol(_))));
+        // A shape that disagrees with its data length.
+        let mut buf = vec![1u8]; // State tag
+        wire::put_f32(&mut buf, 1.0);
+        wire::put_u64(&mut buf, 1); // one mean tensor…
+        wire::put_u64(&mut buf, 1); // …with 1 dim
+        wire::put_u64(&mut buf, 5); // claiming 5 elements
+        wire::put_vec_f32(&mut buf, &[1.0, 2.0]); // but carrying 2
+        assert!(matches!(ClusterReq::decoded(&buf), Err(ClusterError::Protocol(_))));
+    }
+}

@@ -203,10 +203,8 @@ mod tests {
     #[test]
     fn async_bn_accumulates_formulas_6_7() {
         let mut s = server(BnMode::Async); // d = 0.5, initial mean 0, var 1
-        let batch = vec![BnBatchStats {
-            mean: Tensor::full(&[6], 4.0),
-            var: Tensor::full(&[6], 3.0),
-        }];
+        let batch =
+            vec![BnBatchStats { mean: Tensor::full(&[6], 4.0), var: Tensor::full(&[6], 3.0) }];
         let dummy_running = s.bn.clone();
         s.absorb_bn(&dummy_running, &batch);
         // E = 0.5·0 + 0.5·4 = 2 ; Var = 0.5·1 + 0.5·3 = 2

@@ -15,6 +15,7 @@ use crate::bnmode::BnMode;
 use crate::config::{DataPartition, ExperimentConfig};
 use crate::metrics::{EpochRecord, OverheadStats, PredictorTrace, RunResult};
 use crate::predictor::{LossPredictor, StepPredictor};
+use crate::protocol::{ClusterReq, ClusterResp};
 use crate::server::ParameterServer;
 use crate::worker::WorkerNode;
 use lcasgd_autograd::ops::norm::BnBatchStats;
@@ -22,7 +23,9 @@ use lcasgd_data::{BatchIter, Dataset};
 use lcasgd_nn::metrics::evaluate;
 use lcasgd_nn::network::BnState;
 use lcasgd_nn::Network;
-use lcasgd_simcluster::ClusterSim;
+use lcasgd_simcluster::{
+    ClusterBackend, ClusterError, ClusterSim, ServerCtx, ThreadCluster, WorkerLink,
+};
 use lcasgd_tensor::{Rng, Tensor};
 
 /// A model factory: must be deterministic in the RNG it is given so every
@@ -94,7 +97,6 @@ fn epoch_record(
     EpochRecord { epoch, time, train_error, test_error, train_loss, lr }
 }
 
-
 /// The example indices each worker draws from, per the partition setting.
 fn worker_shards(cfg: &ExperimentConfig, m: usize, n: usize) -> Vec<Vec<usize>> {
     match cfg.partition {
@@ -143,6 +145,7 @@ fn run_sequential(
         overhead: None,
         iterations: server.version,
         total_time: time,
+        transport: None,
     }
 }
 
@@ -166,7 +169,12 @@ fn run_ssgd(
         .map(|w| {
             let mut wrng = Rng::seed_from_u64(cfg.seed);
             let shard = std::mem::take(&mut shards[w]);
-            WorkerNode::with_indices(build(&mut wrng), shard, cfg.batch_size, cfg.seed ^ (w as u64).wrapping_mul(0x9E37) ^ 0xB5)
+            WorkerNode::with_indices(
+                build(&mut wrng),
+                shard,
+                cfg.batch_size,
+                cfg.seed ^ (w as u64).wrapping_mul(0x9E37) ^ 0xB5,
+            )
         })
         .collect();
     let mut harness = EvalHarness::new(cfg, build, train, test);
@@ -220,6 +228,7 @@ fn run_ssgd(
         overhead: None,
         iterations: server.version,
         total_time: round_start,
+        transport: None,
     }
 }
 
@@ -261,7 +270,12 @@ fn run_async(
         .map(|w| {
             let mut wrng = Rng::seed_from_u64(cfg.seed);
             let shard = std::mem::take(&mut shards[w]);
-            WorkerNode::with_indices(build(&mut wrng), shard, cfg.batch_size, cfg.seed ^ (w as u64).wrapping_mul(0x517C) ^ 0xA1)
+            WorkerNode::with_indices(
+                build(&mut wrng),
+                shard,
+                cfg.batch_size,
+                cfg.seed ^ (w as u64).wrapping_mul(0x517C) ^ 0xA1,
+            )
         })
         .collect();
     let mut harness = EvalHarness::new(cfg, build, train, test);
@@ -317,7 +331,8 @@ fn run_async(
                     if is_dc {
                         backups[w] = server.weights.clone();
                     }
-                    let (loss, mut grads, batch_stats) = workers[w].compute_gradient(&server.weights, train);
+                    let (loss, mut grads, batch_stats) =
+                        workers[w].compute_gradient(&server.weights, train);
                     if compressing {
                         grads = push_through_wire(&cfg.compression, grads, &mut residuals[w]);
                     }
@@ -326,7 +341,13 @@ fn run_async(
                         w,
                         t + down,
                         cfg.cost.iteration(),
-                        Msg::Grad { grads, pull_version: workers[w].version_at_pull, loss, batch_stats, running },
+                        Msg::Grad {
+                            grads,
+                            pull_version: workers[w].version_at_pull,
+                            loss,
+                            batch_stats,
+                            running,
+                        },
                     );
                     workers[w].last_t_comp = dur;
                     // The worker starts its next iteration (pull) as soon
@@ -344,7 +365,12 @@ fn run_async(
                 // Deterministic nominal predictor charges keep the event
                 // timeline bit-reproducible; the predictors' own measured
                 // CPU time is reported in `OverheadStats` (Tables 2–3).
-                let km = step_pred.observe_and_predict(w, actual_step, t_comm as f32, workers[w].last_t_comp as f32);
+                let km = step_pred.observe_and_predict(
+                    w,
+                    actual_step,
+                    t_comm as f32,
+                    workers[w].last_t_comp as f32,
+                );
                 sim.charge_server(cfg.cost.step_pred);
 
                 let km_int = km.round().max(0.0) as usize;
@@ -406,15 +432,22 @@ fn run_async(
                 }
                 losses.push(loss);
                 applied += 1;
-                if applied % updates_per_epoch == 0 {
+                if applied.is_multiple_of(updates_per_epoch) {
                     let epoch = applied / updates_per_epoch;
-                    records.push(epoch_record(epoch, sim.now(), &mut harness, &server, &mut losses, lr));
+                    records.push(epoch_record(
+                        epoch,
+                        sim.now(),
+                        &mut harness,
+                        &server,
+                        &mut losses,
+                        lr,
+                    ));
                 }
             }
         }
     }
 
-    let overhead = is_lc.then(|| OverheadStats {
+    let overhead = is_lc.then_some(OverheadStats {
         loss_pred_ms: loss_pred.elapsed_ms,
         step_pred_ms: step_pred.elapsed_ms,
         iterations: server.version,
@@ -428,9 +461,9 @@ fn run_async(
         overhead,
         iterations: server.version,
         total_time: sim.now(),
+        transport: None,
     }
 }
-
 
 /// Simulates a lossy gradient push: compress with per-worker error
 /// feedback, then decompress on the server side.
@@ -445,107 +478,336 @@ fn push_through_wire(
     scheme.compress(&grads, Some(residual)).decompress()
 }
 
+// ------------------------------------------------------ backend-driven
+
+/// Compresses a gradient for the wire, maintaining the worker's error-
+/// feedback residual. `Compression::None` short-circuits to a dense
+/// payload without touching the residual.
+fn wire_grads(
+    scheme: &crate::comm::Compression,
+    grads: Vec<f32>,
+    residual: &mut Vec<f32>,
+) -> crate::comm::CompressedGrad {
+    if *scheme == crate::comm::Compression::None {
+        return crate::comm::CompressedGrad::Dense(grads);
+    }
+    if residual.len() != grads.len() {
+        *residual = vec![0.0; grads.len()];
+    }
+    scheme.compress(&grads, Some(residual))
+}
+
+/// Runs `cfg.algorithm` over any [`ClusterBackend`] — the discrete-event
+/// simulator, real threads, or TCP sockets — through the shared
+/// pull / push-state / push-grad protocol ([`ClusterReq`]/[`ClusterResp`]).
+///
+/// Unlike the co-simulated drivers above, timing here is *real*: epoch
+/// timestamps, `total_time`, and the step predictor's `t_comm`/`t_comp`
+/// features are measured wall-clock seconds, and the returned
+/// [`RunResult::transport`] carries the backend's byte/latency accounting.
+///
+/// The worker count is taken from the backend; construct it with
+/// `cfg.workers` (or 1 for sequential SGD).
+pub fn run_cluster<B: ClusterBackend>(
+    backend: B,
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+) -> Result<RunResult, ClusterError> {
+    use parking_lot::Mutex;
+
+    let m = backend.workers();
+    let is_lc = cfg.algorithm == Algorithm::LcAsgd;
+    let is_dc = cfg.algorithm == Algorithm::DcAsgd;
+    let is_ssgd = cfg.algorithm == Algorithm::Ssgd;
+
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let canonical = build(&mut rng);
+    let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
+    let mut shards = worker_shards(cfg, m, train.len());
+    let nodes: Mutex<Vec<Option<WorkerNode>>> = Mutex::new(
+        (0..m)
+            .map(|w| {
+                let mut wrng = Rng::seed_from_u64(cfg.seed);
+                let shard = std::mem::take(&mut shards[w]);
+                Some(WorkerNode::with_indices(
+                    build(&mut wrng),
+                    shard,
+                    cfg.batch_size,
+                    cfg.seed ^ (w as u64).wrapping_mul(0x517C) ^ 0xA1,
+                ))
+            })
+            .collect(),
+    );
+    let mut harness = EvalHarness::new(cfg, build, train, test);
+
+    // Async algorithms count gradient applications; SSGD counts rounds.
+    let updates_per_epoch = train.len().div_ceil(cfg.batch_size).max(1);
+    let target = cfg.epochs * updates_per_epoch;
+    let rounds_per_epoch = train.len().div_ceil(m * cfg.batch_size).max(1);
+    let rounds_target = cfg.epochs * rounds_per_epoch;
+
+    // Predictors (LC-ASGD only).
+    let mut pred_rng = Rng::seed_from_u64(cfg.seed ^ 0x9_11D);
+    let mut loss_pred = LossPredictor::new(&mut pred_rng);
+    let mut step_pred = StepPredictor::new(m, &mut pred_rng);
+    let mut prev_step_pred: Vec<Option<f32>> = vec![None; m];
+    let mut trace = PredictorTrace::default();
+
+    let mut backups: Vec<Vec<f32>> = vec![Vec::new(); m];
+    let mut applied = 0usize;
+    let mut rounds_done = 0usize;
+    let mut records = Vec::with_capacity(cfg.epochs);
+    let mut losses = Vec::new();
+    let mut staleness = Vec::new();
+    // SSGD barrier: gradients parked until the round is full.
+    let mut round: Vec<(usize, Vec<f32>, BnState, Vec<BnBatchStats>)> = Vec::with_capacity(m);
+    let t0 = std::time::Instant::now();
+
+    let server_fn = |w: usize, req: ClusterReq, ctx: &mut ServerCtx<ClusterResp>| match req {
+        ClusterReq::Pull => {
+            if !is_ssgd && applied >= target {
+                ctx.reply(ClusterResp::Stop);
+            } else {
+                if is_dc {
+                    backups[w] = server.weights.clone();
+                }
+                ctx.reply(ClusterResp::Weights {
+                    flat: server.weights.clone(),
+                    version: server.version,
+                });
+            }
+        }
+        ClusterReq::State { loss, running, batch_stats, t_comm, t_comp } => {
+            // Algorithm 2 lines 2–7, on real measured timings.
+            let actual_step = server.log_arrival(w) as f32;
+            let km = step_pred.observe_and_predict(w, actual_step, t_comm, t_comp);
+            let km_int = km.round().max(0.0) as usize;
+            let one_step_forecast = loss_pred.pending_forecast();
+            let lp = loss_pred.observe_and_predict(loss, km_int);
+            if cfg.record_traces {
+                trace.finish_order.push(w);
+                trace.actual_loss.push(loss);
+                trace.predicted_loss.push(one_step_forecast.unwrap_or(loss));
+                if let Some(prev) = prev_step_pred[w] {
+                    trace.actual_step.push(actual_step);
+                    trace.predicted_step.push(prev);
+                }
+            }
+            prev_step_pred[w] = Some(km);
+            server.absorb_bn(&running, &batch_stats);
+            ctx.reply(ClusterResp::Compensation {
+                l_delay: lp.l_delay,
+                one_step: lp.one_step,
+                km: km_int as u32,
+            });
+        }
+        ClusterReq::Grad { grads, pull_version, loss, batch_stats, running } => {
+            if is_ssgd {
+                // Formula 1's barrier: park until all M contributions are
+                // in, then average-apply and release everyone at once.
+                round.push((w, grads.decompress(), running, batch_stats));
+                losses.push(loss);
+                if round.len() == m {
+                    let lr = cfg.lr.at_epoch(rounds_done / rounds_per_epoch) * cfg.ssgd_lr_scale;
+                    let gs: Vec<Vec<f32>> = round.iter().map(|(_, g, _, _)| g.clone()).collect();
+                    server.apply_grad_avg(&gs, lr);
+                    for (_, _, running, batch) in &round {
+                        server.absorb_bn(running, batch);
+                    }
+                    rounds_done += 1;
+                    if rounds_done.is_multiple_of(rounds_per_epoch) {
+                        let epoch = rounds_done / rounds_per_epoch;
+                        records.push(epoch_record(
+                            epoch,
+                            t0.elapsed().as_secs_f64(),
+                            &mut harness,
+                            &server,
+                            &mut losses,
+                            lr,
+                        ));
+                    }
+                    let stop = rounds_done >= rounds_target;
+                    for (parked, _, _, _) in round.drain(..) {
+                        ctx.reply_to(
+                            parked,
+                            if stop {
+                                ClusterResp::Stop
+                            } else {
+                                ClusterResp::Weights {
+                                    flat: server.weights.clone(),
+                                    version: server.version,
+                                }
+                            },
+                        );
+                    }
+                }
+            } else if applied < target {
+                // Late gradients past the target are dropped, as a real
+                // server shutting down would.
+                staleness.push((server.version - pull_version) as u32);
+                let lr = cfg.lr.at_epoch(applied / updates_per_epoch);
+                let g = grads.decompress();
+                if is_dc {
+                    server.apply_grad_dc(&g, lr, cfg.lambda, &backups[w]);
+                } else {
+                    server.apply_grad(&g, lr);
+                }
+                if !is_lc {
+                    server.log_arrival(w);
+                    server.absorb_bn(&running, &batch_stats);
+                }
+                losses.push(loss);
+                applied += 1;
+                if applied.is_multiple_of(updates_per_epoch) {
+                    let epoch = applied / updates_per_epoch;
+                    records.push(epoch_record(
+                        epoch,
+                        t0.elapsed().as_secs_f64(),
+                        &mut harness,
+                        &server,
+                        &mut losses,
+                        lr,
+                    ));
+                }
+            }
+        }
+    };
+
+    let worker_fn = |w: usize, link: &mut dyn WorkerLink<ClusterReq, ClusterResp>| {
+        let mut node = nodes.lock()[w].take().expect("worker taken twice");
+        let mut residual = Vec::new();
+        if is_ssgd {
+            let mut resp = match link.request(ClusterReq::Pull) {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            loop {
+                let (flat, version) = match resp {
+                    ClusterResp::Stop => break,
+                    ClusterResp::Weights { flat, version } => (flat, version),
+                    ClusterResp::Compensation { .. } => break,
+                };
+                let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
+                let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                let running = node.bn_running();
+                // The barrier: this request blocks until the whole round
+                // has arrived and the server releases the new weights.
+                resp = match link.request(ClusterReq::Grad {
+                    grads,
+                    pull_version: version,
+                    loss,
+                    batch_stats,
+                    running,
+                }) {
+                    Ok(r) => r,
+                    Err(_) => break,
+                };
+            }
+            return;
+        }
+        let mut last_t_comp = 0.0f32;
+        loop {
+            let pull_start = std::time::Instant::now();
+            let resp = match link.request(ClusterReq::Pull) {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            let t_comm = pull_start.elapsed().as_secs_f32();
+            let (flat, version) = match resp {
+                ClusterResp::Stop => break,
+                ClusterResp::Weights { flat, version } => (flat, version),
+                ClusterResp::Compensation { .. } => break,
+            };
+            let compute_start = std::time::Instant::now();
+            if is_lc {
+                // Algorithm 1: push the forward state, receive ℓ_delay,
+                // backpropagate the compensated loss (Formula 5).
+                let (loss, batch_stats) = node.forward_phase(&flat, train);
+                let running = node.bn_running();
+                let state =
+                    ClusterReq::State { loss, running, batch_stats, t_comm, t_comp: last_t_comp };
+                let (l_delay, one_step, km) = match link.request(state) {
+                    Ok(ClusterResp::Compensation { l_delay, one_step, km }) => {
+                        (l_delay, one_step, km)
+                    }
+                    _ => break,
+                };
+                let seed = cfg.compensation.seed(loss, l_delay, one_step, km as usize, cfg.lambda);
+                let grads = node.backward_phase(seed);
+                last_t_comp = compute_start.elapsed().as_secs_f32();
+                let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                let push = ClusterReq::Grad {
+                    grads,
+                    pull_version: version,
+                    loss,
+                    batch_stats: Vec::new(),
+                    running: BnState::default(),
+                };
+                if link.send(push).is_err() {
+                    break;
+                }
+            } else {
+                let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
+                last_t_comp = compute_start.elapsed().as_secs_f32();
+                let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                let running = node.bn_running();
+                if link
+                    .send(ClusterReq::Grad {
+                        grads,
+                        pull_version: version,
+                        loss,
+                        batch_stats,
+                        running,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    };
+
+    let transport = backend.run(server_fn, worker_fn)?;
+
+    if is_ssgd {
+        staleness = vec![0; server.version as usize];
+    }
+    let overhead = is_lc.then_some(OverheadStats {
+        loss_pred_ms: loss_pred.elapsed_ms,
+        step_pred_ms: step_pred.elapsed_ms,
+        iterations: server.version,
+    });
+    Ok(RunResult {
+        label: format!("{} ({}, cluster)", cfg.algorithm, cfg.bn_mode),
+        epochs: records,
+        staleness,
+        trace: (is_lc && cfg.record_traces).then_some(trace),
+        overhead,
+        iterations: server.version,
+        total_time: t0.elapsed().as_secs_f64(),
+        transport: Some(transport),
+    })
+}
+
 // ------------------------------------------------------------- threaded
 
 /// Real-thread ASGD for cross-validating the simulator: workers are OS
 /// threads computing true gradients concurrently; the server applies them
-/// in whatever order the scheduler produces. Returns the final test error
-/// and the observed staleness samples.
+/// in whatever order the scheduler produces. A thin wrapper over
+/// [`run_cluster`] on the [`ThreadCluster`] backend.
 pub fn run_threaded_asgd(
     cfg: &ExperimentConfig,
     build: ModelFn<'_>,
     train: &Dataset,
     test: &Dataset,
 ) -> RunResult {
-    use lcasgd_simcluster::ThreadCluster;
-    use parking_lot::Mutex;
-
-    enum TReq {
-        Pull,
-        Grad { grads: Vec<f32>, pull_version: u64, loss: f32 },
-    }
-    enum TResp {
-        Weights { flat: Vec<f32>, version: u64 },
-        Stop,
-    }
-
     let m = cfg.workers.max(1);
-    let mut rng = Rng::seed_from_u64(cfg.seed);
-    let canonical = build(&mut rng);
-    let mut server = ParameterServer::new(&canonical, m, BnMode::Regular, cfg.bn_momentum);
-    let updates_per_epoch = train.len().div_ceil(cfg.batch_size).max(1);
-    let target = cfg.epochs * updates_per_epoch;
-
-    let mut applied = 0usize;
-    let mut staleness = Vec::new();
-    let mut losses = Vec::new();
-    let workers: Mutex<Vec<Option<WorkerNode>>> = Mutex::new(
-        (0..m)
-            .map(|w| {
-                let mut wrng = Rng::seed_from_u64(cfg.seed);
-                Some(WorkerNode::new(build(&mut wrng), train.len(), cfg.batch_size, cfg.seed ^ (w as u64) ^ 0x77))
-            })
-            .collect(),
-    );
-
-    ThreadCluster::run(
-        m,
-        |_w, req: TReq| match req {
-            TReq::Pull => {
-                if applied >= target {
-                    Some(TResp::Stop)
-                } else {
-                    Some(TResp::Weights { flat: server.weights.clone(), version: server.version })
-                }
-            }
-            TReq::Grad { grads, pull_version, loss } => {
-                // Late gradients past the target are dropped, as a real
-                // server shutting down would.
-                if applied < target {
-                    let lr = cfg.lr.at_epoch(applied / updates_per_epoch);
-                    staleness.push((server.version - pull_version) as u32);
-                    server.apply_grad(&grads, lr);
-                    losses.push(loss);
-                    applied += 1;
-                }
-                None
-            }
-        },
-        |h| {
-            let mut node = workers.lock()[h.worker()].take().expect("worker taken twice");
-            loop {
-                match h.request(TReq::Pull) {
-                    TResp::Stop => break,
-                    TResp::Weights { flat, version } => {
-                        let (loss, grads, _) = node.compute_gradient(&flat, train);
-                        h.send(TReq::Grad { grads, pull_version: version, loss });
-                    }
-                }
-            }
-        },
-    );
-
-    // Single final evaluation (the thread backend is for validating
-    // staleness/convergence, not for learning curves).
-    let mut harness = EvalHarness::new(cfg, build, train, test);
-    let (train_error, test_error) = harness.evaluate(&server.weights, &server.bn);
-    let train_loss = if losses.is_empty() { f32::NAN } else { losses.iter().sum::<f32>() / losses.len() as f32 };
-    RunResult {
-        label: "ASGD (threads)".into(),
-        epochs: vec![EpochRecord {
-            epoch: cfg.epochs,
-            time: 0.0,
-            train_error,
-            test_error,
-            train_loss,
-            lr: cfg.lr.at_epoch(cfg.epochs.saturating_sub(1)),
-        }],
-        staleness,
-        trace: None,
-        overhead: None,
-        iterations: server.version,
-        total_time: 0.0,
-    }
+    let mut r = run_cluster(ThreadCluster::new(m), cfg, build, train, test)
+        .expect("thread backend cannot fail at transport level");
+    r.label = "ASGD (threads)".into();
+    r
 }
 
 #[cfg(test)]
@@ -678,6 +940,23 @@ mod tests {
     }
 
     #[test]
+    fn cluster_driver_runs_ssgd_and_lc_over_threads() {
+        // The generic backend driver speaks every protocol shape: the
+        // SSGD barrier via deferred replies, and LC-ASGD's two-phase
+        // pull → state → grad exchange.
+        let (train, test) = data();
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], false, rng);
+        for algo in [Algorithm::Ssgd, Algorithm::LcAsgd] {
+            let cfg = blob_cfg(algo, 4);
+            let r = run_cluster(ThreadCluster::new(4), &cfg, &build, &train, &test).unwrap();
+            assert_eq!(r.epochs.len(), cfg.epochs, "{algo}");
+            assert!(r.final_test_error() < 0.35, "{algo} err {}", r.final_test_error());
+            let t = r.transport.expect("backend runs report transport");
+            assert!(t.requests > 0, "{algo} must do blocking round trips");
+        }
+    }
+
+    #[test]
     fn threaded_asgd_converges_and_reports_staleness() {
         let (train, test) = data();
         let mut cfg = blob_cfg(Algorithm::Asgd, 4);
@@ -712,11 +991,7 @@ mod partition_tests {
             cfg.ssgd_lr_scale = 1.0;
             cfg.partition = DataPartition::Partitioned;
             let r = run_experiment(&cfg, &build, &train, &test);
-            assert!(
-                r.final_test_error() < 0.3,
-                "{algo} partitioned err {}",
-                r.final_test_error()
-            );
+            assert!(r.final_test_error() < 0.3, "{algo} partitioned err {}", r.final_test_error());
         }
     }
 
@@ -756,21 +1031,14 @@ mod compression_tests {
     fn compressed_asgd_still_learns() {
         let (train, test) = blobs_split(4, 6, 30, 10, 0.6, 61);
         let build = |rng: &mut Rng| mlp(&[6, 16, 4], true, rng);
-        for compression in [
-            Compression::TopK { k_frac: 0.25 },
-            Compression::Uniform { bits: 8 },
-        ] {
+        for compression in [Compression::TopK { k_frac: 0.25 }, Compression::Uniform { bits: 8 }] {
             let mut cfg = ExperimentConfig::new(Algorithm::Asgd, 4, Scale::Tiny, 19);
             cfg.epochs = 14;
             cfg.batch_size = 10;
             cfg.lr = LrSchedule::constant(0.1);
             cfg.compression = compression;
             let r = run_experiment(&cfg, &build, &train, &test);
-            assert!(
-                r.final_test_error() < 0.3,
-                "{compression:?} err {}",
-                r.final_test_error()
-            );
+            assert!(r.final_test_error() < 0.3, "{compression:?} err {}", r.final_test_error());
         }
     }
 

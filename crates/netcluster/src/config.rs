@@ -1,0 +1,62 @@
+//! Tuning knobs for the TCP backend's liveness machinery.
+
+use std::time::Duration;
+
+/// Timeouts and retry policy shared by [`crate::NetServer`] and
+/// [`crate::NetWorker`]. The invariants that make the protocol live:
+///
+/// * `heartbeat_interval` ≪ `heartbeat_timeout`, so a healthy-but-idle
+///   worker is never reaped (several beats fit in one timeout window);
+/// * `request_timeout` bounds how long a worker blocks on a reply, so a
+///   dead server surfaces as [`lcasgd_simcluster::ClusterError::Timeout`]
+///   instead of a hang.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How often a worker's background thread emits a `Heartbeat`.
+    pub heartbeat_interval: Duration,
+    /// Server-side: a connection with no traffic for this long is
+    /// dropped and its worker declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Server-side: a rank that never says `Hello` within this window
+    /// (measured from serve start) is written off, so one crashed-at-
+    /// launch worker cannot hang the whole run.
+    pub hello_timeout: Duration,
+    /// Worker-side deadline for one blocking request round trip.
+    pub request_timeout: Duration,
+    /// Maximum connection attempts per (re)connect.
+    pub connect_attempts: u32,
+    /// Delay before the second connection attempt; doubles per attempt.
+    pub connect_backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub connect_backoff_cap: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(250),
+            heartbeat_timeout: Duration::from_secs(2),
+            hello_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            connect_attempts: 5,
+            connect_backoff: Duration::from_millis(25),
+            connect_backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Aggressive timeouts for tests: failures are detected in tens of
+    /// milliseconds instead of seconds.
+    pub fn fast() -> Self {
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(200),
+            hello_timeout: Duration::from_millis(1500),
+            request_timeout: Duration::from_secs(5),
+            connect_attempts: 5,
+            connect_backoff: Duration::from_millis(5),
+            connect_backoff_cap: Duration::from_millis(100),
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Length-prefixed binary framing for the TCP parameter server.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! offset  size  field          notes
+//!      0     4  magic          "LCNW", little-endian u32
+//!      4     2  version        protocol version, currently 1
+//!      6     1  kind           FrameKind discriminant
+//!      7     1  flags          reserved, must be zero
+//!      8     8  seq            sender sequence number; a Reply echoes
+//!                              the seq of the Request it answers
+//!     16     4  payload_len    bytes of payload following the header
+//!     20     4  crc32          IEEE CRC-32 over the payload bytes
+//!     24     …  payload        a WireMsg encoding (or rank for Hello)
+//! ```
+//!
+//! All integers are little-endian, matching the [`WireMsg`] codec and the
+//! checkpoint file format. The checksum covers only the payload: header
+//! corruption is caught by the magic/version/kind/flags checks, payload
+//! corruption by the CRC. A frame that fails any check is a
+//! [`ClusterError::Protocol`]; socket-level failures map through
+//! `From<std::io::Error>` (EOF/reset → `Disconnected`, deadline →
+//! `Timeout`).
+
+use lcasgd_simcluster::ClusterError;
+use std::io::{Read, Write};
+use std::sync::OnceLock;
+
+/// `b"LCNW"` interpreted as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"LCNW");
+/// Current protocol version. Peers speaking a different version are
+/// rejected with a protocol error rather than misparsed.
+pub const VERSION: u16 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Upper bound on a single payload (256 MiB): a corrupt length field must
+/// never trigger an unbounded allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// What a frame means to the parameter-server protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// First frame on every connection: payload is the worker's rank
+    /// (u32). Re-sent after a reconnect to re-bind the rank.
+    Hello = 1,
+    /// Blocking request; the server answers with a `Reply` echoing `seq`.
+    Request = 2,
+    /// Fire-and-forget message (gradient push); never answered.
+    Oneway = 3,
+    /// Server→worker answer to a `Request`.
+    Reply = 4,
+    /// Worker liveness beacon; empty payload. A server that sees no
+    /// traffic from a connection within the heartbeat timeout drops it.
+    Heartbeat = 5,
+    /// Clean end-of-training handshake; a connection that closes without
+    /// one is treated as a crashed worker.
+    Goodbye = 6,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Request,
+            3 => FrameKind::Oneway,
+            4 => FrameKind::Reply,
+            5 => FrameKind::Heartbeat,
+            6 => FrameKind::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// One parsed wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    pub fn new(kind: FrameKind, seq: u64, payload: Vec<u8>) -> Frame {
+        Frame { kind, seq, payload }
+    }
+
+    /// Builds the connection-opening rank announcement.
+    pub fn hello(rank: usize) -> Frame {
+        Frame::new(FrameKind::Hello, 0, (rank as u32).to_le_bytes().to_vec())
+    }
+
+    /// Parses the rank out of a `Hello` payload.
+    pub fn hello_rank(&self) -> Result<usize, ClusterError> {
+        let bytes: [u8; 4] = self
+            .payload
+            .as_slice()
+            .try_into()
+            .map_err(|_| ClusterError::Protocol("malformed hello payload".into()))?;
+        Ok(u32::from_le_bytes(bytes) as usize)
+    }
+
+    /// Total bytes this frame occupies on the wire.
+    pub fn wire_len(&self) -> u64 {
+        (HEADER_LEN + self.payload.len()) as u64
+    }
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial, reflected).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Writes one frame. Returns the number of bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<u64, ClusterError> {
+    let len = frame.payload.len();
+    if len as u64 > MAX_PAYLOAD as u64 {
+        return Err(ClusterError::Protocol(format!(
+            "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = frame.kind as u8;
+    header[7] = 0; // flags
+    header[8..16].copy_from_slice(&frame.seq.to_le_bytes());
+    header[16..20].copy_from_slice(&(len as u32).to_le_bytes());
+    header[20..24].copy_from_slice(&crc32(&frame.payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)?;
+    w.flush()?;
+    Ok(frame.wire_len())
+}
+
+/// Reads one frame, validating magic, version, flags, kind, length bound
+/// and checksum. Returns the frame and its on-wire size.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, u64), ClusterError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ClusterError::Protocol(format!("bad frame magic {magic:#010x}")));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(ClusterError::Protocol(format!(
+            "unsupported protocol version {version} (want {VERSION})"
+        )));
+    }
+    let Some(kind) = FrameKind::from_u8(header[6]) else {
+        return Err(ClusterError::Protocol(format!("unknown frame kind {}", header[6])));
+    };
+    if header[7] != 0 {
+        return Err(ClusterError::Protocol(format!("nonzero reserved flags {:#04x}", header[7])));
+    }
+    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(header[16..20].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ClusterError::Protocol(format!(
+            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+        )));
+    }
+    let want_crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(ClusterError::Protocol(format!(
+            "payload checksum mismatch: header says {want_crc:#010x}, payload hashes to {got_crc:#010x}"
+        )));
+    }
+    let frame = Frame { kind, seq, payload };
+    let wire = frame.wire_len();
+    Ok((frame, wire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        let wrote = write_frame(&mut buf, frame).unwrap();
+        assert_eq!(wrote as usize, buf.len());
+        let (parsed, read) = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(read, wrote);
+        parsed
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Request,
+            FrameKind::Oneway,
+            FrameKind::Reply,
+            FrameKind::Heartbeat,
+            FrameKind::Goodbye,
+        ] {
+            let frame = Frame::new(kind, 0xDEAD_BEEF_0BAD_F00D, vec![1, 2, 3, 255, 0]);
+            assert_eq!(roundtrip(&frame), frame);
+        }
+        let empty = Frame::new(FrameKind::Heartbeat, 0, Vec::new());
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn hello_carries_rank() {
+        let f = Frame::hello(17);
+        assert_eq!(f.hello_rank().unwrap(), 17);
+        let bad = Frame::new(FrameKind::Hello, 0, vec![1, 2]);
+        assert!(matches!(bad.hello_rank(), Err(ClusterError::Protocol(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::new(FrameKind::Request, 1, vec![9; 64])).unwrap();
+        buf[HEADER_LEN + 10] ^= 0x40;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol(ref why) if why.contains("checksum")));
+    }
+
+    #[test]
+    fn bad_magic_version_kind_flags_are_rejected() {
+        let mut ok = Vec::new();
+        write_frame(&mut ok, &Frame::new(FrameKind::Oneway, 2, vec![7])).unwrap();
+
+        let corrupt = |offset: usize, value: u8, expect: &str| {
+            let mut buf = ok.clone();
+            buf[offset] = value;
+            let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+            match err {
+                ClusterError::Protocol(why) => {
+                    assert!(why.contains(expect), "{why:?} should mention {expect:?}")
+                }
+                other => panic!("expected protocol error, got {other:?}"),
+            }
+        };
+        corrupt(0, b'X', "magic");
+        corrupt(4, 99, "version");
+        corrupt(6, 42, "kind");
+        corrupt(7, 1, "flags");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::new(FrameKind::Request, 3, vec![1])).unwrap();
+        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol(ref why) if why.contains("limit")));
+    }
+
+    #[test]
+    fn truncated_stream_is_a_disconnect() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::new(FrameKind::Reply, 4, vec![5; 32])).unwrap();
+        // Cut inside the header and inside the payload.
+        for cut in [HEADER_LEN / 2, HEADER_LEN + 8] {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert_eq!(err, ClusterError::Disconnected);
+        }
+    }
+
+    #[test]
+    fn oversized_payload_refuses_to_write() {
+        // vec![0; n] is a lazily-mapped zero page allocation; write_frame
+        // rejects on len() before touching the bytes.
+        let frame = Frame::new(FrameKind::Request, 5, vec![0; (MAX_PAYLOAD as usize) + 1]);
+        let mut sink = Vec::new();
+        assert!(matches!(write_frame(&mut sink, &frame), Err(ClusterError::Protocol(_))));
+    }
+}

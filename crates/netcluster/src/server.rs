@@ -1,0 +1,399 @@
+//! The parameter-server side of the TCP backend.
+//!
+//! `NetServer` accepts up to M worker connections and multiplexes their
+//! frames onto one serialized event loop — Algorithm 2's `repeat … until
+//! forever`, with real sockets instead of a virtual clock. Each accepted
+//! connection gets a reader thread that parses frames and forwards them
+//! over an MPSC channel; the serve loop owns all mutable server state, so
+//! the algorithm closure needs no locking.
+//!
+//! Liveness: any frame (heartbeats included) refreshes a connection's
+//! `last_seen`. A connection silent past the heartbeat timeout is shut
+//! down and its worker marked dead — the loop keeps serving the
+//! survivors instead of stalling. A rank that never says hello within
+//! the hello timeout is likewise written off. A worker may reconnect and
+//! re-`Hello` at any time, superseding (and closing) its old connection
+//! and reviving a dead rank.
+//!
+//! Termination: the run ends when every rank has either finished cleanly
+//! (`Goodbye`) or been declared dead.
+
+use crate::config::NetConfig;
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use lcasgd_simcluster::{ClusterError, ServerCtx, TransportStats, WireMsg};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// What the reader threads feed the serve loop.
+enum Ev {
+    /// New connection: the write half, registered under a connection id.
+    Conn { id: u64, write: TcpStream },
+    /// A parsed frame from connection `id` (`wire` = bytes on the wire).
+    Frame { id: u64, frame: Frame, wire: u64 },
+    /// Connection `id`'s reader exited (EOF, reset, or reaped).
+    Closed { id: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    /// No `Hello` seen yet.
+    Pending,
+    /// Connected and (presumed) computing.
+    Active,
+    /// Sent `Goodbye`.
+    Finished,
+    /// Reaped by heartbeat/hello timeout or vanished without `Goodbye`.
+    Dead,
+}
+
+struct ConnState {
+    write: TcpStream,
+    rank: Option<usize>,
+    last_seen: Instant,
+}
+
+/// A bound-but-not-yet-serving parameter server.
+pub struct NetServer {
+    listener: TcpListener,
+    workers: usize,
+    cfg: NetConfig,
+}
+
+impl NetServer {
+    /// Binds the listener. `workers` is the number of ranks the run waits
+    /// for; pass `127.0.0.1:0` as `addr` to let the OS pick a free port.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize, cfg: NetConfig) -> io::Result<NetServer> {
+        assert!(workers > 0, "need at least one worker");
+        Ok(NetServer { listener: TcpListener::bind(addr)?, workers, cfg })
+    }
+
+    /// The address workers should connect to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the serialized event loop until every rank is finished or
+    /// dead. Returns server-side transport statistics (worker-perceived
+    /// RTTs are measured by [`crate::worker::NetWorker`]).
+    pub fn serve<Req, Resp, S>(self, mut server_fn: S) -> Result<TransportStats, ClusterError>
+    where
+        Req: WireMsg,
+        Resp: WireMsg,
+        S: FnMut(usize, Req, &mut ServerCtx<Resp>),
+    {
+        let m = self.workers;
+        let cfg = &self.cfg;
+        let addr = self.listener.local_addr()?;
+        let tick = (cfg.heartbeat_timeout / 4).max(Duration::from_millis(2));
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<Ev>();
+
+        let mut conns: HashMap<u64, ConnState> = HashMap::new();
+        let mut rank_conn: Vec<Option<u64>> = vec![None; m];
+        let mut rank_state = vec![RankState::Pending; m];
+        // Pending request seq per rank, consumed when the reply goes out.
+        let mut awaiting: Vec<Option<u64>> = vec![None; m];
+        let mut stats = TransportStats::default();
+        let mut result: Result<(), ClusterError> = Ok(());
+        let started = Instant::now();
+
+        // Every accepted socket is registered here so teardown can force
+        // readers out of blocking reads even if the connection raced the
+        // serve loop's exit and never made it into `conns`.
+        let accepted: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            let listener = &self.listener;
+            let stop_ref = &stop;
+            let accepted_ref = &accepted;
+            scope.spawn(move || {
+                let mut next_id = 0u64;
+                loop {
+                    let Ok((stream, _peer)) = listener.accept() else {
+                        if stop_ref.load(Ordering::Acquire) {
+                            break;
+                        }
+                        continue;
+                    };
+                    {
+                        // Register under the lock so the teardown sweep
+                        // either sees this socket or we see `stop`.
+                        let mut registry = accepted_ref.lock();
+                        if stop_ref.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(clone) = stream.try_clone() {
+                            registry.push(clone);
+                        }
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = next_id;
+                    next_id += 1;
+                    let Ok(write) = stream.try_clone() else { continue };
+                    if tx.send(Ev::Conn { id, write }).is_err() {
+                        break;
+                    }
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let mut stream = stream;
+                        while let Ok((frame, wire)) = read_frame(&mut stream) {
+                            if tx.send(Ev::Frame { id, frame, wire }).is_err() {
+                                break;
+                            }
+                        }
+                        let _ = tx.send(Ev::Closed { id });
+                    });
+                }
+            });
+
+            // Drops a rank's live connection mapping and, unless it
+            // finished cleanly, declares the rank dead.
+            let mark_gone = |rank: usize,
+                             rank_conn: &mut Vec<Option<u64>>,
+                             rank_state: &mut Vec<RankState>,
+                             awaiting: &mut Vec<Option<u64>>| {
+                rank_conn[rank] = None;
+                if rank_state[rank] == RankState::Active {
+                    rank_state[rank] = RankState::Dead;
+                    awaiting[rank] = None;
+                }
+            };
+
+            'serve: loop {
+                let ev = match rx.recv_timeout(tick) {
+                    Ok(ev) => Some(ev),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break 'serve,
+                };
+
+                match ev {
+                    None => {}
+                    Some(Ev::Conn { id, write }) => {
+                        conns
+                            .insert(id, ConnState { write, rank: None, last_seen: Instant::now() });
+                    }
+                    Some(Ev::Closed { id }) => {
+                        if let Some(conn) = conns.remove(&id) {
+                            if let Some(rank) = conn.rank {
+                                if rank_conn[rank] == Some(id) {
+                                    mark_gone(rank, &mut rank_conn, &mut rank_state, &mut awaiting);
+                                }
+                            }
+                        }
+                    }
+                    Some(Ev::Frame { id, frame, wire }) => {
+                        // A frame from an already-reaped connection races
+                        // its own shutdown; ignore it.
+                        let Some(conn) = conns.get_mut(&id) else { continue };
+                        conn.last_seen = Instant::now();
+                        match frame.kind {
+                            FrameKind::Heartbeat => {}
+                            FrameKind::Reply => {
+                                // Workers never send replies.
+                                Self::close_conn(
+                                    &mut conns,
+                                    id,
+                                    &mut rank_conn,
+                                    &mut rank_state,
+                                    &mut awaiting,
+                                );
+                            }
+                            FrameKind::Hello => {
+                                let Ok(rank) = frame.hello_rank() else {
+                                    Self::close_conn(
+                                        &mut conns,
+                                        id,
+                                        &mut rank_conn,
+                                        &mut rank_state,
+                                        &mut awaiting,
+                                    );
+                                    continue;
+                                };
+                                if rank >= m || conn.rank.is_some() {
+                                    Self::close_conn(
+                                        &mut conns,
+                                        id,
+                                        &mut rank_conn,
+                                        &mut rank_state,
+                                        &mut awaiting,
+                                    );
+                                    continue;
+                                }
+                                conn.rank = Some(rank);
+                                // A reconnect supersedes the old socket.
+                                if let Some(old) = rank_conn[rank] {
+                                    if let Some(stale) = conns.remove(&old) {
+                                        let _ = stale.write.shutdown(Shutdown::Both);
+                                    }
+                                }
+                                rank_conn[rank] = Some(id);
+                                if rank_state[rank] != RankState::Finished {
+                                    rank_state[rank] = RankState::Active;
+                                }
+                            }
+                            FrameKind::Goodbye => {
+                                if let Some(rank) = conn.rank {
+                                    rank_state[rank] = RankState::Finished;
+                                    awaiting[rank] = None;
+                                }
+                            }
+                            FrameKind::Request | FrameKind::Oneway => {
+                                let Some(rank) = conn.rank else {
+                                    // Traffic before Hello: rogue peer.
+                                    Self::close_conn(
+                                        &mut conns,
+                                        id,
+                                        &mut rank_conn,
+                                        &mut rank_state,
+                                        &mut awaiting,
+                                    );
+                                    continue;
+                                };
+                                let expects_reply = frame.kind == FrameKind::Request;
+                                stats.bytes_sent += wire;
+                                if expects_reply {
+                                    stats.requests += 1;
+                                    awaiting[rank] = Some(frame.seq);
+                                } else {
+                                    stats.oneways += 1;
+                                }
+                                let t0 = Instant::now();
+                                let req = match Req::decoded(&frame.payload) {
+                                    Ok(req) => req,
+                                    Err(e) => {
+                                        // A payload that framed correctly
+                                        // but fails the codec is a bug in
+                                        // the protocol itself: fatal.
+                                        result = Err(e);
+                                        break 'serve;
+                                    }
+                                };
+                                stats.serialize_seconds += t0.elapsed().as_secs_f64();
+
+                                let mut ctx = ServerCtx::new(rank, expects_reply);
+                                server_fn(rank, req, &mut ctx);
+
+                                for (target, resp) in ctx.take_replies() {
+                                    if target >= m {
+                                        result = Err(ClusterError::Protocol(format!(
+                                            "reply to worker {target}, but the cluster has {m}"
+                                        )));
+                                        break 'serve;
+                                    }
+                                    if rank_state[target] == RankState::Dead {
+                                        // Dropped worker: discard, like a
+                                        // real PS talking to a ghost.
+                                        continue;
+                                    }
+                                    let Some(seq) = awaiting[target].take() else {
+                                        result = Err(ClusterError::Protocol(format!(
+                                            "reply to worker {target}, which has no pending request"
+                                        )));
+                                        break 'serve;
+                                    };
+                                    let t0 = Instant::now();
+                                    let reply = Frame::new(FrameKind::Reply, seq, resp.encoded());
+                                    stats.serialize_seconds += t0.elapsed().as_secs_f64();
+                                    let delivered = rank_conn[target]
+                                        .and_then(|cid| conns.get_mut(&cid))
+                                        .map(|c| write_frame(&mut c.write, &reply));
+                                    match delivered {
+                                        Some(Ok(n)) => stats.bytes_received += n,
+                                        _ => {
+                                            // Write failure or no live
+                                            // connection: the worker is
+                                            // gone; reap it and move on.
+                                            if let Some(cid) = rank_conn[target] {
+                                                Self::close_conn(
+                                                    &mut conns,
+                                                    cid,
+                                                    &mut rank_conn,
+                                                    &mut rank_state,
+                                                    &mut awaiting,
+                                                );
+                                            } else {
+                                                mark_gone(
+                                                    target,
+                                                    &mut rank_conn,
+                                                    &mut rank_state,
+                                                    &mut awaiting,
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Reap connections silent past the heartbeat timeout.
+                let now = Instant::now();
+                let stale: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| now.duration_since(c.last_seen) > cfg.heartbeat_timeout)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in stale {
+                    Self::close_conn(
+                        &mut conns,
+                        id,
+                        &mut rank_conn,
+                        &mut rank_state,
+                        &mut awaiting,
+                    );
+                }
+                // Write off ranks that never connected at all.
+                if started.elapsed() > cfg.hello_timeout {
+                    for state in rank_state.iter_mut() {
+                        if *state == RankState::Pending {
+                            *state = RankState::Dead;
+                        }
+                    }
+                }
+
+                if rank_state.iter().all(|s| matches!(s, RankState::Finished | RankState::Dead)) {
+                    break 'serve;
+                }
+            }
+
+            // Wind down: stop accepting (a self-connect unblocks the
+            // blocking accept), close every accepted socket so reader
+            // threads exit, and let the scope join them.
+            stop.store(true, Ordering::Release);
+            for socket in accepted.lock().iter() {
+                let _ = socket.shutdown(Shutdown::Both);
+            }
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        });
+
+        result.map(|()| stats)
+    }
+
+    /// Hard-closes a connection and updates rank bookkeeping.
+    fn close_conn(
+        conns: &mut HashMap<u64, ConnState>,
+        id: u64,
+        rank_conn: &mut [Option<u64>],
+        rank_state: &mut [RankState],
+        awaiting: &mut [Option<u64>],
+    ) {
+        if let Some(conn) = conns.remove(&id) {
+            let _ = conn.write.shutdown(Shutdown::Both);
+            if let Some(rank) = conn.rank {
+                if rank_conn[rank] == Some(id) {
+                    rank_conn[rank] = None;
+                    if rank_state[rank] == RankState::Active {
+                        rank_state[rank] = RankState::Dead;
+                        awaiting[rank] = None;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The worker side of the TCP backend.
+//!
+//! A `NetWorker` owns one connection to the parameter server: the read
+//! half stays on the calling thread (the only server→worker traffic is
+//! replies), the write half is shared with a background heartbeat thread
+//! that keeps the connection visibly alive between pushes.
+//!
+//! Failure handling:
+//! * connects (initial and re-) retry with bounded exponential backoff;
+//! * every blocking request carries a deadline ([`NetConfig::request_timeout`]);
+//! * a failed *write* triggers one reconnect-and-resend — a request is
+//!   never resent after it may have been processed, so server-side
+//!   effects stay at-most-once (LC-ASGD's pulls and pushes tolerate a
+//!   dropped message far better than a doubled gradient);
+//! * [`NetWorker::finish`] performs the `Goodbye` handshake; dropping
+//!   without it looks like a crash to the server, which is exactly what
+//!   the fault-injection tests rely on.
+
+use crate::config::NetConfig;
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use lcasgd_simcluster::{ClusterError, TransportStats, WireMsg, WorkerLink};
+use parking_lot::Mutex;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Interruptible stop flag: the heartbeat thread waits on the condvar
+/// between beats, so teardown wakes it instantly instead of waiting out
+/// a full heartbeat interval.
+struct StopSignal {
+    stopped: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn new() -> Arc<StopSignal> {
+        Arc::new(StopSignal { stopped: StdMutex::new(false), cv: Condvar::new() })
+    }
+
+    fn stop(&self) {
+        *self.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout`; returns true once stopped.
+    fn wait(&self, timeout: std::time::Duration) -> bool {
+        let guard = self.stopped.lock().unwrap_or_else(|e| e.into_inner());
+        let (guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |stopped| !*stopped)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
+}
+
+struct Conn {
+    /// Read half; replies are consumed on the worker's own thread.
+    read: TcpStream,
+    /// Write half, shared with the heartbeat thread.
+    write: Arc<Mutex<TcpStream>>,
+    hb_stop: Arc<StopSignal>,
+    hb: Option<JoinHandle<()>>,
+}
+
+/// A connected worker client implementing [`WorkerLink`] over TCP.
+pub struct NetWorker {
+    rank: usize,
+    addr: SocketAddr,
+    cfg: NetConfig,
+    conn: Option<Conn>,
+    seq: u64,
+    stats: TransportStats,
+    finished: bool,
+}
+
+impl NetWorker {
+    /// Connects to the server (with backoff retries) and announces
+    /// `rank`.
+    pub fn connect(
+        addr: SocketAddr,
+        rank: usize,
+        cfg: NetConfig,
+    ) -> Result<NetWorker, ClusterError> {
+        let mut worker = NetWorker {
+            rank,
+            addr,
+            cfg,
+            conn: None,
+            seq: 0,
+            stats: TransportStats::default(),
+            finished: false,
+        };
+        worker.reconnect()?;
+        Ok(worker)
+    }
+
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Tears down any existing connection, then dials the server again
+    /// with bounded exponential backoff and re-sends the `Hello`.
+    fn reconnect(&mut self) -> Result<(), ClusterError> {
+        self.teardown();
+        let mut backoff = self.cfg.connect_backoff;
+        let mut last_err = ClusterError::Disconnected;
+        for attempt in 0..self.cfg.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.cfg.connect_backoff_cap);
+            }
+            let stream = match TcpStream::connect(self.addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e.into();
+                    continue;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            if let Err(e) = stream.set_read_timeout(Some(self.cfg.request_timeout)) {
+                last_err = e.into();
+                continue;
+            }
+            let write_half = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e.into();
+                    continue;
+                }
+            };
+            let write = Arc::new(Mutex::new(write_half));
+            if let Err(e) = write_frame(&mut *write.lock(), &Frame::hello(self.rank)) {
+                last_err = e;
+                continue;
+            }
+            let hb_stop = StopSignal::new();
+            let hb = {
+                let write = Arc::clone(&write);
+                let stop = Arc::clone(&hb_stop);
+                let interval = self.cfg.heartbeat_interval;
+                std::thread::spawn(move || {
+                    while !stop.wait(interval) {
+                        let sent = write_frame(
+                            &mut *write.lock(),
+                            &Frame::new(FrameKind::Heartbeat, 0, Vec::new()),
+                        );
+                        if sent.is_err() {
+                            // The request path will notice and reconnect;
+                            // a beating heart on a dead socket helps nobody.
+                            break;
+                        }
+                    }
+                })
+            };
+            self.conn = Some(Conn { read: stream, write, hb_stop, hb: Some(hb) });
+            return Ok(());
+        }
+        Err(last_err)
+    }
+
+    fn teardown(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            conn.hb_stop.stop();
+            let _ = conn.read.shutdown(Shutdown::Both);
+            if let Some(hb) = conn.hb.take() {
+                let _ = hb.join();
+            }
+        }
+    }
+
+    /// Writes a frame, reconnecting and retrying once if the write
+    /// itself fails.
+    fn write_with_retry(&mut self, frame: &Frame) -> Result<u64, ClusterError> {
+        match self.write_frame_now(frame) {
+            Ok(n) => Ok(n),
+            Err(_) => {
+                self.reconnect()?;
+                self.write_frame_now(frame)
+            }
+        }
+    }
+
+    fn write_frame_now(&mut self, frame: &Frame) -> Result<u64, ClusterError> {
+        let conn = self.conn.as_ref().ok_or(ClusterError::Disconnected)?;
+        write_frame(&mut *conn.write.lock(), frame)
+    }
+
+    /// Sends a blocking request and waits for the matching reply.
+    pub fn request<Req: WireMsg, Resp: WireMsg>(
+        &mut self,
+        req: &Req,
+    ) -> Result<Resp, ClusterError> {
+        let t0 = Instant::now();
+        let payload = req.encoded();
+        self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
+        self.seq += 1;
+        let seq = self.seq;
+        self.write_with_retry(&Frame::new(FrameKind::Request, seq, payload))?;
+
+        let sent = Instant::now();
+        loop {
+            let conn = self.conn.as_mut().ok_or(ClusterError::Disconnected)?;
+            let (frame, _wire) = match read_frame(&mut conn.read) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    // Timeouts and disconnects both leave the stream in
+                    // an unknown framing state; drop the connection so
+                    // the next operation starts clean.
+                    self.teardown();
+                    return Err(e);
+                }
+            };
+            if frame.kind != FrameKind::Reply {
+                self.teardown();
+                return Err(ClusterError::Protocol(format!(
+                    "server sent unexpected {:?} frame to a worker",
+                    frame.kind
+                )));
+            }
+            if frame.seq != seq {
+                // A stale reply from before a reconnect; skip it, but
+                // keep the overall deadline.
+                if sent.elapsed() > self.cfg.request_timeout {
+                    self.teardown();
+                    return Err(ClusterError::Timeout);
+                }
+                continue;
+            }
+            // Requests/oneways/bytes are counted server-side; recording
+            // them here too would double-count after the backend merge.
+            self.stats.rtt.record(sent.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let resp = Resp::decoded(&frame.payload)?;
+            self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
+            return Ok(resp);
+        }
+    }
+
+    /// Fire-and-forget send.
+    pub fn send<Req: WireMsg>(&mut self, req: &Req) -> Result<(), ClusterError> {
+        let t0 = Instant::now();
+        let payload = req.encoded();
+        self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
+        self.seq += 1;
+        let frame = Frame::new(FrameKind::Oneway, self.seq, payload);
+        self.write_with_retry(&frame)?;
+        Ok(())
+    }
+
+    /// Performs the clean `Goodbye` handshake and closes the connection.
+    /// Idempotent.
+    pub fn finish(&mut self) -> Result<(), ClusterError> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.seq += 1;
+        let res = self.write_frame_now(&Frame::new(FrameKind::Goodbye, self.seq, Vec::new()));
+        self.teardown();
+        res.map(|_| ())
+    }
+
+    /// Simulates a *hung* worker for fault-injection tests: stops all
+    /// traffic (heartbeats included) while leaving the socket open, so
+    /// the server can only detect the loss via its heartbeat timeout.
+    /// The leaked socket closes when the process exits.
+    pub fn hang(mut self) {
+        self.finished = true; // suppress the Drop-path Goodbye
+        if let Some(mut conn) = self.conn.take() {
+            conn.hb_stop.stop();
+            if let Some(hb) = conn.hb.take() {
+                let _ = hb.join();
+            }
+            std::mem::forget(conn.read);
+            std::mem::forget(conn.write);
+        }
+    }
+
+    /// Worker-side transport statistics accumulated so far (RTTs and
+    /// serialization time; byte totals are accounted server-side).
+    pub fn take_stats(&mut self) -> TransportStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+impl Drop for NetWorker {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+impl<Req: WireMsg, Resp: WireMsg> WorkerLink<Req, Resp> for NetWorker {
+    fn worker(&self) -> usize {
+        self.rank
+    }
+
+    fn request(&mut self, req: Req) -> Result<Resp, ClusterError> {
+        NetWorker::request(self, &req)
+    }
+
+    fn send(&mut self, req: Req) -> Result<(), ClusterError> {
+        NetWorker::send(self, &req)
+    }
+}

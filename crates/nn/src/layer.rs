@@ -279,8 +279,11 @@ pub enum Layer {
     GlobalAvgPool,
     /// Flattens `[n, c, h, w]` to `[n, c·h·w]`.
     Flatten,
-    Residual(ResidualBlock),
-    Bottleneck(BottleneckBlock),
+    /// Boxed (as is `Bottleneck`): whole conv/BN stacks live inside these
+    /// block variants, making them an order of magnitude larger than the
+    /// plain layers.
+    Residual(Box<ResidualBlock>),
+    Bottleneck(Box<BottleneckBlock>),
 }
 
 impl Layer {
@@ -474,7 +477,7 @@ mod tests {
         let mut g = Graph::new();
         let x = g.leaf(Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng));
         let mut ctx = ForwardCtx::new(true);
-        let y = Layer::Residual(r).forward(&mut g, x, &mut ctx);
+        let y = Layer::Residual(Box::new(r)).forward(&mut g, x, &mut ctx);
         assert_eq!(g.value(y).dims(), &[2, 6, 4, 4]);
         // Two BN layers recorded stats.
         assert_eq!(ctx.bn_stats.len(), 2);
@@ -483,7 +486,7 @@ mod tests {
     #[test]
     fn param_visit_order_matches_forward_registration() {
         let mut rng = Rng::seed_from_u64(95);
-        let layer = Layer::Residual(ResidualBlock::new(3, 6, 2, &mut rng));
+        let layer = Layer::Residual(Box::new(ResidualBlock::new(3, 6, 2, &mut rng)));
         let mut g = Graph::new();
         let x = g.leaf(Tensor::randn(&[1, 3, 4, 4], 1.0, &mut rng));
         let mut ctx = ForwardCtx::new(true);

@@ -82,7 +82,7 @@ impl Network {
         for &v in &ctx.param_vars {
             match g.take_grad(v) {
                 Some(t) => out.extend_from_slice(t.data()),
-                None => out.extend(std::iter::repeat(0.0).take(g.value(v).numel())),
+                None => out.extend(std::iter::repeat_n(0.0, g.value(v).numel())),
             }
         }
         out
@@ -225,7 +225,7 @@ mod tests {
                 },
                 &mut rng,
             )),
-            Layer::Residual(ResidualBlock::new(4, 4, 1, &mut rng)),
+            Layer::Residual(Box::new(ResidualBlock::new(4, 4, 1, &mut rng))),
             Layer::GlobalAvgPool,
             Layer::Linear(Linear::new(4, 2, &mut rng)),
         ]);

@@ -117,9 +117,11 @@ impl ResNetConfig {
             for b in 0..blocks {
                 let stride = if stage > 0 && b == 0 { 2 } else { 1 };
                 layers.push(match self.block {
-                    BlockKind::Basic => Layer::Residual(ResidualBlock::new(ch, out_ch, stride, rng)),
+                    BlockKind::Basic => {
+                        Layer::Residual(Box::new(ResidualBlock::new(ch, out_ch, stride, rng)))
+                    }
                     BlockKind::Bottleneck => {
-                        Layer::Bottleneck(BottleneckBlock::new(ch, out_ch, stride, rng))
+                        Layer::Bottleneck(Box::new(BottleneckBlock::new(ch, out_ch, stride, rng)))
                     }
                 });
                 ch = out_ch;
@@ -230,7 +232,7 @@ mod bottleneck_tests {
     #[test]
     fn bottleneck_param_visit_matches_forward_order() {
         let mut rng = Rng::seed_from_u64(126);
-        let layer = Layer::Bottleneck(crate::layer::BottleneckBlock::new(4, 8, 2, &mut rng));
+        let layer = Layer::Bottleneck(Box::new(crate::layer::BottleneckBlock::new(4, 8, 2, &mut rng)));
         let mut g = Graph::new();
         let x = g.leaf(Tensor::randn(&[1, 4, 6, 6], 1.0, &mut rng));
         let mut ctx = crate::layer::ForwardCtx::new(true);

@@ -1,0 +1,184 @@
+//! In-workspace stand-in for `criterion`.
+//!
+//! Provides the harness surface the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! wall-clock timer: a warmup pass, then `sample_size` timed samples with
+//! mean/min reported to stdout. No statistical analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per timing sample. All variants behave
+/// identically here: one setup per routine invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report flushing happens per-benchmark here).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warmup sample, then the timed ones.
+    let mut warmup = Bencher { elapsed: Duration::ZERO };
+    f(&mut warmup);
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        min = min.min(b.elapsed);
+    }
+    let mean = total / sample_size as u32;
+    println!("bench {id:<48} mean {mean:>12.3?}   min {min:>12.3?}   samples {sample_size}");
+}
+
+/// Passed to each benchmark closure; owns the timing of one sample.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export matching criterion's own `black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target_iter(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_function(format!("sum_{}", 2), |b| b.iter(|| (0..2000u64).sum::<u64>()));
+        g.finish();
+    }
+
+    fn target_batched(c: &mut Criterion) {
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |mut v| { v[0] = 2; v }, BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(plain, target_iter, target_batched);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = target_iter
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        plain();
+        configured();
+    }
+}

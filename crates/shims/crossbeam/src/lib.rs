@@ -1,0 +1,187 @@
+//! In-workspace stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided — the workspace uses crossbeam
+//! solely for MPSC channels with disconnect semantics. Backed by
+//! `std::sync::mpsc`, whose `Sender` has been `Sync` since Rust 1.72, so
+//! the sharing patterns crossbeam permits work unchanged.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+            })
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// The message could not be delivered: every receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like crossbeam, printable regardless of whether `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Nonblocking receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Timed receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel (capacity 0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full. Errors when
+        /// all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Nonblocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over incoming messages; ends at disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_reply_channel_pattern() {
+        let (tx, rx) = bounded(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv(), Ok("reply"));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(tx);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Disconnected);
+    }
+
+    #[test]
+    fn cross_thread_fanin() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(w * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut count = 0;
+            while rx.recv().is_ok() {
+                count += 1;
+            }
+            assert_eq!(count, 400);
+        });
+    }
+}

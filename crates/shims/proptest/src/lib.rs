@@ -1,0 +1,344 @@
+//! In-workspace stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` block macro, range and `any::<T>()` strategies,
+//! `prop::collection::vec`, and the `prop_assert*` macros. Inputs are
+//! drawn from a deterministic PRNG seeded from the test name, so runs
+//! are reproducible; shrinking is not implemented — failures report the
+//! full generated input set instead.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Failure raised by `prop_assert!`-style macros inside a case body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic source of test inputs.
+    pub struct TestRng(pub rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Seeds from the test name so each property gets an independent
+        /// but reproducible stream.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            use rand::SeedableRng;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(rand::rngs::StdRng::seed_from_u64(h ^ (case as u64) << 32 ^ case as u64))
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i64, f32, f64);
+
+/// Marker for types generatable by `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty => $f:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                #[allow(clippy::redundant_closure_call)]
+                ($f)(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform!(
+    bool => |r: &mut TestRng| { use rand::Rng as _; r.0.gen::<bool>() },
+    u64 => |r: &mut TestRng| { use rand::Rng as _; r.0.gen::<u64>() },
+    u32 => |r: &mut TestRng| { use rand::RngCore as _; r.0.next_u32() },
+    u8 => |r: &mut TestRng| { use rand::RngCore as _; (r.0.next_u32() & 0xff) as u8 },
+    usize => |r: &mut TestRng| { use rand::RngCore as _; r.0.next_u64() as usize },
+    f32 => |r: &mut TestRng| { use rand::Rng as _; r.0.gen::<f32>() },
+    f64 => |r: &mut TestRng| { use rand::Rng as _; r.0.gen::<f64>() }
+);
+
+/// Strategy produced by [`any`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over the whole domain of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy produced by a single constant (`Just` in real proptest).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a half-open `usize` range or an
+    /// exact count. A dedicated conversion target (rather than a generic
+    /// `Strategy<Value = usize>`) so bare literals like `0..3` infer as
+    /// `usize`, matching real proptest's `Into<SizeRange>` signature.
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(*r.start()..r.end() + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s with range-drawn length.
+    pub struct VecStrategy<E> {
+        element: E,
+        len: SizeRange,
+    }
+
+    pub fn vec<E: Strategy>(element: E, len: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let n = self.len.0.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `prop::` namespace mirroring real proptest's prelude re-export.
+pub mod prop {
+    pub use crate::collection;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome = {
+                    $(let $arg = $arg.clone();)+
+                    let mut run = move ||
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    run()
+                };
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $($arg),+
+                        ),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in 0.1f32..3.0,
+            n in 1usize..12,
+            k in 1u8..=100,
+        ) {
+            prop_assert!((0.1..3.0).contains(&x));
+            prop_assert!((1..12).contains(&n));
+            prop_assert!((1..=100).contains(&k));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len_and_element_ranges(
+            v in prop::collection::vec(1usize..12, 0..5),
+            flag in any::<bool>(),
+            seed in any::<u64>(),
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| (1..12).contains(&e)));
+            // trivially true; exercises the macro plumbing for these types
+            prop_assert!(flag || !flag);
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        let s = 0u64..u64::MAX;
+        let a = s.sample(&mut TestRng::for_case("abc", 3));
+        let b = s.sample(&mut TestRng::for_case("abc", 3));
+        let c = s.sample(&mut TestRng::for_case("abd", 3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u8..=10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -19,12 +19,19 @@
 //!   threads and crossbeam channels, for validating that simulated
 //!   staleness distributions match organic ones.
 
+pub mod backend;
 pub mod event;
 pub mod models;
 pub mod sim;
+pub mod sim_backend;
 pub mod thread_cluster;
 
+pub use backend::{
+    ClusterBackend, ClusterError, LatencyHistogram, ServerCtx, TransportStats, WireMsg, WireReader,
+    WorkerLink,
+};
 pub use event::EventQueue;
 pub use models::{ClusterSpec, LinkModel, WorkerModel};
 pub use sim::{Arrival, ClusterSim};
-pub use thread_cluster::ThreadCluster;
+pub use sim_backend::SimPayload;
+pub use thread_cluster::{ThreadCluster, WorkerHandle};

@@ -35,8 +35,11 @@ impl WorkerModel {
         } else {
             1.0
         };
-        let straggle =
-            if self.straggle_prob > 0.0 && rng.chance(self.straggle_prob) { self.straggle_factor } else { 1.0 };
+        let straggle = if self.straggle_prob > 0.0 && rng.chance(self.straggle_prob) {
+            self.straggle_factor
+        } else {
+            1.0
+        };
         nominal * self.speed * jitter * straggle
     }
 }
@@ -58,7 +61,8 @@ impl Default for LinkModel {
 impl LinkModel {
     /// Samples a one-way message latency.
     pub fn sample_latency(&self, rng: &mut Rng) -> f64 {
-        let jitter = if self.jitter_mean > 0.0 { rng.exponential(1.0 / self.jitter_mean) } else { 0.0 };
+        let jitter =
+            if self.jitter_mean > 0.0 { rng.exponential(1.0 / self.jitter_mean) } else { 0.0 };
         self.base_latency + jitter
     }
 }
@@ -74,7 +78,11 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// Homogeneous, jitter-free cluster (useful for deterministic tests).
     pub fn uniform(m: usize) -> Self {
-        ClusterSpec { workers: vec![WorkerModel::default(); m], link: LinkModel::default(), seed: 0 }
+        ClusterSpec {
+            workers: vec![WorkerModel::default(); m],
+            link: LinkModel::default(),
+            seed: 0,
+        }
     }
 
     /// The default experimental cluster: mild speed heterogeneity (±20%
@@ -92,11 +100,7 @@ impl ClusterSpec {
                 straggle_factor: 1.0,
             })
             .collect();
-        ClusterSpec {
-            workers,
-            link: LinkModel { base_latency: 1e-3, jitter_mean: 5e-4 },
-            seed,
-        }
+        ClusterSpec { workers, link: LinkModel { base_latency: 1e-3, jitter_mean: 5e-4 }, seed }
     }
 
     /// Like [`heterogeneous`](Self::heterogeneous) but with straggler

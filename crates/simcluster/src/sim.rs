@@ -50,6 +50,10 @@ pub struct ClusterSim<T> {
     worker_rngs: Vec<Rng>,
     /// Cumulative busy time charged to the server (overhead accounting).
     server_busy_total: SimTime,
+    /// Nominal compute-phase cost used when this simulator is driven
+    /// through the [`crate::backend::ClusterBackend`] adapter (direct
+    /// `submit` callers pass their own nominal cost instead).
+    nominal_cost: SimTime,
 }
 
 impl<T> ClusterSim<T> {
@@ -64,7 +68,22 @@ impl<T> ClusterSim<T> {
             now: 0.0,
             worker_rngs,
             server_busy_total: 0.0,
+            // CIFAR-like per-iteration scale; overridable for backend runs.
+            nominal_cost: 0.032,
         }
+    }
+
+    /// Sets the nominal compute cost per worker phase for backend-driven
+    /// runs (see [`crate::backend::ClusterBackend`]).
+    pub fn with_nominal_cost(mut self, nominal: SimTime) -> Self {
+        assert!(nominal >= 0.0);
+        self.nominal_cost = nominal;
+        self
+    }
+
+    /// Nominal compute-phase cost for backend-driven runs.
+    pub fn nominal_cost(&self) -> SimTime {
+        self.nominal_cost
     }
 
     /// Number of workers.
@@ -120,7 +139,13 @@ impl<T> ClusterSim<T> {
         let start = wire_time.max(self.server_free);
         self.now = start;
         self.server_free = start;
-        Some(Arrival { time: start, worker: p.worker, uplink: p.uplink, compute: p.compute, payload: p.payload })
+        Some(Arrival {
+            time: start,
+            worker: p.worker,
+            uplink: p.uplink,
+            compute: p.compute,
+            payload: p.payload,
+        })
     }
 
     /// Number of in-flight messages.

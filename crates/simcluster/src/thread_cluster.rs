@@ -1,47 +1,55 @@
 //! Real-thread parameter-server scaffold.
 //!
 //! The discrete-event simulator gives reproducible staleness; this backend
-//! gives *organic* staleness from genuine OS-level asynchrony. Both speak
-//! the same request/response protocol, so lcasgd-core's algorithms can be
-//! validated on either.
+//! gives *organic* staleness from genuine OS-level asynchrony. Both
+//! implement [`ClusterBackend`], so lcasgd-core's algorithms can be
+//! validated on either — and on the TCP backend (`lcasgd-netcluster`),
+//! which speaks the same protocol across real sockets.
 //!
 //! Topology: one server loop on the caller's thread, `m` worker threads.
-//! Workers send `Req`s through an MPSC channel; each request optionally
-//! carries a oneshot-style reply channel. The server applies a closure to
-//! every request in arrival order — mirroring Algorithm 2's
-//! `repeat … until forever` loop — until all workers have hung up.
+//! Workers send `Req`s through an MPSC channel; blocking requests are
+//! answered through a per-worker reply channel, which also lets the server
+//! *defer* a reply and release it from a later message's handler (the
+//! SSGD barrier). The server applies a closure to every request in arrival
+//! order — mirroring Algorithm 2's `repeat … until forever` loop — until
+//! all workers have hung up.
 
+use crate::backend::{
+    ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::thread;
 
-/// A worker's handle to the server.
+/// A worker's handle to the server. Fallible: a vanished server surfaces
+/// as [`ClusterError::Disconnected`] rather than a panic, exactly like a
+/// dead TCP peer in the net backend.
 pub struct WorkerHandle<Req, Resp> {
     worker: usize,
-    tx: Sender<Envelope<Req, Resp>>,
+    tx: Sender<Envelope<Req>>,
+    reply_rx: Receiver<Resp>,
 }
 
-struct Envelope<Req, Resp> {
+struct Envelope<Req> {
     worker: usize,
     req: Req,
-    reply: Option<Sender<Resp>>,
+    expects_reply: bool,
 }
 
 impl<Req: Send, Resp: Send> WorkerHandle<Req, Resp> {
     /// Sends a request and blocks for the server's response (pull weights,
     /// push state and await ℓ_delay, …).
-    pub fn request(&self, req: Req) -> Resp {
-        let (rtx, rrx) = bounded(1);
+    pub fn request(&self, req: Req) -> Result<Resp, ClusterError> {
         self.tx
-            .send(Envelope { worker: self.worker, req, reply: Some(rtx) })
-            .expect("server hung up");
-        rrx.recv().expect("server dropped reply")
+            .send(Envelope { worker: self.worker, req, expects_reply: true })
+            .map_err(|_| ClusterError::Disconnected)?;
+        self.reply_rx.recv().map_err(|_| ClusterError::Disconnected)
     }
 
     /// Fire-and-forget send (push gradients).
-    pub fn send(&self, req: Req) {
+    pub fn send(&self, req: Req) -> Result<(), ClusterError> {
         self.tx
-            .send(Envelope { worker: self.worker, req, reply: None })
-            .expect("server hung up");
+            .send(Envelope { worker: self.worker, req, expects_reply: false })
+            .map_err(|_| ClusterError::Disconnected)
     }
 
     /// This worker's rank.
@@ -50,44 +58,111 @@ impl<Req: Send, Resp: Send> WorkerHandle<Req, Resp> {
     }
 }
 
-/// Runs a parameter-server round: spawns `m` worker threads executing
-/// `worker_fn`, processes their messages with `server_fn` in arrival
-/// order, and returns when every worker has finished.
-///
-/// `server_fn(worker, request)` returns `Some(resp)` for requests that
-/// expect a reply and `None` otherwise; replying `None` to a blocking
-/// request is a protocol bug and panics.
-pub struct ThreadCluster;
+impl<Req: Send, Resp: Send> WorkerLink<Req, Resp> for WorkerHandle<Req, Resp> {
+    fn worker(&self) -> usize {
+        self.worker
+    }
+
+    fn request(&mut self, req: Req) -> Result<Resp, ClusterError> {
+        WorkerHandle::request(self, req)
+    }
+
+    fn send(&mut self, req: Req) -> Result<(), ClusterError> {
+        WorkerHandle::send(self, req)
+    }
+}
+
+/// The real-thread backend: `m` OS threads against a serialized server
+/// loop on the calling thread.
+pub struct ThreadCluster {
+    workers: usize,
+}
 
 impl ThreadCluster {
-    pub fn run<Req, Resp, S, W>(num_workers: usize, mut server_fn: S, worker_fn: W)
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ThreadCluster { workers }
+    }
+}
+
+impl ClusterBackend for ThreadCluster {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run<Req, Resp, S, W>(
+        self,
+        mut server_fn: S,
+        worker_fn: W,
+    ) -> Result<TransportStats, ClusterError>
     where
-        Req: Send + 'static,
-        Resp: Send + 'static,
-        S: FnMut(usize, Req) -> Option<Resp>,
-        W: Fn(WorkerHandle<Req, Resp>) + Send + Sync,
+        Req: WireMsg + Send + 'static,
+        Resp: WireMsg + Send + 'static,
+        S: FnMut(usize, Req, &mut ServerCtx<Resp>),
+        W: Fn(usize, &mut dyn WorkerLink<Req, Resp>) + Send + Sync,
     {
-        let (tx, rx): (Sender<Envelope<Req, Resp>>, Receiver<Envelope<Req, Resp>>) = unbounded();
+        let m = self.workers;
+        let (tx, rx): (Sender<Envelope<Req>>, Receiver<Envelope<Req>>) = unbounded();
+        // Persistent per-worker reply channels: capacity 1 suffices since a
+        // worker has at most one outstanding blocking request.
+        let mut reply_txs: Vec<Option<Sender<Resp>>> = Vec::with_capacity(m);
+        let mut reply_rxs: Vec<Option<Receiver<Resp>>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (rtx, rrx) = bounded(1);
+            reply_txs.push(Some(rtx));
+            reply_rxs.push(Some(rrx));
+        }
+
+        let mut stats = TransportStats::default();
+        let mut awaiting = vec![false; m];
+        let mut result = Ok(());
+
         thread::scope(|scope| {
-            for w in 0..num_workers {
-                let handle = WorkerHandle { worker: w, tx: tx.clone() };
+            for (w, slot) in reply_rxs.iter_mut().enumerate() {
+                let mut handle = WorkerHandle {
+                    worker: w,
+                    tx: tx.clone(),
+                    reply_rx: slot.take().expect("reply receiver taken twice"),
+                };
                 let worker_fn = &worker_fn;
-                scope.spawn(move || worker_fn(handle));
+                scope.spawn(move || worker_fn(w, &mut handle));
             }
             // Drop the original sender so the loop ends when workers do.
             drop(tx);
-            while let Ok(env) = rx.recv() {
-                let resp = server_fn(env.worker, env.req);
-                match (env.reply, resp) {
-                    (Some(reply), Some(r)) => {
-                        // A worker may have panicked/exited; ignore closed replies.
-                        let _ = reply.send(r);
+
+            'serve: while let Ok(env) = rx.recv() {
+                let w = env.worker;
+                if env.expects_reply {
+                    awaiting[w] = true;
+                    stats.requests += 1;
+                } else {
+                    stats.oneways += 1;
+                }
+                let mut ctx = ServerCtx::new(w, env.expects_reply);
+                server_fn(w, env.req, &mut ctx);
+                for (target, resp) in ctx.take_replies() {
+                    if target >= m || !awaiting[target] {
+                        result = Err(ClusterError::Protocol(format!(
+                            "reply to worker {target}, which has no pending request"
+                        )));
+                        // Unblock everyone: dropping the reply senders turns
+                        // their pending recv()s into Disconnected errors.
+                        reply_txs.iter_mut().for_each(|t| *t = None);
+                        break 'serve;
                     }
-                    (None, _) => {}
-                    (Some(_), None) => panic!("server returned no reply to a blocking request"),
+                    awaiting[target] = false;
+                    let sender = reply_txs[target].as_ref().expect("reply sender present");
+                    // The worker may have panicked; a closed channel here
+                    // is its problem, not a server error.
+                    let _ = sender.send(resp);
                 }
             }
+            // Drain remaining messages so late fire-and-forget sends never
+            // block a sender (unbounded channel: nothing blocks, but the
+            // workers' own hangup ends the loop above).
         });
+
+        result.map(|()| stats)
     }
 }
 
@@ -99,75 +174,149 @@ mod tests {
     #[test]
     fn counter_server_sums_worker_contributions() {
         let mut total = 0u64;
-        ThreadCluster::run(
-            4,
-            |_w, req: u64| -> Option<()> {
-                total += req;
-                None
-            },
-            |h| {
-                for i in 1..=10u64 {
-                    h.send(i);
-                }
-            },
-        );
+        let stats = ThreadCluster::new(4)
+            .run(
+                |_w, req: u64, _ctx: &mut ServerCtx<()>| {
+                    total += req;
+                },
+                |_w, h| {
+                    for i in 1..=10u64 {
+                        h.send(i).unwrap();
+                    }
+                },
+            )
+            .unwrap();
         assert_eq!(total, 4 * 55);
+        assert_eq!(stats.oneways, 40);
+        assert_eq!(stats.requests, 0);
     }
 
     #[test]
     fn request_reply_roundtrip() {
         let counter = AtomicUsize::new(0);
-        ThreadCluster::run(
-            3,
-            |w, _req: ()| Some(w * 100),
-            |h| {
-                let resp = h.request(());
-                assert_eq!(resp, h.worker() * 100);
-                counter.fetch_add(1, Ordering::SeqCst);
-            },
-        );
+        let stats = ThreadCluster::new(3)
+            .run(
+                |w, _req: u32, ctx: &mut ServerCtx<u64>| ctx.reply(w as u64 * 100),
+                |w, h| {
+                    let resp = h.request(0).unwrap();
+                    assert_eq!(resp, w as u64 * 100);
+                    counter.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert_eq!(stats.requests, 3);
     }
 
     #[test]
     fn server_processes_sequentially() {
         // The server closure is FnMut with exclusive state: no locking
         // needed, by construction. Interleave blocking+nonblocking traffic.
-        let mut log: Vec<(usize, i32)> = Vec::new();
-        ThreadCluster::run(
-            2,
-            |w, req: i32| {
-                log.push((w, req));
-                if req >= 0 {
-                    Some(req * 2)
-                } else {
-                    None
-                }
-            },
-            |h| {
-                for i in 0..5 {
-                    let r = h.request(i);
-                    assert_eq!(r, i * 2);
-                    h.send(-1);
-                }
-            },
-        );
+        let mut log: Vec<(usize, u32)> = Vec::new();
+        ThreadCluster::new(2)
+            .run(
+                |w, req: u32, ctx: &mut ServerCtx<u32>| {
+                    log.push((w, req));
+                    if ctx.expects_reply() {
+                        ctx.reply(req * 2);
+                    }
+                },
+                |_w, h| {
+                    for i in 0..5 {
+                        let r = h.request(i).unwrap();
+                        assert_eq!(r, i * 2);
+                        h.send(999).unwrap();
+                    }
+                },
+            )
+            .unwrap();
         assert_eq!(log.len(), 20);
     }
 
     #[test]
     fn worker_ranks_are_distinct() {
         let seen = parking_lot::Mutex::new(Vec::new());
-        ThreadCluster::run(
-            8,
-            |_w, _req: ()| Some(()),
-            |h| {
-                seen.lock().push(h.worker());
-                let _ = h.request(());
-            },
-        );
+        ThreadCluster::new(8)
+            .run(
+                |_w, _req: u8, ctx: &mut ServerCtx<u8>| ctx.reply(0),
+                |w, h| {
+                    assert_eq!(h.worker(), w);
+                    seen.lock().push(w);
+                    let _ = h.request(0).unwrap();
+                },
+            )
+            .unwrap();
         let mut v = seen.into_inner();
         v.sort_unstable();
         assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deferred_replies_implement_a_barrier() {
+        // SSGD-style: nobody advances until every worker's message is in.
+        let mut blocked: Vec<usize> = Vec::new();
+        let rounds = 5u32;
+        ThreadCluster::new(4)
+            .run(
+                |w, round: u32, ctx: &mut ServerCtx<u32>| {
+                    blocked.push(w);
+                    if blocked.len() == 4 {
+                        for target in blocked.drain(..) {
+                            ctx.reply_to(target, round);
+                        }
+                    }
+                },
+                |_w, h| {
+                    for round in 0..rounds {
+                        let r = h.request(round).unwrap();
+                        assert_eq!(r, round);
+                    }
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn reply_to_idle_worker_is_a_protocol_error() {
+        let err = ThreadCluster::new(2)
+            .run(
+                |_w, _req: u8, ctx: &mut ServerCtx<u8>| {
+                    // Worker 1 never sent a blocking request.
+                    ctx.reply_to(1, 0);
+                },
+                |w, h| {
+                    if w == 0 {
+                        // Either an explicit error or a successful reply is
+                        // acceptable here; the run itself must error.
+                        let _ = h.request(0);
+                    }
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol(_)));
+    }
+
+    #[test]
+    fn dead_server_surfaces_as_error_not_panic() {
+        // After the protocol violation aborts the server loop, blocked and
+        // future worker calls get Err(Disconnected) instead of panicking.
+        let observed = parking_lot::Mutex::new(Vec::new());
+        let err = ThreadCluster::new(2)
+            .run(
+                |w, _req: u8, ctx: &mut ServerCtx<u8>| {
+                    if w == 0 {
+                        ctx.reply_to(1, 0); // worker 1 has no pending request
+                    }
+                },
+                |w, h| {
+                    if w == 0 {
+                        let r = h.request(0);
+                        observed.lock().push(r.is_err());
+                    }
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol(_)));
+        assert_eq!(observed.into_inner(), vec![true]);
     }
 }

@@ -1,0 +1,86 @@
+//! LC-ASGD end to end over real TCP sockets.
+//!
+//! A `NetServer` parameter server and four `NetWorker` client threads talk
+//! over loopback, speaking the full Algorithm 1/2 protocol (pull →
+//! forward → push state → compensated backward → push gradient) through
+//! the same `run_cluster` driver the simulator and thread backends use.
+//! The run prints per-epoch progress and the transport accounting that
+//! only a real wire produces: bytes moved, round-trip latency, and time
+//! spent in the codec.
+//!
+//! ```sh
+//! cargo run --release --example net_training
+//! ```
+
+use std::time::Duration;
+
+use lc_asgd::data::synth::blobs_split;
+use lc_asgd::nn::mlp::mlp;
+use lc_asgd::nn::optimizer::LrSchedule;
+use lc_asgd::prelude::*;
+
+/// Maps the transport-agnostic tuning knobs in `ExperimentConfig` onto
+/// the TCP backend's own config (core never depends on sockets, so the
+/// translation lives with the caller).
+fn net_config(t: &NetTuning) -> NetConfig {
+    NetConfig {
+        heartbeat_interval: Duration::from_millis(t.heartbeat_interval_ms),
+        heartbeat_timeout: Duration::from_millis(t.heartbeat_timeout_ms),
+        request_timeout: Duration::from_millis(t.request_timeout_ms),
+        ..NetConfig::default()
+    }
+}
+
+fn main() {
+    let workers = 4;
+    let (train, test) = blobs_split(4, 6, 40, 12, 0.5, 9);
+
+    let mut cfg = ExperimentConfig::new(Algorithm::LcAsgd, workers, Scale::Tiny, 3);
+    cfg.epochs = 12;
+    cfg.batch_size = 10;
+    cfg.lr = LrSchedule::constant(0.1);
+
+    let build = |rng: &mut Rng| mlp(&[6, 16, 4], false, rng);
+    let backend = NetCluster::new(workers).with_config(net_config(&cfg.net));
+
+    println!("training LC-ASGD with {workers} workers over loopback TCP…\n");
+    let r = run_cluster(backend, &cfg, &build, &train, &test).expect("TCP training run failed");
+
+    println!("epoch  train-loss  test-error");
+    for (i, e) in r.epochs.iter().enumerate() {
+        println!("{:>5}  {:>10.4}  {:>10.3}", i + 1, e.train_loss, e.test_error);
+    }
+
+    let first = r.epochs.first().expect("at least one epoch");
+    let last = r.epochs.last().expect("at least one epoch");
+    println!(
+        "\nloss {:.4} → {:.4}, test error {:.3} → {:.3} over {} server updates in {:.2}s",
+        first.train_loss,
+        last.train_loss,
+        first.test_error,
+        last.test_error,
+        r.iterations,
+        r.total_time
+    );
+    assert!(last.train_loss < first.train_loss, "training over TCP must decrease the loss");
+
+    let t = r.transport.expect("backend runs always report transport stats");
+    println!("\ntransport (what actually crossed the wire):");
+    println!("  server→worker bytes : {}", t.bytes_sent);
+    println!("  worker→server bytes : {}", t.bytes_received);
+    println!("  blocking requests   : {}", t.requests);
+    println!("  one-way pushes      : {}", t.oneways);
+    println!("  codec time          : {:.1} ms", t.serialize_seconds * 1e3);
+    if t.rtt.count() > 0 {
+        println!(
+            "  round trips         : {} (mean {:.0} µs, max {:.0} µs)",
+            t.rtt.count(),
+            t.rtt.mean_seconds() * 1e6,
+            t.rtt.max_seconds() * 1e6,
+        );
+        println!("  rtt histogram (µs floor → count):");
+        for (floor, n) in t.rtt.nonempty_buckets() {
+            println!("    {:>8} → {}", floor, n);
+        }
+    }
+}

@@ -28,7 +28,11 @@ fn main() {
         }
         lp.observe_and_predict(actual, 4);
     }
-    println!("mean abs one-step error: {:.4}  (total predictor CPU: {:.1} ms)\n", mae / n as f32, lp.elapsed_ms);
+    println!(
+        "mean abs one-step error: {:.4}  (total predictor CPU: {:.1} ms)\n",
+        mae / n as f32,
+        lp.elapsed_ms
+    );
 
     // --- Step predictor on a 2-speed cluster --------------------------
     let m = 8;

@@ -12,7 +12,12 @@ fn main() {
     //    lcasgd-data for how the class structure is generated).
     let spec = SyntheticImageSpec::cifar10_like(8, 8, 32, 12);
     let (train, test) = spec.generate();
-    println!("dataset: {} train / {} test images, {} classes", train.len(), test.len(), train.num_classes);
+    println!(
+        "dataset: {} train / {} test images, {} classes",
+        train.len(),
+        test.len(),
+        train.num_classes
+    );
 
     // 2. A model builder. Every algorithm starts from the same random
     //    initialization because the builder is deterministic in its RNG.

@@ -88,10 +88,24 @@ fn train(args: &Args) {
     // Dataset + model matching the bench scenarios' spirit.
     let hw = if dataset == "imagenet" { scale.imagenet_hw() } else { scale.cifar_hw() };
     let (spec, classes) = if dataset == "imagenet" {
-        (SyntheticImageSpec::imagenet_like(16, hw, hw, scale.cifar_train_per_class(), scale.cifar_test_per_class()), 16)
+        (
+            SyntheticImageSpec::imagenet_like(
+                16,
+                hw,
+                hw,
+                scale.cifar_train_per_class(),
+                scale.cifar_test_per_class(),
+            ),
+            16,
+        )
     } else {
         (
-            SyntheticImageSpec::cifar10_like(hw, hw, scale.cifar_train_per_class(), scale.cifar_test_per_class()),
+            SyntheticImageSpec::cifar10_like(
+                hw,
+                hw,
+                scale.cifar_train_per_class(),
+                scale.cifar_test_per_class(),
+            ),
             10,
         )
     };
@@ -125,7 +139,10 @@ fn train(args: &Args) {
         cfg.epochs
     );
     let result = run_experiment(&cfg, &build, &train_set, &test_set);
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "epoch", "train err", "test err", "loss", "t (s)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "epoch", "train err", "test err", "loss", "t (s)"
+    );
     for e in &result.epochs {
         println!(
             "{:>6} {:>9.2}% {:>9.2}% {:>10.4} {:>10.2}",
@@ -176,8 +193,8 @@ fn staleness(args: &Args) {
     let mut version = 0u64;
     let mut pulled = vec![0u64; workers];
     let mut samples = Vec::new();
-    for w in 0..workers {
-        pulled[w] = version;
+    for (w, p) in pulled.iter_mut().enumerate() {
+        *p = version;
         sim.submit(w, 0.0, 0.032, w as u64);
     }
     for _ in 0..workers * 200 {

@@ -11,12 +11,16 @@
 //! * [`autograd`] — tape-based reverse-mode AD
 //! * [`nn`] — layers, ResNet/MLP/LSTM builders, losses, SGD
 //! * [`data`] — deterministic synthetic datasets
-//! * [`simcluster`] — discrete-event cluster simulator + thread backend
+//! * [`simcluster`] — discrete-event cluster simulator + thread backend,
+//!   and the shared `ClusterBackend` contract
+//! * [`netcluster`] — TCP parameter server speaking the same protocol
+//!   over real sockets (length-prefixed frames, heartbeats, reconnects)
 //! * [`core`] — the LC-ASGD algorithm, its predictors, and all baselines
 
 pub use lcasgd_autograd as autograd;
 pub use lcasgd_core as core;
 pub use lcasgd_data as data;
+pub use lcasgd_netcluster as netcluster;
 pub use lcasgd_nn as nn;
 pub use lcasgd_simcluster as simcluster;
 pub use lcasgd_tensor as tensor;
@@ -27,9 +31,11 @@ pub mod prelude {
     pub use lcasgd_core::algorithms::Algorithm;
     pub use lcasgd_core::bnmode::BnMode;
     pub use lcasgd_core::compensation::CompensationMode;
-    pub use lcasgd_core::config::{ExperimentConfig, Scale};
+    pub use lcasgd_core::config::{ExperimentConfig, NetTuning, Scale};
     pub use lcasgd_core::metrics::RunResult;
-    pub use lcasgd_core::trainer::run_experiment;
+    pub use lcasgd_core::trainer::{run_cluster, run_experiment};
     pub use lcasgd_data::{Dataset, SyntheticImageSpec};
+    pub use lcasgd_netcluster::{NetCluster, NetConfig};
+    pub use lcasgd_simcluster::{ClusterBackend, ClusterError, ThreadCluster, TransportStats};
     pub use lcasgd_tensor::{Rng, Tensor};
 }

@@ -40,7 +40,7 @@ fn async_accumulation_converges_to_stationary_stats() {
     let target = BnBatchStats { mean: Tensor::full(&[8], 3.0), var: Tensor::full(&[8], 7.0) };
     let running = net.bn_state();
     for _ in 0..100 {
-        server.absorb_bn(&running, &[target.clone()]);
+        server.absorb_bn(&running, std::slice::from_ref(&target));
     }
     for &m in server.bn.means[0].data() {
         assert!((m - 3.0).abs() < 1e-3, "mean {m}");

@@ -20,9 +20,7 @@ fn checkpoint_resnet_roundtrip_preserves_eval() {
     let idx: Vec<usize> = (0..32).collect();
     let (x, y) = train.batch(&idx);
 
-    let eval = |net: &lc_asgd::nn::Network| {
-        lc_asgd::nn::metrics::evaluate(net, &x, &y, 16)
-    };
+    let eval = |net: &lc_asgd::nn::Network| lc_asgd::nn::metrics::evaluate(net, &x, &y, 16);
     let before = eval(&net);
 
     let mut buf = Vec::new();

@@ -45,10 +45,7 @@ fn staleness_scales_with_worker_count_in_both_backends() {
         };
         let s2 = run(2).mean_staleness();
         let s8 = run(8).mean_staleness();
-        assert!(
-            s8 > s2,
-            "{backend}: staleness should grow with workers ({s2:.2} vs {s8:.2})"
-        );
+        assert!(s8 > s2, "{backend}: staleness should grow with workers ({s2:.2} vs {s8:.2})");
     }
 }
 

@@ -15,6 +15,14 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+# The chaos suite exercises crash/recovery paths that hang rather than
+# fail when recovery regresses, so it runs again under a hard timeout:
+# a wedged run must kill CI, not stall it.
+echo "==> chaos / fault-injection suite (hard 300s timeout)"
+timeout 300 cargo test -q --release --test chaos_faults
+timeout 120 cargo test -q --release -p lcasgd-core checkpoint
+timeout 120 cargo test -q --release -p lcasgd-netcluster frame
+
 echo "==> cargo fmt --check (touched crates)"
 cargo fmt --check "${TOUCHED[@]}"
 

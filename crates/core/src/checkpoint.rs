@@ -1,0 +1,573 @@
+//! Full training-state checkpoints: everything a crashed or deliberately
+//! restarted parameter server needs to resume a cluster run mid-stream.
+//!
+//! The model-only snapshot ([`lcasgd_nn::checkpoint::Checkpoint`]) is not
+//! enough for elastic recovery: a resumed LC-ASGD server must also bring
+//! back the optimizer bookkeeping (update counter, per-worker arrival
+//! history for `k_m`), both online LSTM predictors *with their recurrent
+//! state*, the metrics accumulated so far, and each worker's position in
+//! its private batch stream — otherwise the resumed run re-sees examples
+//! and the predictors re-learn from scratch, and the post-resume loss
+//! curve diverges from the uninterrupted one.
+//!
+//! ## Format
+//!
+//! A little-endian binary body framed by a magic string and a trailing
+//! CRC-32 over everything before it. Corruption anywhere in the file —
+//! a flipped bit, truncation, or a foreign file — fails the CRC (or the
+//! structural parse) and [`TrainingCheckpoint::load`] returns an error
+//! instead of resuming from garbage.
+//!
+//! [`TrainingCheckpoint::save`] is atomic: the bytes are written to a
+//! `<path>.tmp` sibling and `rename(2)`d into place, so a crash mid-write
+//! leaves the previous checkpoint intact.
+
+use crate::metrics::EpochRecord;
+use crate::predictor::{LossPredictorSnapshot, StepPredictorSnapshot};
+use lcasgd_nn::checkpoint::{read_f32s, write_f32s};
+use lcasgd_nn::network::BnState;
+use lcasgd_tensor::Tensor;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LCTRCK01";
+/// Arrival-history sentinel for "no arrival yet" (`Option::None`).
+const NO_ARRIVAL: u64 = u64::MAX;
+
+/// CRC-32 (IEEE), bitwise. Kept local: core must not depend on the
+/// network crate for an integrity primitive.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The complete resumable state of a [`run_cluster`] training run.
+///
+/// [`run_cluster`]: crate::trainer::run_cluster
+#[derive(Clone, Debug)]
+pub struct TrainingCheckpoint {
+    /// Server's canonical flat weights `w_t`.
+    pub weights: Vec<f32>,
+    /// Server's global BN running statistics.
+    pub bn: BnState,
+    /// Server update counter `t`.
+    pub version: u64,
+    /// Applied-gradient count (the run's progress toward its target).
+    pub applied: u64,
+    /// Per-worker version at last arrival (`None` = no arrival yet).
+    pub arrival: Vec<Option<u64>>,
+    /// The server's `iter` arrival log.
+    pub iter: Vec<usize>,
+    /// Staleness samples accumulated so far.
+    pub staleness: Vec<u32>,
+    /// Losses of the in-progress epoch (cleared at each epoch record).
+    pub epoch_losses: Vec<f32>,
+    /// Completed epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// Loss-predictor state (LC-ASGD only).
+    pub loss_pred: Option<LossPredictorSnapshot>,
+    /// Step-predictor state (LC-ASGD only).
+    pub step_pred: Option<StepPredictorSnapshot>,
+    /// Per-worker batch-stream position `(reshuffles, pos)`, see
+    /// [`lcasgd_data::BatchIter::replay_to`]. Positions are sampled after
+    /// each pushed gradient, so a resume may recompute a batch whose
+    /// gradient was already applied — at-least-once semantics, which SGD
+    /// tolerates (one extra sample of an example is noise).
+    pub worker_batches: Vec<(u64, u64)>,
+}
+
+// ------------------------------------------------------------- primitives
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn get_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn get_len(r: &mut impl Read, what: &str) -> io::Result<usize> {
+    let n = get_u64(r)?;
+    // Sanity cap against corrupted length headers that dodge the CRC
+    // check path (e.g. when parsing an unchecked byte stream in tests).
+    if n > (1 << 32) {
+        return Err(bad(&format!("implausible {what} count")));
+    }
+    Ok(n as usize)
+}
+
+fn bad(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why.to_string())
+}
+
+fn put_lstm_state(w: &mut impl Write, layers: &[(Vec<f32>, Vec<f32>)]) -> io::Result<()> {
+    put_u64(w, layers.len() as u64)?;
+    for (h, c) in layers {
+        write_f32s(w, h)?;
+        write_f32s(w, c)?;
+    }
+    Ok(())
+}
+
+fn get_lstm_state(r: &mut impl Read) -> io::Result<Vec<(Vec<f32>, Vec<f32>)>> {
+    let n = get_len(r, "LSTM layer")?;
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        layers.push((read_f32s(r)?, read_f32s(r)?));
+    }
+    Ok(layers)
+}
+
+fn put_opt_f32(w: &mut impl Write, v: Option<f32>) -> io::Result<()> {
+    match v {
+        Some(x) => {
+            w.write_all(&[1])?;
+            put_f32(w, x)
+        }
+        None => w.write_all(&[0]),
+    }
+}
+
+fn get_opt_f32(r: &mut impl Read) -> io::Result<Option<f32>> {
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    match flag[0] {
+        0 => Ok(None),
+        1 => Ok(Some(get_f32(r)?)),
+        _ => Err(bad("bad option flag")),
+    }
+}
+
+// ------------------------------------------------------------ (de)coding
+
+impl TrainingCheckpoint {
+    /// Serializes the body (everything between magic and CRC).
+    fn write_body(&self, w: &mut impl Write) -> io::Result<()> {
+        write_f32s(w, &self.weights)?;
+        put_u64(w, self.bn.means.len() as u64)?;
+        for (mean, var) in self.bn.means.iter().zip(&self.bn.vars) {
+            write_f32s(w, mean.data())?;
+            write_f32s(w, var.data())?;
+        }
+        put_u64(w, self.version)?;
+        put_u64(w, self.applied)?;
+        put_u64(w, self.arrival.len() as u64)?;
+        for a in &self.arrival {
+            put_u64(w, a.unwrap_or(NO_ARRIVAL))?;
+        }
+        put_u64(w, self.iter.len() as u64)?;
+        for &m in &self.iter {
+            put_u32(w, m as u32)?;
+        }
+        put_u64(w, self.staleness.len() as u64)?;
+        for &s in &self.staleness {
+            put_u32(w, s)?;
+        }
+        write_f32s(w, &self.epoch_losses)?;
+        put_u64(w, self.epochs.len() as u64)?;
+        for e in &self.epochs {
+            put_u64(w, e.epoch as u64)?;
+            put_f64(w, e.time)?;
+            put_f32(w, e.train_error)?;
+            put_f32(w, e.test_error)?;
+            put_f32(w, e.train_loss)?;
+            put_f32(w, e.lr)?;
+        }
+        match &self.loss_pred {
+            None => w.write_all(&[0])?,
+            Some(lp) => {
+                w.write_all(&[1])?;
+                write_f32s(w, &lp.params)?;
+                put_lstm_state(w, &lp.state)?;
+                put_opt_f32(w, lp.last_loss)?;
+                put_opt_f32(w, lp.next_forecast)?;
+                put_u64(w, lp.train_steps)?;
+            }
+        }
+        match &self.step_pred {
+            None => w.write_all(&[0])?,
+            Some(sp) => {
+                w.write_all(&[1])?;
+                write_f32s(w, &sp.params)?;
+                put_u64(w, sp.streams.len() as u64)?;
+                for (layers, prev) in &sp.streams {
+                    put_lstm_state(w, layers)?;
+                    match prev {
+                        None => w.write_all(&[0])?,
+                        Some([a, b, c]) => {
+                            w.write_all(&[1])?;
+                            put_f32(w, *a)?;
+                            put_f32(w, *b)?;
+                            put_f32(w, *c)?;
+                        }
+                    }
+                }
+                put_f64(w, sp.comm_scale)?;
+                put_f64(w, sp.comp_scale)?;
+                put_u64(w, sp.samples)?;
+                put_u64(w, sp.train_steps)?;
+            }
+        }
+        put_u64(w, self.worker_batches.len() as u64)?;
+        for &(reshuffles, pos) in &self.worker_batches {
+            put_u64(w, reshuffles)?;
+            put_u64(w, pos)?;
+        }
+        Ok(())
+    }
+
+    fn read_body(r: &mut impl Read) -> io::Result<Self> {
+        let weights = read_f32s(r)?;
+        let layers = get_len(r, "BN layer")?;
+        let mut bn = BnState::default();
+        for _ in 0..layers {
+            let mean = read_f32s(r)?;
+            let var = read_f32s(r)?;
+            if mean.len() != var.len() {
+                return Err(bad("BN mean/var length mismatch"));
+            }
+            let c = mean.len();
+            bn.means.push(Tensor::from_vec(mean, &[c]));
+            bn.vars.push(Tensor::from_vec(var, &[c]));
+        }
+        let version = get_u64(r)?;
+        let applied = get_u64(r)?;
+        let n = get_len(r, "worker")?;
+        let mut arrival = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = get_u64(r)?;
+            arrival.push(if v == NO_ARRIVAL { None } else { Some(v) });
+        }
+        let n = get_len(r, "iter entry")?;
+        let mut iter = Vec::with_capacity(n);
+        for _ in 0..n {
+            iter.push(get_u32(r)? as usize);
+        }
+        let n = get_len(r, "staleness sample")?;
+        let mut staleness = Vec::with_capacity(n);
+        for _ in 0..n {
+            staleness.push(get_u32(r)?);
+        }
+        let epoch_losses = read_f32s(r)?;
+        let n = get_len(r, "epoch record")?;
+        let mut epochs = Vec::with_capacity(n);
+        for _ in 0..n {
+            epochs.push(EpochRecord {
+                epoch: get_u64(r)? as usize,
+                time: get_f64(r)?,
+                train_error: get_f32(r)?,
+                test_error: get_f32(r)?,
+                train_loss: get_f32(r)?,
+                lr: get_f32(r)?,
+            });
+        }
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let loss_pred = match flag[0] {
+            0 => None,
+            1 => Some(LossPredictorSnapshot {
+                params: read_f32s(r)?,
+                state: get_lstm_state(r)?,
+                last_loss: get_opt_f32(r)?,
+                next_forecast: get_opt_f32(r)?,
+                train_steps: get_u64(r)?,
+            }),
+            _ => return Err(bad("bad loss-predictor flag")),
+        };
+        r.read_exact(&mut flag)?;
+        let step_pred = match flag[0] {
+            0 => None,
+            1 => {
+                let params = read_f32s(r)?;
+                let n = get_len(r, "predictor stream")?;
+                let mut streams = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let layers = get_lstm_state(r)?;
+                    let mut pf = [0u8; 1];
+                    r.read_exact(&mut pf)?;
+                    let prev = match pf[0] {
+                        0 => None,
+                        1 => Some([get_f32(r)?, get_f32(r)?, get_f32(r)?]),
+                        _ => return Err(bad("bad observation flag")),
+                    };
+                    streams.push((layers, prev));
+                }
+                Some(StepPredictorSnapshot {
+                    params,
+                    streams,
+                    comm_scale: get_f64(r)?,
+                    comp_scale: get_f64(r)?,
+                    samples: get_u64(r)?,
+                    train_steps: get_u64(r)?,
+                })
+            }
+            _ => return Err(bad("bad step-predictor flag")),
+        };
+        let n = get_len(r, "worker batch position")?;
+        let mut worker_batches = Vec::with_capacity(n);
+        for _ in 0..n {
+            worker_batches.push((get_u64(r)?, get_u64(r)?));
+        }
+        Ok(TrainingCheckpoint {
+            weights,
+            bn,
+            version,
+            applied,
+            arrival,
+            iter,
+            staleness,
+            epoch_losses,
+            epochs,
+            loss_pred,
+            step_pred,
+            worker_batches,
+        })
+    }
+
+    /// Serializes to `magic ‖ body ‖ crc32(magic ‖ body)`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.weights.len() * 4);
+        buf.extend_from_slice(MAGIC);
+        self.write_body(&mut buf).expect("Vec writes are infallible");
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parses bytes produced by [`TrainingCheckpoint::to_bytes`],
+    /// rejecting anything whose CRC, magic, or structure does not check
+    /// out.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(bad("truncated checkpoint"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(bad("checkpoint CRC mismatch (corrupted or truncated)"));
+        }
+        if &body[..MAGIC.len()] != MAGIC {
+            return Err(bad("not an LC-ASGD training checkpoint"));
+        }
+        let mut r = &body[MAGIC.len()..];
+        let ck = Self::read_body(&mut r)?;
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after checkpoint body"));
+        }
+        Ok(ck)
+    }
+
+    /// Atomically saves to `path`: writes `<path>.tmp`, then renames over
+    /// the destination, so a crash mid-save never destroys the previous
+    /// checkpoint.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, self.to_bytes())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads and integrity-checks a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            weights: (0..40).map(|i| i as f32 * 0.25 - 3.0).collect(),
+            bn: BnState {
+                means: vec![Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3])],
+                vars: vec![Tensor::from_vec(vec![1.0, 0.25, 4.0], &[3])],
+            },
+            version: 321,
+            applied: 300,
+            arrival: vec![Some(319), None, Some(280)],
+            iter: vec![0, 2, 0, 1, 2],
+            staleness: vec![0, 1, 3, 2],
+            epoch_losses: vec![0.9, 0.7],
+            epochs: vec![EpochRecord {
+                epoch: 1,
+                time: 2.5,
+                train_error: 0.3,
+                test_error: 0.35,
+                train_loss: 1.1,
+                lr: 0.1,
+            }],
+            loss_pred: Some(LossPredictorSnapshot {
+                params: vec![0.1, -0.2, 0.3],
+                state: vec![(vec![0.5, 0.5], vec![-0.1, 0.2])],
+                last_loss: Some(0.8),
+                next_forecast: None,
+                train_steps: 42,
+            }),
+            step_pred: Some(StepPredictorSnapshot {
+                params: vec![1.0, 2.0],
+                streams: vec![
+                    (vec![(vec![0.0, 1.0], vec![2.0, 3.0])], Some([0.5, 0.01, 0.2])),
+                    (vec![(vec![4.0, 5.0], vec![6.0, 7.0])], None),
+                    (vec![(vec![0.0; 2], vec![0.0; 2])], None),
+                ],
+                comm_scale: 0.002,
+                comp_scale: 0.04,
+                samples: 99,
+                train_steps: 77,
+            }),
+            worker_batches: vec![(1, 7), (2, 0), (1, 11)],
+        }
+    }
+
+    fn assert_same(a: &TrainingCheckpoint, b: &TrainingCheckpoint) {
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bn, b.bn);
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.arrival, b.arrival);
+        assert_eq!(a.iter, b.iter);
+        assert_eq!(a.staleness, b.staleness);
+        assert_eq!(a.epoch_losses, b.epoch_losses);
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (x, y) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!((x.epoch, x.time, x.train_error), (y.epoch, y.time, y.train_error));
+            assert_eq!((x.test_error, x.train_loss, x.lr), (y.test_error, y.train_loss, y.lr));
+        }
+        assert_eq!(a.loss_pred, b.loss_pred);
+        assert_eq!(a.step_pred, b.step_pred);
+        assert_eq!(a.worker_batches, b.worker_batches);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let ck = sample();
+        let back = TrainingCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_same(&ck, &back);
+    }
+
+    #[test]
+    fn roundtrip_without_predictors() {
+        let mut ck = sample();
+        ck.loss_pred = None;
+        ck.step_pred = None;
+        let back = TrainingCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_same(&ck, &back);
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic() {
+        let ck = sample();
+        let path = std::env::temp_dir().join("lcasgd_train_ckpt_test.bin");
+        ck.save(&path).unwrap();
+        // The tmp sibling must not linger after a successful save.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        let back = TrainingCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_same(&ck, &back);
+    }
+
+    #[test]
+    fn rejects_foreign_bytes() {
+        assert!(TrainingCheckpoint::from_bytes(b"short").is_err());
+        let mut fake = b"NOTACKPT".to_vec();
+        fake.extend_from_slice(&[0u8; 64]);
+        let crc = super::crc32(&fake);
+        fake.extend_from_slice(&crc.to_le_bytes());
+        // CRC is fine but the magic is wrong.
+        assert!(TrainingCheckpoint::from_bytes(&fake).is_err());
+    }
+
+    #[test]
+    fn crc_is_the_ieee_polynomial() {
+        // Standard check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(super::crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any single flipped byte anywhere in the file must be detected:
+        /// the CRC covers magic and body, and the CRC field itself no
+        /// longer matches a clean body.
+        #[test]
+        fn any_flipped_byte_is_rejected(offset_pick in any::<u32>(), mask in 1u8..=255) {
+            let mut bytes = sample().to_bytes();
+            let off = offset_pick as usize % bytes.len();
+            bytes[off] ^= mask;
+            prop_assert!(TrainingCheckpoint::from_bytes(&bytes).is_err());
+        }
+
+        /// Truncation at any point must be detected.
+        #[test]
+        fn any_truncation_is_rejected(cut_pick in any::<u32>()) {
+            let bytes = sample().to_bytes();
+            let cut = cut_pick as usize % bytes.len();
+            prop_assert!(TrainingCheckpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+
+        /// Corrupting a stored f32 and *recomputing* the CRC still parses
+        /// (structure is intact) — demonstrating the CRC is what protects
+        /// payload bits, not the structural checks.
+        #[test]
+        fn crc_refresh_restores_parseability(mask in 1u8..=255) {
+            let ck = sample();
+            let mut bytes = ck.to_bytes();
+            // Flip a byte inside the weights payload (after magic + the
+            // 8-byte length prefix).
+            let off = MAGIC.len() + 8 + 2;
+            bytes[off] ^= mask;
+            let body_len = bytes.len() - 4;
+            let crc = super::crc32(&bytes[..body_len]);
+            bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+            let back = TrainingCheckpoint::from_bytes(&bytes).unwrap();
+            prop_assert!(back.weights != ck.weights);
+        }
+    }
+}

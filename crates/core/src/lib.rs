@@ -24,6 +24,7 @@
 
 pub mod algorithms;
 pub mod bnmode;
+pub mod checkpoint;
 pub mod comm;
 pub mod compensation;
 pub mod config;
@@ -36,8 +37,9 @@ pub mod worker;
 
 pub use algorithms::Algorithm;
 pub use bnmode::BnMode;
+pub use checkpoint::TrainingCheckpoint;
 pub use comm::Compression;
 pub use compensation::CompensationMode;
 pub use config::{CostModel, ExperimentConfig, NetTuning, Scale};
-pub use metrics::{EpochRecord, OverheadStats, PredictorTrace, RunResult};
+pub use metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, RunResult};
 pub use protocol::{ClusterReq, ClusterResp};

@@ -1,6 +1,6 @@
 //! Run results: everything the figure/table harnesses consume.
 
-use lcasgd_simcluster::TransportStats;
+use lcasgd_simcluster::{FaultKind, FaultRecord, TransportStats};
 
 /// One row of a learning curve (Figures 3–6 plot these).
 #[derive(Clone, Debug)]
@@ -79,6 +79,41 @@ impl OverheadStats {
     }
 }
 
+/// Fault-injection and recovery accounting for a chaos run (a run driven
+/// with a [`FaultPlan`](lcasgd_simcluster::FaultPlan)).
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Everything the plan recorded, in canonical order: injections,
+    /// worker restarts, server halts/resumes.
+    pub records: Vec<FaultRecord>,
+    /// True when the run halted itself at a planned server-restart point
+    /// after writing a checkpoint (resume it with
+    /// [`RunOptions::resume`](crate::trainer::RunOptions)).
+    pub server_halted: bool,
+    /// Applied-update count this run resumed from (0 = fresh start).
+    pub resumed_at: u64,
+}
+
+impl FaultReport {
+    /// Scheduled faults that actually fired.
+    pub fn injected(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r, FaultRecord::Injected { .. })).count()
+    }
+
+    /// Worker crashes injected.
+    pub fn crashes(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, FaultRecord::Injected { kind: FaultKind::Crash { .. }, .. }))
+            .count()
+    }
+
+    /// Crashed workers whose processes were restarted and rejoined.
+    pub fn worker_restarts(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r, FaultRecord::WorkerRestarted { .. })).count()
+    }
+}
+
 /// Everything produced by one training run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -101,6 +136,10 @@ pub struct RunResult {
     ///
     /// [`ClusterBackend`]: lcasgd_simcluster::ClusterBackend
     pub transport: Option<TransportStats>,
+    /// Fault-injection accounting when the run carried a
+    /// [`FaultPlan`](lcasgd_simcluster::FaultPlan); `None` for fault-free
+    /// runs.
+    pub faults: Option<FaultReport>,
 }
 
 impl RunResult {
@@ -169,6 +208,7 @@ mod tests {
             iterations: 10,
             total_time: 1.0,
             transport: None,
+            faults: None,
         };
         assert_eq!(r.final_test_error(), 0.3);
         assert_eq!(r.best_test_error(), 0.2);
@@ -186,6 +226,7 @@ mod tests {
             iterations: 1,
             total_time: 1.0,
             transport: None,
+            faults: None,
         };
         let deg = r.degradation_vs(0.0515);
         assert!((deg - 10.097).abs() < 0.05, "{deg}");
@@ -202,6 +243,7 @@ mod tests {
             iterations: 5,
             total_time: 0.16,
             transport: None,
+            faults: None,
         };
         assert!((r.mean_staleness() - 3.2).abs() < 1e-9);
         let h = r.staleness_histogram(3);
@@ -282,6 +324,7 @@ mod convergence_tests {
             iterations: 7,
             total_time: 10.0,
             transport: None,
+            faults: None,
         }
     }
 

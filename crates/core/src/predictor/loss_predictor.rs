@@ -26,6 +26,19 @@ pub struct LossPrediction {
     pub one_step: f32,
 }
 
+/// Serializable state of a [`LossPredictor`]: model weights in
+/// [`Lstm::flat_params`] order, per-layer `(h, c)` recurrent state, and
+/// the online-training bookkeeping. The building block for the full
+/// training checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossPredictorSnapshot {
+    pub params: Vec<f32>,
+    pub state: Vec<(Vec<f32>, Vec<f32>)>,
+    pub last_loss: Option<f32>,
+    pub next_forecast: Option<f32>,
+    pub train_steps: u64,
+}
+
 /// Online LSTM loss forecaster.
 pub struct LossPredictor {
     lstm: Lstm,
@@ -69,6 +82,47 @@ impl LossPredictor {
     /// to arrive (None until two losses have been seen).
     pub fn pending_forecast(&self) -> Option<f32> {
         self.next_forecast
+    }
+
+    /// Captures everything needed to resume this predictor exactly where
+    /// it left off: model weights, recurrent state, and the online
+    /// training bookkeeping.
+    pub fn snapshot(&self) -> LossPredictorSnapshot {
+        LossPredictorSnapshot {
+            params: self.lstm.flat_params(),
+            state: self
+                .state
+                .layers
+                .iter()
+                .map(|(h, c)| (h.data().to_vec(), c.data().to_vec()))
+                .collect(),
+            last_loss: self.last_loss,
+            next_forecast: self.next_forecast,
+            train_steps: self.train_steps,
+        }
+    }
+
+    /// Installs a snapshot into an identically configured predictor (same
+    /// hidden width/layer count). Panics on an architecture mismatch.
+    pub fn restore(&mut self, snap: &LossPredictorSnapshot) {
+        self.lstm.set_flat_params(&snap.params);
+        assert_eq!(snap.state.len(), self.state.layers.len(), "LSTM layer count mismatch");
+        let hidden = self.lstm.hidden();
+        self.state = LstmState {
+            layers: snap
+                .state
+                .iter()
+                .map(|(h, c)| {
+                    (
+                        Tensor::from_vec(h.clone(), &[1, hidden]),
+                        Tensor::from_vec(c.clone(), &[1, hidden]),
+                    )
+                })
+                .collect(),
+        };
+        self.last_loss = snap.last_loss;
+        self.next_forecast = snap.next_forecast;
+        self.train_steps = snap.train_steps;
     }
 
     /// Algorithm 3: consume the arriving loss `ℓ_m`, train online on

@@ -4,5 +4,5 @@
 pub mod loss_predictor;
 pub mod step_predictor;
 
-pub use loss_predictor::{LossPrediction, LossPredictor};
-pub use step_predictor::StepPredictor;
+pub use loss_predictor::{LossPrediction, LossPredictor, LossPredictorSnapshot};
+pub use step_predictor::{StepPredictor, StepPredictorSnapshot};

@@ -22,6 +22,23 @@ struct WorkerStream {
     prev: Option<[f32; 3]>,
 }
 
+/// One worker's serialized stream: per-layer `(h, c)` recurrent state and
+/// the previous normalized observation, if any.
+pub type StreamSnapshot = (Vec<(Vec<f32>, Vec<f32>)>, Option<[f32; 3]>);
+
+/// Serializable state of a [`StepPredictor`]: shared model weights, one
+/// `(recurrent state, previous observation)` pair per worker, and the
+/// input-normalization running means.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepPredictorSnapshot {
+    pub params: Vec<f32>,
+    pub streams: Vec<StreamSnapshot>,
+    pub comm_scale: f64,
+    pub comp_scale: f64,
+    pub samples: u64,
+    pub train_steps: u64,
+}
+
 /// Online multivariate LSTM staleness forecaster.
 pub struct StepPredictor {
     lstm: Lstm,
@@ -117,6 +134,70 @@ impl StepPredictor {
     /// Number of workers this predictor serves.
     pub fn num_workers(&self) -> usize {
         self.num_workers
+    }
+
+    /// Forgets worker `m`'s series: zero recurrent state, no previous
+    /// observation. Called when a crashed worker rejoins — its old series
+    /// describes a process that no longer exists, so the shared model
+    /// restarts that stream from scratch (the shared weights are kept;
+    /// they encode cluster-wide dynamics, not one incarnation's).
+    pub fn reset_worker(&mut self, m: usize) {
+        self.streams[m] = WorkerStream { state: self.lstm.zero_state(), prev: None };
+    }
+
+    /// Captures everything needed to resume this predictor exactly where
+    /// it left off.
+    pub fn snapshot(&self) -> StepPredictorSnapshot {
+        StepPredictorSnapshot {
+            params: self.lstm.flat_params(),
+            streams: self
+                .streams
+                .iter()
+                .map(|s| {
+                    let layers = s
+                        .state
+                        .layers
+                        .iter()
+                        .map(|(h, c)| (h.data().to_vec(), c.data().to_vec()))
+                        .collect();
+                    (layers, s.prev)
+                })
+                .collect(),
+            comm_scale: self.comm_scale,
+            comp_scale: self.comp_scale,
+            samples: self.samples,
+            train_steps: self.train_steps,
+        }
+    }
+
+    /// Installs a snapshot into an identically configured predictor (same
+    /// hidden width, layer count and worker count). Panics on a mismatch.
+    pub fn restore(&mut self, snap: &StepPredictorSnapshot) {
+        self.lstm.set_flat_params(&snap.params);
+        assert_eq!(snap.streams.len(), self.num_workers, "worker count mismatch");
+        let hidden = self.lstm.hidden();
+        self.streams = snap
+            .streams
+            .iter()
+            .map(|(layers, prev)| WorkerStream {
+                state: LstmState {
+                    layers: layers
+                        .iter()
+                        .map(|(h, c)| {
+                            (
+                                Tensor::from_vec(h.clone(), &[1, hidden]),
+                                Tensor::from_vec(c.clone(), &[1, hidden]),
+                            )
+                        })
+                        .collect(),
+                },
+                prev: *prev,
+            })
+            .collect();
+        self.comm_scale = snap.comm_scale;
+        self.comp_scale = snap.comp_scale;
+        self.samples = snap.samples;
+        self.train_steps = snap.train_steps;
     }
 }
 

@@ -35,6 +35,12 @@ pub enum ClusterReq {
         batch_stats: Vec<BnBatchStats>,
         running: BnState,
     },
+    /// A crashed worker rejoining after a restart (fire-and-forget).
+    /// `incarnation` counts the worker's restarts (1 = first rejoin). The
+    /// server resets the rank's per-worker bookkeeping — arrival history
+    /// and step-predictor stream — so the fresh process's `k_m` accounting
+    /// starts from scratch (Algorithm 2's per-worker state).
+    Join { incarnation: u32 },
 }
 
 /// Server → worker replies (Algorithm 2's downlink).
@@ -131,6 +137,10 @@ impl WireMsg for ClusterReq {
                 put_batch_stats(buf, batch_stats);
                 put_bn_state(buf, running);
             }
+            ClusterReq::Join { incarnation } => {
+                wire::put_u8(buf, 3);
+                wire::put_u32(buf, *incarnation);
+            }
         }
     }
 
@@ -151,6 +161,7 @@ impl WireMsg for ClusterReq {
                 batch_stats: read_batch_stats(r)?,
                 running: read_bn_state(r)?,
             }),
+            3 => Ok(ClusterReq::Join { incarnation: r.u32()? }),
             tag => Err(ClusterError::Protocol(format!("unknown ClusterReq tag {tag}"))),
         }
     }
@@ -262,6 +273,15 @@ mod tests {
                 }
                 _ => panic!("variant changed across the wire"),
             }
+        }
+    }
+
+    #[test]
+    fn join_roundtrips() {
+        let j = ClusterReq::Join { incarnation: 3 };
+        match ClusterReq::decoded(&j.encoded()).unwrap() {
+            ClusterReq::Join { incarnation } => assert_eq!(incarnation, 3),
+            _ => panic!("variant changed"),
         }
     }
 

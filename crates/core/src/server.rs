@@ -84,6 +84,27 @@ impl ParameterServer {
         actual
     }
 
+    /// Forgets worker `m`'s arrival history. Called when a crashed worker
+    /// rejoins: its next arrival is the restarted process's *first*, so
+    /// the derived step count must restart from "no history" instead of
+    /// spanning the crash (Algorithm 2's `k_m` bookkeeping per worker).
+    pub fn reset_arrival(&mut self, m: usize) {
+        self.last_arrival_version[m] = None;
+    }
+
+    /// Per-worker version-at-last-arrival, for checkpointing.
+    pub fn arrival_state(&self) -> Vec<Option<u64>> {
+        self.last_arrival_version.clone()
+    }
+
+    /// Restores the arrival bookkeeping captured by
+    /// [`ParameterServer::arrival_state`]. Panics on a worker-count
+    /// mismatch.
+    pub fn restore_arrival_state(&mut self, state: &[Option<u64>]) {
+        assert_eq!(state.len(), self.last_arrival_version.len(), "worker count mismatch");
+        self.last_arrival_version = state.to_vec();
+    }
+
     /// Absorbs a worker's BN statistics into the global state.
     ///
     /// * Regular BN: replace with the worker's local running stats

@@ -12,8 +12,9 @@
 
 use crate::algorithms::Algorithm;
 use crate::bnmode::BnMode;
+use crate::checkpoint::TrainingCheckpoint;
 use crate::config::{DataPartition, ExperimentConfig};
-use crate::metrics::{EpochRecord, OverheadStats, PredictorTrace, RunResult};
+use crate::metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, RunResult};
 use crate::predictor::{LossPredictor, StepPredictor};
 use crate::protocol::{ClusterReq, ClusterResp};
 use crate::server::ParameterServer;
@@ -24,9 +25,11 @@ use lcasgd_nn::metrics::evaluate;
 use lcasgd_nn::network::BnState;
 use lcasgd_nn::Network;
 use lcasgd_simcluster::{
-    ClusterBackend, ClusterError, ClusterSim, ServerCtx, ThreadCluster, WorkerLink,
+    ClusterBackend, ClusterError, ClusterSim, FaultPlan, FaultRecord, ServerCtx, ThreadCluster,
+    WorkerLink,
 };
 use lcasgd_tensor::{Rng, Tensor};
+use std::path::PathBuf;
 
 /// A model factory: must be deterministic in the RNG it is given so every
 /// algorithm starts "based on the same randomly initialized model" (§5).
@@ -146,6 +149,7 @@ fn run_sequential(
         iterations: server.version,
         total_time: time,
         transport: None,
+        faults: None,
     }
 }
 
@@ -229,6 +233,7 @@ fn run_ssgd(
         iterations: server.version,
         total_time: round_start,
         transport: None,
+        faults: None,
     }
 }
 
@@ -462,6 +467,7 @@ fn run_async(
         iterations: server.version,
         total_time: sim.now(),
         transport: None,
+        faults: None,
     }
 }
 
@@ -515,8 +521,46 @@ pub fn run_cluster<B: ClusterBackend>(
     train: &Dataset,
     test: &Dataset,
 ) -> Result<RunResult, ClusterError> {
+    run_cluster_with(backend, cfg, build, train, test, RunOptions::default())
+}
+
+/// Robustness options for [`run_cluster_with`]: deterministic fault
+/// injection, periodic full-state checkpointing, and resume.
+#[derive(Default)]
+pub struct RunOptions {
+    /// The fault schedule this run is evaluated under. Pass a *clone* of
+    /// the same plan to the backend's `with_fault_plan` constructor —
+    /// clones share the fault log, so every injection the backend records
+    /// surfaces in [`RunResult::faults`]. A plan with
+    /// `server_restart_at_update` set makes the run checkpoint and halt
+    /// itself at that update count (see [`FaultReport::server_halted`]).
+    pub fault_plan: Option<FaultPlan>,
+    /// Write a [`TrainingCheckpoint`] here (atomically, tmp + rename).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence in applied updates; 0 = once per epoch.
+    pub checkpoint_every: usize,
+    /// Resume from a previously saved checkpoint instead of starting
+    /// fresh. The configuration must match the run that wrote it (same
+    /// model, worker count, algorithm).
+    pub resume: Option<TrainingCheckpoint>,
+}
+
+/// [`run_cluster`] plus the robustness machinery of [`RunOptions`]:
+/// fault-plan accounting, elastic crash-recovery (a restarted worker
+/// announces itself with [`ClusterReq::Join`] and gets fresh `k_m`
+/// bookkeeping per Algorithm 2), periodic checkpoints, planned
+/// server-restart halts, and checkpoint resume.
+pub fn run_cluster_with<B: ClusterBackend>(
+    backend: B,
+    cfg: &ExperimentConfig,
+    build: ModelFn<'_>,
+    train: &Dataset,
+    test: &Dataset,
+    opts: RunOptions,
+) -> Result<RunResult, ClusterError> {
     use parking_lot::Mutex;
 
+    let RunOptions { fault_plan, checkpoint_path, checkpoint_every, resume } = opts;
     let m = backend.workers();
     let is_lc = cfg.algorithm == Algorithm::LcAsgd;
     let is_dc = cfg.algorithm == Algorithm::DcAsgd;
@@ -563,11 +607,85 @@ pub fn run_cluster<B: ClusterBackend>(
     let mut staleness = Vec::new();
     // SSGD barrier: gradients parked until the round is full.
     let mut round: Vec<(usize, Vec<f32>, BnState, Vec<BnBatchStats>)> = Vec::with_capacity(m);
+
+    // ---- robustness state --------------------------------------------
+    // SSGD's barrier cannot survive a worker crash (the round would never
+    // fill), so fault plans are restricted to the asynchronous protocols.
+    assert!(
+        !(is_ssgd && fault_plan.is_some()),
+        "fault injection is not supported under SSGD: a crashed worker stalls the barrier"
+    );
+    // How many times each worker's process has started (0 = original
+    // incarnation; >0 = restarted after an injected crash).
+    let incarnations: Mutex<Vec<u32>> = Mutex::new(vec![0; m]);
+    // Latest (reshuffles, pos) each worker reported after pushing a
+    // gradient — what checkpoints record. Positions may lag the worker by
+    // one in-flight iteration: resuming re-computes that batch, which SGD
+    // tolerates (at-least-once semantics).
+    let batch_pos: Mutex<Vec<(u64, u64)>> = Mutex::new(
+        nodes.lock().iter().map(|n| n.as_ref().expect("node present").batch_progress()).collect(),
+    );
+
+    let mut resumed_at = 0u64;
+    if let Some(ck) = &resume {
+        assert_eq!(ck.arrival.len(), m, "checkpoint worker count mismatch");
+        server.weights = ck.weights.clone();
+        server.bn = ck.bn.clone();
+        server.version = ck.version;
+        server.iter = ck.iter.clone();
+        server.restore_arrival_state(&ck.arrival);
+        applied = ck.applied as usize;
+        staleness = ck.staleness.clone();
+        losses = ck.epoch_losses.clone();
+        records = ck.epochs.clone();
+        if let Some(lp) = &ck.loss_pred {
+            loss_pred.restore(lp);
+        }
+        if let Some(sp) = &ck.step_pred {
+            step_pred.restore(sp);
+        }
+        {
+            let mut ns = nodes.lock();
+            for (w, &(reshuffles, pos)) in ck.worker_batches.iter().enumerate() {
+                ns[w].as_mut().expect("node present").replay_batches_to(reshuffles, pos);
+            }
+        }
+        *batch_pos.lock() = ck.worker_batches.clone();
+        resumed_at = ck.applied;
+        if let Some(plan) = &fault_plan {
+            plan.log().push(FaultRecord::Resumed { at_update: resumed_at });
+        }
+    }
+
+    let fault_log = fault_plan.as_ref().map(|p| p.log());
+    // A planned server restart: checkpoint and halt once this many
+    // updates have applied. Ignored when the resume point is already past
+    // it (the restart in question already happened) or when it lies
+    // beyond the run's natural end.
+    let halt_at = fault_plan
+        .as_ref()
+        .and_then(|p| p.server_restart_at_update)
+        .filter(|&h| h > resumed_at && h < target as u64);
+    let ckpt_every = if checkpoint_every == 0 { updates_per_epoch } else { checkpoint_every };
+    let mut halted = false;
+
     let t0 = std::time::Instant::now();
 
     let server_fn = |w: usize, req: ClusterReq, ctx: &mut ServerCtx<ClusterResp>| match req {
+        ClusterReq::Join { .. } => {
+            // A restarted worker process announcing itself
+            // (fire-and-forget). Algorithm 2's per-worker bookkeeping
+            // restarts: the arrival history and the step-predictor series
+            // described the dead incarnation, not this one.
+            server.reset_arrival(w);
+            if is_lc {
+                step_pred.reset_worker(w);
+            }
+            prev_step_pred[w] = None;
+            backups[w] = Vec::new();
+        }
         ClusterReq::Pull => {
-            if !is_ssgd && applied >= target {
+            if !is_ssgd && (applied >= target || halted) {
                 ctx.reply(ClusterResp::Stop);
             } else {
                 if is_dc {
@@ -643,13 +761,17 @@ pub fn run_cluster<B: ClusterBackend>(
                         );
                     }
                 }
-            } else if applied < target {
-                // Late gradients past the target are dropped, as a real
-                // server shutting down would.
+            } else if applied < target && !halted {
+                // Late gradients past the target (or past a planned
+                // halt) are dropped, as a real server shutting down
+                // would drop them.
                 staleness.push((server.version - pull_version) as u32);
                 let lr = cfg.lr.at_epoch(applied / updates_per_epoch);
                 let g = grads.decompress();
-                if is_dc {
+                // A rejoined worker's backup was cleared at Join; until
+                // its next pull re-snapshots, fall back to the plain
+                // update (zero assumed drift).
+                if is_dc && backups[w].len() == g.len() {
                     server.apply_grad_dc(&g, lr, cfg.lambda, &backups[w]);
                 } else {
                     server.apply_grad(&g, lr);
@@ -671,102 +793,155 @@ pub fn run_cluster<B: ClusterBackend>(
                         lr,
                     ));
                 }
+                let halt_now = halt_at.is_some_and(|h| applied as u64 >= h);
+                if halt_now {
+                    halted = true;
+                    if let Some(log) = &fault_log {
+                        log.push(FaultRecord::ServerHalted { at_update: applied as u64 });
+                    }
+                }
+                if let Some(path) = &checkpoint_path {
+                    if halt_now || applied.is_multiple_of(ckpt_every) {
+                        let ck = TrainingCheckpoint {
+                            weights: server.weights.clone(),
+                            bn: server.bn.clone(),
+                            version: server.version,
+                            applied: applied as u64,
+                            arrival: server.arrival_state(),
+                            iter: server.iter.clone(),
+                            staleness: staleness.clone(),
+                            epoch_losses: losses.clone(),
+                            epochs: records.clone(),
+                            loss_pred: is_lc.then(|| loss_pred.snapshot()),
+                            step_pred: is_lc.then(|| step_pred.snapshot()),
+                            worker_batches: batch_pos.lock().clone(),
+                        };
+                        ck.save(path).expect("failed to write training checkpoint");
+                    }
+                }
             }
         }
     };
 
     let worker_fn = |w: usize, link: &mut dyn WorkerLink<ClusterReq, ClusterResp>| {
-        let mut node = nodes.lock()[w].take().expect("worker taken twice");
-        let mut residual = Vec::new();
-        if is_ssgd {
-            let mut resp = match link.request(ClusterReq::Pull) {
-                Ok(r) => r,
-                Err(_) => return,
-            };
-            loop {
-                let (flat, version) = match resp {
-                    ClusterResp::Stop => break,
-                    ClusterResp::Weights { flat, version } => (flat, version),
-                    ClusterResp::Compensation { .. } => break,
-                };
-                let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
-                let grads = wire_grads(&cfg.compression, grads, &mut residual);
-                let running = node.bn_running();
-                // The barrier: this request blocks until the whole round
-                // has arrived and the server releases the new weights.
-                resp = match link.request(ClusterReq::Grad {
-                    grads,
-                    pull_version: version,
-                    loss,
-                    batch_stats,
-                    running,
-                }) {
-                    Ok(r) => r,
-                    Err(_) => break,
-                };
-            }
-            return;
+        let mut node = nodes.lock()[w].take().expect("worker slot empty");
+        let incarnation = {
+            let mut inc = incarnations.lock();
+            let i = inc[w];
+            inc[w] += 1;
+            i
+        };
+        if incarnation > 0 {
+            // This invocation is a restarted process rejoining after an
+            // injected crash: announce it (fire-and-forget) so the server
+            // resets this worker's arrival history and predictor stream.
+            let _ = link.send(ClusterReq::Join { incarnation });
         }
-        let mut last_t_comp = 0.0f32;
-        loop {
-            let pull_start = std::time::Instant::now();
-            let resp = match link.request(ClusterReq::Pull) {
-                Ok(r) => r,
-                Err(_) => break,
-            };
-            let t_comm = pull_start.elapsed().as_secs_f32();
-            let (flat, version) = match resp {
-                ClusterResp::Stop => break,
-                ClusterResp::Weights { flat, version } => (flat, version),
-                ClusterResp::Compensation { .. } => break,
-            };
-            let compute_start = std::time::Instant::now();
-            if is_lc {
-                // Algorithm 1: push the forward state, receive ℓ_delay,
-                // backpropagate the compensated loss (Formula 5).
-                let (loss, batch_stats) = node.forward_phase(&flat, train);
-                let running = node.bn_running();
-                let state =
-                    ClusterReq::State { loss, running, batch_stats, t_comm, t_comp: last_t_comp };
-                let (l_delay, one_step, km) = match link.request(state) {
-                    Ok(ClusterResp::Compensation { l_delay, one_step, km }) => {
-                        (l_delay, one_step, km)
-                    }
-                    _ => break,
+        'run: {
+            let mut residual = Vec::new();
+            if is_ssgd {
+                let mut resp = match link.request(ClusterReq::Pull) {
+                    Ok(r) => r,
+                    Err(_) => break 'run,
                 };
-                let seed = cfg.compensation.seed(loss, l_delay, one_step, km as usize, cfg.lambda);
-                let grads = node.backward_phase(seed);
-                last_t_comp = compute_start.elapsed().as_secs_f32();
-                let grads = wire_grads(&cfg.compression, grads, &mut residual);
-                let push = ClusterReq::Grad {
-                    grads,
-                    pull_version: version,
-                    loss,
-                    batch_stats: Vec::new(),
-                    running: BnState::default(),
-                };
-                if link.send(push).is_err() {
-                    break;
-                }
-            } else {
-                let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
-                last_t_comp = compute_start.elapsed().as_secs_f32();
-                let grads = wire_grads(&cfg.compression, grads, &mut residual);
-                let running = node.bn_running();
-                if link
-                    .send(ClusterReq::Grad {
+                loop {
+                    let (flat, version) = match resp {
+                        ClusterResp::Stop => break,
+                        ClusterResp::Weights { flat, version } => (flat, version),
+                        ClusterResp::Compensation { .. } => break,
+                    };
+                    let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
+                    let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    let running = node.bn_running();
+                    // The barrier: this request blocks until the whole round
+                    // has arrived and the server releases the new weights.
+                    resp = match link.request(ClusterReq::Grad {
                         grads,
                         pull_version: version,
                         loss,
                         batch_stats,
                         running,
-                    })
-                    .is_err()
-                {
-                    break;
+                    }) {
+                        Ok(r) => r,
+                        Err(_) => break,
+                    };
                 }
+                break 'run;
+            }
+            let mut last_t_comp = 0.0f32;
+            loop {
+                let pull_start = std::time::Instant::now();
+                let resp = match link.request(ClusterReq::Pull) {
+                    Ok(r) => r,
+                    Err(_) => break,
+                };
+                let t_comm = pull_start.elapsed().as_secs_f32();
+                let (flat, version) = match resp {
+                    ClusterResp::Stop => break,
+                    ClusterResp::Weights { flat, version } => (flat, version),
+                    ClusterResp::Compensation { .. } => break,
+                };
+                let compute_start = std::time::Instant::now();
+                if is_lc {
+                    // Algorithm 1: push the forward state, receive ℓ_delay,
+                    // backpropagate the compensated loss (Formula 5).
+                    let (loss, batch_stats) = node.forward_phase(&flat, train);
+                    let running = node.bn_running();
+                    let state = ClusterReq::State {
+                        loss,
+                        running,
+                        batch_stats,
+                        t_comm,
+                        t_comp: last_t_comp,
+                    };
+                    let (l_delay, one_step, km) = match link.request(state) {
+                        Ok(ClusterResp::Compensation { l_delay, one_step, km }) => {
+                            (l_delay, one_step, km)
+                        }
+                        _ => break,
+                    };
+                    let seed =
+                        cfg.compensation.seed(loss, l_delay, one_step, km as usize, cfg.lambda);
+                    let grads = node.backward_phase(seed);
+                    last_t_comp = compute_start.elapsed().as_secs_f32();
+                    let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    let push = ClusterReq::Grad {
+                        grads,
+                        pull_version: version,
+                        loss,
+                        batch_stats: Vec::new(),
+                        running: BnState::default(),
+                    };
+                    if link.send(push).is_err() {
+                        break;
+                    }
+                } else {
+                    let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
+                    last_t_comp = compute_start.elapsed().as_secs_f32();
+                    let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    let running = node.bn_running();
+                    if link
+                        .send(ClusterReq::Grad {
+                            grads,
+                            pull_version: version,
+                            loss,
+                            batch_stats,
+                            running,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                // Report the batch-stream position the next checkpoint
+                // should record.
+                batch_pos.lock()[w] = node.batch_progress();
             }
         }
+        // Return the replica to its slot: a restarted incarnation of this
+        // worker (crash-recovery re-invokes `worker_fn`) picks it back up.
+        batch_pos.lock()[w] = node.batch_progress();
+        nodes.lock()[w] = Some(node);
     };
 
     let transport = backend.run(server_fn, worker_fn)?;
@@ -779,6 +954,17 @@ pub fn run_cluster<B: ClusterBackend>(
         step_pred_ms: step_pred.elapsed_ms,
         iterations: server.version,
     });
+    // A resumed run reports even without a fault plan, so callers can see
+    // where training picked back up.
+    let faults = if fault_plan.is_some() || resume.is_some() {
+        let mut records = fault_plan.as_ref().map(|p| p.records()).unwrap_or_default();
+        if fault_plan.is_none() {
+            records.push(FaultRecord::Resumed { at_update: resumed_at });
+        }
+        Some(FaultReport { records, server_halted: halted, resumed_at })
+    } else {
+        None
+    };
     Ok(RunResult {
         label: format!("{} ({}, cluster)", cfg.algorithm, cfg.bn_mode),
         epochs: records,
@@ -788,6 +974,7 @@ pub fn run_cluster<B: ClusterBackend>(
         iterations: server.version,
         total_time: t0.elapsed().as_secs_f64(),
         transport: Some(transport),
+        faults,
     })
 }
 

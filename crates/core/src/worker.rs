@@ -121,6 +121,20 @@ impl WorkerNode {
     pub fn bn_running(&self) -> BnState {
         self.net.bn_state()
     }
+
+    /// The batch iterator's position as `(reshuffles, pos)` — checkpointed
+    /// so a resumed run continues the data stream instead of re-seeing the
+    /// same examples.
+    pub fn batch_progress(&self) -> (u64, u64) {
+        self.batches.progress()
+    }
+
+    /// Fast-forwards a freshly built worker's batch stream to a position
+    /// captured by [`WorkerNode::batch_progress`] (replay-based; see
+    /// [`BatchIter::replay_to`]).
+    pub fn replay_batches_to(&mut self, reshuffles: u64, pos: u64) {
+        self.batches.replay_to(reshuffles, pos);
+    }
 }
 
 #[cfg(test)]

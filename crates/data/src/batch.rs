@@ -11,6 +11,11 @@ pub struct BatchIter {
     pos: usize,
     batch: usize,
     rng: Rng,
+    /// Total reshuffles performed (1 right after construction). Together
+    /// with `pos` this pins the iterator's exact position for replay-based
+    /// checkpoint restore — the RNG itself has no state export, but
+    /// re-seeding and reshuffling the same number of times reproduces it.
+    reshuffles: u64,
 }
 
 impl BatchIter {
@@ -25,7 +30,13 @@ impl BatchIter {
     pub fn from_indices(indices: Vec<usize>, batch: usize, seed: u64) -> Self {
         assert!(batch > 0, "batch size must be positive");
         assert!(!indices.is_empty(), "empty example subset");
-        let mut it = BatchIter { order: indices, pos: 0, batch, rng: Rng::seed_from_u64(seed) };
+        let mut it = BatchIter {
+            order: indices,
+            pos: 0,
+            batch,
+            rng: Rng::seed_from_u64(seed),
+            reshuffles: 0,
+        };
         it.reshuffle();
         it
     }
@@ -64,6 +75,32 @@ impl BatchIter {
     fn reshuffle(&mut self) {
         self.rng.shuffle(&mut self.order);
         self.pos = 0;
+        self.reshuffles += 1;
+    }
+
+    /// The iterator's exact position as `(reshuffles, pos)` — enough to
+    /// reproduce it via [`BatchIter::replay_to`] on a freshly constructed
+    /// iterator with the same indices, batch size and seed.
+    pub fn progress(&self) -> (u64, u64) {
+        (self.reshuffles, self.pos as u64)
+    }
+
+    /// Fast-forwards a *freshly constructed* iterator to a position
+    /// captured by [`BatchIter::progress`]: replays the missing reshuffles
+    /// (each advancing the seeded RNG exactly as the original run did) and
+    /// then seeks within the epoch. Panics if the iterator is already past
+    /// the target shuffle count — replay only moves forward.
+    pub fn replay_to(&mut self, reshuffles: u64, pos: u64) {
+        assert!(
+            self.reshuffles <= reshuffles,
+            "cannot replay backwards: at shuffle {} of target {}",
+            self.reshuffles,
+            reshuffles
+        );
+        while self.reshuffles < reshuffles {
+            self.reshuffle();
+        }
+        self.pos = (pos as usize).min(self.order.len());
     }
 
     /// Number of batches per epoch.
@@ -154,6 +191,21 @@ mod tests {
             for &i in it.next_indices() {
                 assert!([2, 5, 7].contains(&i));
             }
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_batch_stream() {
+        let mut original = BatchIter::new(17, 4, 99);
+        for _ in 0..11 {
+            original.next_indices();
+        }
+        let (reshuffles, pos) = original.progress();
+        let mut restored = BatchIter::new(17, 4, 99);
+        restored.replay_to(reshuffles, pos);
+        assert_eq!(restored.progress(), (reshuffles, pos));
+        for _ in 0..20 {
+            assert_eq!(original.next_indices(), restored.next_indices());
         }
     }
 

@@ -36,7 +36,8 @@ pub use server::NetServer;
 pub use worker::NetWorker;
 
 use lcasgd_simcluster::{
-    ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
+    ClusterBackend, ClusterError, FaultPlan, FaultyLink, ServerCtx, TransportStats, WireMsg,
+    WorkerLink,
 };
 use parking_lot::Mutex;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr};
@@ -47,6 +48,7 @@ pub struct NetCluster {
     workers: usize,
     cfg: NetConfig,
     addr: SocketAddr,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl NetCluster {
@@ -57,6 +59,7 @@ impl NetCluster {
             workers,
             cfg: NetConfig::default(),
             addr: SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0),
+            fault_plan: None,
         }
     }
 
@@ -70,6 +73,15 @@ impl NetCluster {
     /// loopback port.
     pub fn with_addr(mut self, addr: SocketAddr) -> Self {
         self.addr = addr;
+        self
+    }
+
+    /// Attaches a fault schedule: each worker link is wrapped in a
+    /// [`FaultyLink`], crashes kill the TCP transport abruptly (no
+    /// `Goodbye`), and a crashed worker redials + re-`Hello`s after its
+    /// restart delay.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -93,6 +105,7 @@ impl ClusterBackend for NetCluster {
         let m = self.workers;
         let server = NetServer::bind(self.addr, m, self.cfg.clone())?;
         let addr = server.local_addr()?;
+        let plan = self.fault_plan;
         let worker_stats: Mutex<TransportStats> = Mutex::new(TransportStats::default());
         let mut server_result: Result<TransportStats, ClusterError> =
             Err(ClusterError::Disconnected);
@@ -100,20 +113,47 @@ impl ClusterBackend for NetCluster {
         std::thread::scope(|scope| {
             for w in 0..m {
                 let cfg = self.cfg.clone();
+                let plan = plan.clone();
                 let worker_fn = &worker_fn;
                 let worker_stats = &worker_stats;
                 scope.spawn(move || {
                     // A worker that cannot connect is simply absent; the
                     // server writes its rank off after the hello timeout
                     // and the survivors keep training.
-                    let Ok(mut link) = NetWorker::connect(addr, w, cfg) else {
+                    let Ok(link) = NetWorker::connect(addr, w, cfg) else {
                         return;
                     };
                     // A panicking worker must still hang up cleanly, or
                     // the server would wait out the heartbeat timeout.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        worker_fn(w, &mut link)
-                    }));
+                    let (mut link, outcome) = match plan {
+                        None => {
+                            let mut link = link;
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker_fn(w, &mut link)
+                                }));
+                            (link, outcome)
+                        }
+                        Some(plan) => {
+                            let mut faulty = FaultyLink::new(link, w, &plan);
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    loop {
+                                        worker_fn(w, &mut faulty);
+                                        let Some(delay_ms) = faulty.crashed_restart_ms() else {
+                                            break; // finished, or dead for good
+                                        };
+                                        std::thread::sleep(std::time::Duration::from_millis(
+                                            u64::from(delay_ms),
+                                        ));
+                                        // The next operation redials and
+                                        // re-Hellos, reviving the rank.
+                                        faulty.resume();
+                                    }
+                                }));
+                            (faulty.into_inner(), outcome)
+                        }
+                    };
                     let _ = link.finish();
                     worker_stats.lock().merge(&link.take_stats());
                     if let Err(payload) = outcome {

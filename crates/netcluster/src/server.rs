@@ -265,12 +265,23 @@ impl NetServer {
                                 let t0 = Instant::now();
                                 let req = match Req::decoded(&frame.payload) {
                                     Ok(req) => req,
-                                    Err(e) => {
+                                    Err(_) => {
                                         // A payload that framed correctly
-                                        // but fails the codec is a bug in
-                                        // the protocol itself: fatal.
-                                        result = Err(e);
-                                        break 'serve;
+                                        // but fails the codec means this
+                                        // peer's stream can't be trusted.
+                                        // That is a per-connection failure,
+                                        // not a run failure: drop the
+                                        // connection and let the worker's
+                                        // reconnect + re-Hello revive the
+                                        // rank.
+                                        Self::close_conn(
+                                            &mut conns,
+                                            id,
+                                            &mut rank_conn,
+                                            &mut rank_state,
+                                            &mut awaiting,
+                                        );
+                                        continue;
                                     }
                                 };
                                 stats.serialize_seconds += t0.elapsed().as_secs_f64();

@@ -18,7 +18,7 @@
 
 use crate::config::NetConfig;
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
-use lcasgd_simcluster::{ClusterError, TransportStats, WireMsg, WorkerLink};
+use lcasgd_simcluster::{ClusterError, FaultHooks, TransportStats, WireMsg, WorkerLink};
 use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -232,7 +232,17 @@ impl NetWorker {
             // them here too would double-count after the backend merge.
             self.stats.rtt.record(sent.elapsed().as_secs_f64());
             let t0 = Instant::now();
-            let resp = Resp::decoded(&frame.payload)?;
+            let resp = match Resp::decoded(&frame.payload) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    // The frame layer vouched for the bytes, but the codec
+                    // rejected them: the connection's protocol state is
+                    // suspect, so start the next operation from a clean
+                    // reconnect instead of reading mid-conversation.
+                    self.teardown();
+                    return Err(e);
+                }
+            };
             self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
             return Ok(resp);
         }
@@ -262,6 +272,43 @@ impl NetWorker {
         res.map(|_| ())
     }
 
+    /// Abruptly kills the transport — no `Goodbye`, sockets closed — as a
+    /// fault-plan crash. Unlike [`NetWorker::finish`] the worker is *not*
+    /// marked finished, so the next request/send after a restart dials the
+    /// server again, re-sends `Hello`, and revives the rank.
+    pub fn crash_transport(&mut self) {
+        self.teardown();
+    }
+
+    /// Writes a frame whose CRC deliberately disagrees with its payload —
+    /// the wire-level expression of a corrupted message. The server's
+    /// reader rejects it and drops the connection; the connection is torn
+    /// down locally too so the next operation starts from a clean
+    /// reconnect instead of stalling on a reply that will never come.
+    pub fn inject_corrupt_frame(&mut self) {
+        if let Some(conn) = self.conn.as_ref() {
+            let payload = b"deliberately corrupted payload";
+            let mut buf = [0u8; crate::frame::HEADER_LEN];
+            buf[0..4].copy_from_slice(&crate::frame::MAGIC.to_le_bytes());
+            buf[4..6].copy_from_slice(&crate::frame::VERSION.to_le_bytes());
+            buf[6] = FrameKind::Oneway as u8;
+            buf[7] = 0;
+            self.seq += 1;
+            buf[8..16].copy_from_slice(&self.seq.to_le_bytes());
+            buf[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+            let bad_crc = crate::frame::crc32(payload) ^ 0xFFFF_FFFF;
+            buf[20..24].copy_from_slice(&bad_crc.to_le_bytes());
+            {
+                use std::io::Write;
+                let mut write = conn.write.lock();
+                let _ = write.write_all(&buf);
+                let _ = write.write_all(payload);
+                let _ = write.flush();
+            }
+        }
+        self.teardown();
+    }
+
     /// Simulates a *hung* worker for fault-injection tests: stops all
     /// traffic (heartbeats included) while leaving the socket open, so
     /// the server can only detect the loss via its heartbeat timeout.
@@ -288,6 +335,20 @@ impl NetWorker {
 impl Drop for NetWorker {
     fn drop(&mut self) {
         let _ = self.finish();
+    }
+}
+
+// Fault-plan hooks: a crash is an abrupt socket kill (the restart delay is
+// slept by the backend's worker loop), and wire corruption is a real
+// bad-CRC frame that exercises the server's per-connection recovery. Link
+// delays use the default wall-clock sleep.
+impl FaultHooks for NetWorker {
+    fn fault_crash(&mut self, _restart_after_ms: Option<u32>) {
+        self.crash_transport();
+    }
+
+    fn fault_corrupt_wire(&mut self) {
+        self.inject_corrupt_frame();
     }
 }
 

@@ -1,0 +1,88 @@
+//! Fuzz-style robustness tests for the wire framing.
+//!
+//! The parameter server reads frames from arbitrary peers; a corrupted,
+//! truncated, or hostile byte stream must surface as a recoverable
+//! [`ClusterError`] — never a panic, never an unbounded allocation. These
+//! properties back the server's per-connection recovery policy: a bad
+//! stream costs one connection, not the run.
+
+use lcasgd_netcluster::frame::{read_frame, write_frame, Frame, FrameKind, HEADER_LEN};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn encode(kind: FrameKind, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &Frame::new(kind, seq, payload.to_vec())).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flipping any single byte of a valid frame either parses (only
+    /// possible where the header has checksum-free slack: the sequence
+    /// number, or a kind byte mutated onto another valid kind) or is
+    /// rejected with an error. It never panics.
+    #[test]
+    fn single_byte_flip_is_rejected_or_benign(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        seq in any::<u64>(),
+        offset_pick in any::<u32>(),
+        mask in 1u8..=255,
+    ) {
+        let wire = encode(FrameKind::Oneway, seq, &payload);
+        let offset = offset_pick as usize % wire.len();
+        let mut mutated = wire.clone();
+        mutated[offset] ^= mask;
+        match read_frame(&mut Cursor::new(&mutated)) {
+            Err(_) => {} // rejected: the common case
+            Ok((frame, n)) => {
+                // The only checksum-free header bytes are seq (8..16) and
+                // the kind discriminant (6) when the flip lands on another
+                // valid kind value.
+                prop_assert!(
+                    (8..16).contains(&offset) || offset == 6,
+                    "flip at offset {offset} parsed but should have been caught"
+                );
+                prop_assert_eq!(n as usize, mutated.len());
+                prop_assert_eq!(frame.payload, payload);
+            }
+        }
+    }
+
+    /// Any truncation of a valid frame is an error (header cuts and
+    /// payload cuts alike), never a panic or a bogus parse.
+    #[test]
+    fn truncation_always_errors(
+        payload in prop::collection::vec(any::<u8>(), 1..96),
+        seq in any::<u64>(),
+        cut_pick in any::<u32>(),
+    ) {
+        let wire = encode(FrameKind::Request, seq, &payload);
+        let cut = cut_pick as usize % wire.len(); // strictly shorter
+        prop_assert!(read_frame(&mut Cursor::new(&wire[..cut])).is_err());
+    }
+
+    /// Feeding arbitrary bytes to the frame reader never panics, and a
+    /// successful parse never claims more bytes than were supplied.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..160)) {
+        if let Ok((frame, n)) = read_frame(&mut Cursor::new(&bytes)) {
+            prop_assert!(n as usize <= bytes.len());
+            prop_assert_eq!(n as usize, HEADER_LEN + frame.payload.len());
+        }
+    }
+
+    /// A declared payload length beyond the frame limit is rejected before
+    /// any allocation, regardless of what the rest of the header says.
+    #[test]
+    fn oversized_declared_length_is_rejected(
+        seq in any::<u64>(),
+        extra in 1u32..=1024,
+    ) {
+        let mut wire = encode(FrameKind::Oneway, seq, &[1, 2, 3]);
+        let huge = (lcasgd_netcluster::frame::MAX_PAYLOAD + extra).to_le_bytes();
+        wire[16..20].copy_from_slice(&huge);
+        prop_assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+}

@@ -14,7 +14,10 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"LCCKPT01";
 
-fn write_f32s(w: &mut impl Write, xs: &[f32]) -> io::Result<()> {
+/// Writes a length-prefixed little-endian f32 slice (the primitive every
+/// LC-ASGD on-disk format builds on; also used by the full training
+/// checkpoint in lcasgd-core).
+pub fn write_f32s(w: &mut impl Write, xs: &[f32]) -> io::Result<()> {
     w.write_all(&(xs.len() as u64).to_le_bytes())?;
     for &x in xs {
         w.write_all(&x.to_le_bytes())?;
@@ -22,7 +25,9 @@ fn write_f32s(w: &mut impl Write, xs: &[f32]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
+/// Reads a slice written by [`write_f32s`], with a sanity cap against
+/// corrupted length headers.
+pub fn read_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
     let mut len8 = [0u8; 8];
     r.read_exact(&mut len8)?;
     let len = u64::from_le_bytes(len8) as usize;

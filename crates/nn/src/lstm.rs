@@ -223,6 +223,39 @@ impl Lstm {
         f(&mut self.head.bias);
     }
 
+    /// Read-only parameter visit in the same fixed order as
+    /// [`Lstm::visit_params_mut`].
+    pub fn visit_params(&self, f: &mut impl FnMut(&Tensor)) {
+        for cell in &self.cells {
+            f(&cell.weight);
+            f(&cell.bias);
+        }
+        f(&self.head.weight);
+        f(&self.head.bias);
+    }
+
+    /// All parameters flattened in visit order — the predictor half of a
+    /// full training checkpoint.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |t| out.extend_from_slice(t.data()));
+        out
+    }
+
+    /// Installs a flat parameter vector captured by
+    /// [`Lstm::flat_params`] from an identically shaped model. Panics on a
+    /// length mismatch (an architecture incompatibility, not a recoverable
+    /// condition).
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "flat parameter length mismatch");
+        let mut off = 0;
+        self.visit_params_mut(&mut |t| {
+            let n = t.numel();
+            t.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+    }
+
     /// Total parameter count (for overhead accounting).
     pub fn num_params(&self) -> usize {
         let mut n = 0;

@@ -21,6 +21,7 @@
 
 pub mod backend;
 pub mod event;
+pub mod faults;
 pub mod models;
 pub mod sim;
 pub mod sim_backend;
@@ -31,6 +32,7 @@ pub use backend::{
     WorkerLink,
 };
 pub use event::EventQueue;
+pub use faults::{FaultEvent, FaultHooks, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultyLink};
 pub use models::{ClusterSpec, LinkModel, WorkerModel};
 pub use sim::{Arrival, ClusterSim};
 pub use sim_backend::SimPayload;

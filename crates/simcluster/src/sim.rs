@@ -12,6 +12,7 @@
 //! state-push / gradient-push map onto this one primitive.
 
 use crate::event::{EventQueue, SimTime};
+use crate::faults::FaultPlan;
 use crate::models::ClusterSpec;
 use lcasgd_tensor::Rng;
 
@@ -54,6 +55,10 @@ pub struct ClusterSim<T> {
     /// through the [`crate::backend::ClusterBackend`] adapter (direct
     /// `submit` callers pass their own nominal cost instead).
     nominal_cost: SimTime,
+    /// Fault schedule interpreted by the backend adapter (direct `submit`
+    /// callers are unaffected); restarts and link stalls are charged in
+    /// virtual time, keeping faulty runs bit-reproducible.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<T> ClusterSim<T> {
@@ -70,7 +75,20 @@ impl<T> ClusterSim<T> {
             server_busy_total: 0.0,
             // CIFAR-like per-iteration scale; overridable for backend runs.
             nominal_cost: 0.032,
+            fault_plan: None,
         }
+    }
+
+    /// Attaches a fault schedule for backend-driven runs (see
+    /// [`crate::faults::FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Sets the nominal compute cost per worker phase for backend-driven

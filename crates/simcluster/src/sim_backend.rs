@@ -21,6 +21,7 @@
 use crate::backend::{
     ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
 };
+use crate::faults::{FaultHooks, FaultyLink};
 use crate::sim::ClusterSim;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::time::Instant;
@@ -33,8 +34,25 @@ pub struct SimPayload {
 }
 
 enum WorkerEvent {
-    Msg { worker: usize, bytes: Vec<u8>, expects_reply: bool },
-    Done { worker: usize },
+    Msg {
+        worker: usize,
+        bytes: Vec<u8>,
+        expects_reply: bool,
+    },
+    Done {
+        worker: usize,
+    },
+    /// An injected crash: the driver charges the restart delay to the
+    /// worker's virtual clock (a permanent crash is followed by `Done`).
+    Crashed {
+        worker: usize,
+        restart_after_ms: Option<u32>,
+    },
+    /// An injected link stall, charged in virtual seconds.
+    Delay {
+        worker: usize,
+        seconds: f64,
+    },
 }
 
 struct SimLink<Resp> {
@@ -61,6 +79,18 @@ impl<Req: WireMsg, Resp: WireMsg> WorkerLink<Req, Resp> for SimLink<Resp> {
         let msg =
             WorkerEvent::Msg { worker: self.worker, bytes: req.encoded(), expects_reply: false };
         self.tx.send(msg).map_err(|_| ClusterError::Disconnected)
+    }
+}
+
+impl<Resp> FaultHooks for SimLink<Resp> {
+    fn fault_crash(&mut self, restart_after_ms: Option<u32>) {
+        let _ = self.tx.send(WorkerEvent::Crashed { worker: self.worker, restart_after_ms });
+    }
+
+    fn fault_delay(&mut self, delay_ms: u32) {
+        // Virtual, not wall-clock: the driver advances this worker's clock.
+        let seconds = f64::from(delay_ms) / 1e3;
+        let _ = self.tx.send(WorkerEvent::Delay { worker: self.worker, seconds });
     }
 }
 
@@ -92,6 +122,7 @@ impl ClusterBackend for ClusterSim<SimPayload> {
     {
         let m = self.num_workers();
         let nominal = self.nominal_cost();
+        let plan = self.fault_plan().cloned();
         let (tx, rx) = unbounded::<WorkerEvent>();
         let mut reply_txs: Vec<Option<Sender<Vec<u8>>>> = Vec::with_capacity(m);
         let mut reply_rxs: Vec<Option<Receiver<Vec<u8>>>> = Vec::with_capacity(m);
@@ -124,11 +155,26 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                 };
                 let worker_fn = &worker_fn;
                 let done_tx = tx.clone();
+                let plan = plan.clone();
                 scope.spawn(move || {
                     // A panicking worker must still report Done, or the
                     // driver's gate would wait on it forever.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        worker_fn(w, &mut link)
+                        match plan {
+                            None => worker_fn(w, &mut link),
+                            Some(plan) => {
+                                let mut link = FaultyLink::new(link, w, &plan);
+                                loop {
+                                    worker_fn(w, &mut link);
+                                    if link.crashed_restart_ms().is_none() {
+                                        break; // finished, or dead for good
+                                    }
+                                    // The restart delay is virtual (already
+                                    // charged by the driver): re-invoke now.
+                                    link.resume();
+                                }
+                            }
+                        }
                     }));
                     let _ = done_tx.send(WorkerEvent::Done { worker: w });
                     if let Err(payload) = outcome {
@@ -165,6 +211,17 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                             state[w] = WState::Done;
                             running -= 1;
                             done += 1;
+                        }
+                        Ok(WorkerEvent::Crashed { worker: w, restart_after_ms }) => {
+                            // The worker stays `Running` (it re-invokes and
+                            // keeps sending) and pays the outage virtually;
+                            // a permanent crash is followed by `Done`.
+                            if let Some(ms) = restart_after_ms {
+                                vt[w] += f64::from(ms) / 1e3;
+                            }
+                        }
+                        Ok(WorkerEvent::Delay { worker: w, seconds }) => {
+                            vt[w] += seconds;
                         }
                         // All senders gone: every worker thread exited.
                         Err(_) => break,

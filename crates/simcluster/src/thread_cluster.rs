@@ -17,6 +17,7 @@
 use crate::backend::{
     ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
 };
+use crate::faults::{FaultHooks, FaultPlan, FaultyLink};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::thread;
 
@@ -72,16 +73,30 @@ impl<Req: Send, Resp: Send> WorkerLink<Req, Resp> for WorkerHandle<Req, Resp> {
     }
 }
 
+// Crashes are injected before an op executes, so the channel never holds a
+// stale in-flight reply at crash time: the default (do-nothing) crash hook
+// and wall-clock delay hook are exactly right for an in-process transport.
+impl<Req: Send, Resp: Send> FaultHooks for WorkerHandle<Req, Resp> {}
+
 /// The real-thread backend: `m` OS threads against a serialized server
 /// loop on the calling thread.
 pub struct ThreadCluster {
     workers: usize,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ThreadCluster {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        ThreadCluster { workers }
+        ThreadCluster { workers, fault_plan: None }
+    }
+
+    /// Attaches a fault schedule: each worker's link is wrapped in a
+    /// [`FaultyLink`], and crashed workers restart after a wall-clock
+    /// delay.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -102,6 +117,7 @@ impl ClusterBackend for ThreadCluster {
         W: Fn(usize, &mut dyn WorkerLink<Req, Resp>) + Send + Sync,
     {
         let m = self.workers;
+        let plan = self.fault_plan;
         let (tx, rx): (Sender<Envelope<Req>>, Receiver<Envelope<Req>>) = unbounded();
         // Persistent per-worker reply channels: capacity 1 suffices since a
         // worker has at most one outstanding blocking request.
@@ -125,7 +141,21 @@ impl ClusterBackend for ThreadCluster {
                     reply_rx: slot.take().expect("reply receiver taken twice"),
                 };
                 let worker_fn = &worker_fn;
-                scope.spawn(move || worker_fn(w, &mut handle));
+                let plan = plan.clone();
+                scope.spawn(move || match plan {
+                    None => worker_fn(w, &mut handle),
+                    Some(plan) => {
+                        let mut link = FaultyLink::new(handle, w, &plan);
+                        loop {
+                            worker_fn(w, &mut link);
+                            let Some(delay_ms) = link.crashed_restart_ms() else {
+                                break; // finished, or dead for good
+                            };
+                            thread::sleep(std::time::Duration::from_millis(u64::from(delay_ms)));
+                            link.resume();
+                        }
+                    }
+                });
             }
             // Drop the original sender so the loop ends when workers do.
             drop(tx);

@@ -41,10 +41,19 @@ fn main() {
     cfg.lr = LrSchedule::constant(0.1);
 
     let build = |rng: &mut Rng| mlp(&[6, 16, 4], false, rng);
-    let backend = NetCluster::new(workers).with_config(net_config(&cfg.net));
 
-    println!("training LC-ASGD with {workers} workers over loopback TCP…\n");
-    let r = run_cluster(backend, &cfg, &build, &train, &test).expect("TCP training run failed");
+    // A little chaos on the wire: one worker crashes and rejoins, another
+    // rides a briefly slowed link. The run must absorb both.
+    let plan = FaultPlan::new()
+        .with_event(1, 6, FaultKind::Crash { restart_after_ms: Some(25) })
+        .with_event(3, 4, FaultKind::SlowLink { delay_ms: 15 });
+    let backend =
+        NetCluster::new(workers).with_config(net_config(&cfg.net)).with_fault_plan(plan.clone());
+    let opts = RunOptions { fault_plan: Some(plan), ..RunOptions::default() };
+
+    println!("training LC-ASGD with {workers} workers over loopback TCP (with fault injection)…\n");
+    let r = run_cluster_with(backend, &cfg, &build, &train, &test, opts)
+        .expect("TCP training run failed");
 
     println!("epoch  train-loss  test-error");
     for (i, e) in r.epochs.iter().enumerate() {
@@ -63,6 +72,36 @@ fn main() {
         r.total_time
     );
     assert!(last.train_loss < first.train_loss, "training over TCP must decrease the loss");
+
+    let f = r.faults.as_ref().expect("fault-injected runs carry a report");
+    println!(
+        "\nfaults: {} injected ({} crashes), {} worker restarts",
+        f.injected(),
+        f.crashes(),
+        f.worker_restarts()
+    );
+    for rec in &f.records {
+        match rec {
+            FaultRecord::Injected { worker, op, kind } => {
+                println!("  worker {worker} op {op:>3}: injected {kind:?}")
+            }
+            FaultRecord::WorkerRestarted { worker, op } => {
+                println!("  worker {worker} op {op:>3}: restarted and rejoined")
+            }
+            FaultRecord::ServerHalted { at_update } => {
+                println!("  server halted at update {at_update}")
+            }
+            FaultRecord::Resumed { at_update } => {
+                println!("  resumed from checkpoint at update {at_update}")
+            }
+        }
+    }
+    println!(
+        "staleness k_m: mean {:.2}, p95 {}, p99 {} (tail = how stale the worst updates were)",
+        r.mean_staleness(),
+        r.staleness_quantile(0.95),
+        r.staleness_quantile(0.99)
+    );
 
     let t = r.transport.expect("backend runs always report transport stats");
     println!("\ntransport (what actually crossed the wire):");

@@ -4,7 +4,9 @@
 //! lcasgd train   [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]
 //!                [--scale tiny|small|paper] [--epochs N] [--seed N]
 //!                [--bn regular|async] [--dataset cifar|imagenet]
-//!                [--partitioned] [--stragglers] [--checkpoint PATH]
+//!                [--partitioned] [--stragglers]
+//!                [--checkpoint PATH] [--checkpoint-every N]
+//!                [--fault-plan PATH] [--resume PATH]
 //! lcasgd staleness [--workers N] [--seed N] [--stragglers]
 //! lcasgd help
 //! ```
@@ -12,12 +14,19 @@
 //! `train` runs one experiment and prints the learning curve;
 //! `staleness` profiles the cluster simulator's staleness distribution
 //! without any model computation.
+//!
+//! `--checkpoint`, `--fault-plan`, and `--resume` switch the run to the
+//! real-thread cluster backend: `--checkpoint PATH` writes a full
+//! training checkpoint every `--checkpoint-every` updates (default: once
+//! per epoch), `--fault-plan PATH` injects the crash/drop/delay schedule
+//! described by the text file, and `--resume PATH` continues a run from a
+//! previously written checkpoint.
 
 use lc_asgd::core::config::DataPartition;
-use lc_asgd::nn::checkpoint::Checkpoint;
 use lc_asgd::nn::resnet::ResNetConfig;
 use lc_asgd::prelude::*;
 use lc_asgd::simcluster::{ClusterSim, ClusterSpec};
+use std::path::PathBuf;
 use std::process::exit;
 
 struct Args(Vec<String>);
@@ -44,7 +53,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers] [--checkpoint PATH]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
+        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
     );
     exit(2)
 }
@@ -132,13 +141,55 @@ fn train(args: &Args) {
         cfg.cluster = ClusterSpec::with_stragglers(workers.max(1), seed);
     }
 
+    let fault_plan = args.value("--fault-plan").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan {path}: {e}");
+            exit(2)
+        });
+        FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("invalid fault plan {path}: {e}");
+            exit(2)
+        })
+    });
+    let resume = args.value("--resume").map(|path| {
+        TrainingCheckpoint::load(path).unwrap_or_else(|e| {
+            eprintln!("cannot load checkpoint {path}: {e}");
+            exit(2)
+        })
+    });
+    let checkpoint_path = args.value("--checkpoint").map(PathBuf::from);
+    // Any robustness flag routes the run through the real-thread cluster
+    // backend; the default path stays the co-simulated experiment driver.
+    let cluster_run = fault_plan.is_some() || resume.is_some() || checkpoint_path.is_some();
+    if fault_plan.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
+        eprintln!("--fault-plan requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
+        exit(2);
+    }
+
     println!(
         "training {algorithm} on {dataset}-like data: {} train / {} test, M={workers}, {} epochs",
         train_set.len(),
         test_set.len(),
         cfg.epochs
     );
-    let result = run_experiment(&cfg, &build, &train_set, &test_set);
+    let result = if cluster_run {
+        let backend = match &fault_plan {
+            Some(plan) => ThreadCluster::new(workers.max(1)).with_fault_plan(plan.clone()),
+            None => ThreadCluster::new(workers.max(1)),
+        };
+        let opts = RunOptions {
+            fault_plan,
+            checkpoint_path: checkpoint_path.clone(),
+            checkpoint_every: args.parse("--checkpoint-every", 0),
+            resume,
+        };
+        run_cluster_with(backend, &cfg, &build, &train_set, &test_set, opts).unwrap_or_else(|e| {
+            eprintln!("cluster run failed: {e}");
+            exit(1)
+        })
+    } else {
+        run_experiment(&cfg, &build, &train_set, &test_set)
+    };
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
         "epoch", "train err", "test err", "loss", "t (s)"
@@ -169,14 +220,23 @@ fn train(args: &Args) {
         );
     }
 
-    if let Some(path) = args.value("--checkpoint") {
-        // Reconstruct the final model from the run for saving: rerun the
-        // deterministic experiment weights via a fresh build + the saved
-        // final state is not exposed; instead capture the eval replica.
-        let mut rng = Rng::seed_from_u64(seed);
-        let net = build(&mut rng);
-        Checkpoint::capture(&net).save(path).expect("write checkpoint");
-        println!("wrote initial-architecture checkpoint to {path}");
+    if let Some(f) = &result.faults {
+        println!(
+            "faults: {} injected ({} crashes), {} worker restarts | staleness p99 {}",
+            f.injected(),
+            f.crashes(),
+            f.worker_restarts(),
+            result.staleness_quantile(0.99)
+        );
+        if f.resumed_at > 0 {
+            println!("resumed from checkpoint at update {}", f.resumed_at);
+        }
+        if f.server_halted {
+            println!("server halted at the planned restart point; rerun with --resume to continue");
+        }
+    }
+    if let Some(path) = &checkpoint_path {
+        println!("training checkpoints written to {}", path.display());
     }
 }
 

@@ -30,12 +30,16 @@ pub mod prelude {
     pub use lcasgd_autograd::{Graph, Var};
     pub use lcasgd_core::algorithms::Algorithm;
     pub use lcasgd_core::bnmode::BnMode;
+    pub use lcasgd_core::checkpoint::TrainingCheckpoint;
     pub use lcasgd_core::compensation::CompensationMode;
     pub use lcasgd_core::config::{ExperimentConfig, NetTuning, Scale};
-    pub use lcasgd_core::metrics::RunResult;
-    pub use lcasgd_core::trainer::{run_cluster, run_experiment};
+    pub use lcasgd_core::metrics::{FaultReport, RunResult};
+    pub use lcasgd_core::trainer::{run_cluster, run_cluster_with, run_experiment, RunOptions};
     pub use lcasgd_data::{Dataset, SyntheticImageSpec};
     pub use lcasgd_netcluster::{NetCluster, NetConfig};
-    pub use lcasgd_simcluster::{ClusterBackend, ClusterError, ThreadCluster, TransportStats};
+    pub use lcasgd_simcluster::{
+        ClusterBackend, ClusterError, FaultKind, FaultPlan, FaultRecord, ThreadCluster,
+        TransportStats,
+    };
     pub use lcasgd_tensor::{Rng, Tensor};
 }

@@ -1,0 +1,254 @@
+//! Chaos suite: the same seeded `FaultPlan` driven through all three
+//! `ClusterBackend` implementations must (a) be interpreted identically,
+//! (b) recover every restartable crash with no hangs, and (c) land the
+//! final evaluation loss in the same ballpark as the fault-free run —
+//! extending the backend-equivalence guarantee to faulty executions.
+//! Plus the planned server-restart drill: halt at a checkpoint mid-run,
+//! then resume a fresh process from it to the same final loss.
+
+use lc_asgd::prelude::*;
+use lc_asgd::simcluster::{ClusterSim, SimPayload};
+use std::path::PathBuf;
+
+fn task() -> (Dataset, Dataset) {
+    lc_asgd::data::synth::blobs_split(4, 6, 30, 12, 0.5, 33)
+}
+
+fn cfg(algo: Algorithm, workers: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(algo, workers, Scale::Tiny, 23);
+    cfg.epochs = 10;
+    cfg.batch_size = 10;
+    cfg.lr = lc_asgd::nn::optimizer::LrSchedule::constant(0.1);
+    cfg
+}
+
+fn build(rng: &mut Rng) -> lc_asgd::nn::Network {
+    lc_asgd::nn::mlp::mlp(&[6, 16, 4], false, rng)
+}
+
+/// One of every fault kind, placed on deterministic ops of the ASGD
+/// pull/push cycle (even ops are Pull requests, odd ops are Grad pushes).
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_event(0, 4, FaultKind::Crash { restart_after_ms: Some(30) })
+        .with_event(1, 3, FaultKind::Drop)
+        .with_event(1, 7, FaultKind::Corrupt)
+        .with_event(2, 5, FaultKind::Duplicate)
+        .with_event(3, 2, FaultKind::SlowLink { delay_ms: 20 })
+}
+
+fn opts_with(plan: &FaultPlan) -> RunOptions {
+    RunOptions { fault_plan: Some(plan.clone()), ..RunOptions::default() }
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lcasgd_{name}_{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn seeded_fault_plans_are_bit_reproducible_on_the_simulator() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let run = |seed: u64| {
+        let plan = FaultPlan::generate(seed, 4, 40, 5);
+        let sim: ClusterSim<SimPayload> =
+            ClusterSim::new(c.cluster.clone()).with_fault_plan(plan.clone());
+        let r = run_cluster_with(sim, &c, &build, &train, &test, opts_with(&plan))
+            .expect("sim chaos run failed");
+        (r, plan.records())
+    };
+    let (a, recs_a) = run(7);
+    let (b, recs_b) = run(7);
+    assert!(!recs_a.is_empty(), "the generated plan must actually fire");
+    assert_eq!(recs_a, recs_b, "same seed must inject the same faults at the same ops");
+    assert_eq!(a.staleness, b.staleness, "same faults must yield the same staleness stream");
+    assert_eq!(
+        a.final_test_error(),
+        b.final_test_error(),
+        "the simulated chaos run must be bit-reproducible"
+    );
+    // A different seed schedules a different plan.
+    let other = FaultPlan::generate(8, 4, 40, 5);
+    assert_ne!(
+        FaultPlan::generate(7, 4, 40, 5).events,
+        other.events,
+        "distinct seeds must draw distinct schedules"
+    );
+}
+
+#[test]
+fn the_same_chaos_plan_completes_on_all_three_backends() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let baseline = run_cluster(ThreadCluster::new(4), &c, &build, &train, &test)
+        .expect("fault-free baseline failed");
+
+    let runs: Vec<(&str, RunResult)> = {
+        let sim_plan = chaos_plan();
+        let sim: ClusterSim<SimPayload> =
+            ClusterSim::new(c.cluster.clone()).with_fault_plan(sim_plan.clone());
+        let thr_plan = chaos_plan();
+        let net_plan = chaos_plan();
+        vec![
+            (
+                "sim",
+                run_cluster_with(sim, &c, &build, &train, &test, opts_with(&sim_plan))
+                    .expect("sim chaos run failed"),
+            ),
+            (
+                "threads",
+                run_cluster_with(
+                    ThreadCluster::new(4).with_fault_plan(thr_plan.clone()),
+                    &c,
+                    &build,
+                    &train,
+                    &test,
+                    opts_with(&thr_plan),
+                )
+                .expect("thread chaos run failed"),
+            ),
+            (
+                "tcp",
+                run_cluster_with(
+                    NetCluster::new(4)
+                        .with_config(NetConfig::fast())
+                        .with_fault_plan(net_plan.clone()),
+                    &c,
+                    &build,
+                    &train,
+                    &test,
+                    opts_with(&net_plan),
+                )
+                .expect("tcp chaos run failed"),
+            ),
+        ]
+    };
+
+    for (name, r) in &runs {
+        // No hangs, no lost updates: the server still applies exactly the
+        // target number of gradients.
+        assert_eq!(r.iterations as usize, target, "{name} must reach the target");
+        let report = r.faults.as_ref().expect("chaos runs must carry a fault report");
+        assert_eq!(report.injected(), 5, "{name} must fire all five scheduled faults");
+        assert_eq!(report.crashes(), 1, "{name} schedules exactly one explicit crash");
+        assert!(
+            report.worker_restarts() >= 1,
+            "{name}: the crashed worker must have been restarted"
+        );
+        // The chaos run must still learn the task, within tolerance of the
+        // fault-free baseline.
+        assert!(
+            r.final_test_error() < baseline.final_test_error() + 0.2,
+            "{name}: chaos err {} vs fault-free {}",
+            r.final_test_error(),
+            baseline.final_test_error()
+        );
+    }
+}
+
+#[test]
+fn lc_asgd_survives_worker_crashes_with_elastic_rejoin() {
+    // LC-ASGD exercises the full rejoin path: the restarted worker's Join
+    // resets its arrival history and step-predictor stream, and the
+    // two-phase State→Grad exchange tolerates crashes between the phases.
+    let (train, test) = task();
+    let c = cfg(Algorithm::LcAsgd, 4);
+    let plan = FaultPlan::new()
+        .with_event(0, 5, FaultKind::Crash { restart_after_ms: Some(20) })
+        .with_event(2, 8, FaultKind::Crash { restart_after_ms: Some(10) });
+    let r = run_cluster_with(
+        ThreadCluster::new(4).with_fault_plan(plan.clone()),
+        &c,
+        &build,
+        &train,
+        &test,
+        opts_with(&plan),
+    )
+    .expect("LC chaos run failed");
+    let report = r.faults.as_ref().unwrap();
+    assert_eq!(report.crashes(), 2);
+    assert_eq!(report.worker_restarts(), 2, "both crashed workers must rejoin");
+    assert_eq!(r.epochs.len(), c.epochs);
+    assert!(r.final_test_error() < 0.35, "err {}", r.final_test_error());
+}
+
+#[test]
+fn server_restart_resumes_from_checkpoint_to_the_same_ballpark() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::LcAsgd, 4);
+    let updates_per_epoch = train.len().div_ceil(c.batch_size);
+    let target = c.epochs * updates_per_epoch;
+    let halt_at = (target / 2 + updates_per_epoch / 2) as u64; // mid-epoch
+    let ckpt = tmp_path("server_restart");
+
+    // Phase 1: run until the planned server restart point; the server
+    // checkpoints and halts itself.
+    let plan = FaultPlan::new().with_server_restart(halt_at);
+    let first = run_cluster_with(
+        ThreadCluster::new(4).with_fault_plan(plan.clone()),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions {
+            fault_plan: Some(plan.clone()),
+            checkpoint_path: Some(ckpt.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("pre-restart run failed");
+    let report = first.faults.as_ref().expect("fault plan must produce a report");
+    assert!(report.server_halted, "the run must halt at the planned restart");
+    assert!(first.epochs.len() < c.epochs, "the halted run is incomplete");
+    assert!(
+        report
+            .records
+            .iter()
+            .any(|r| matches!(r, FaultRecord::ServerHalted { at_update } if *at_update == halt_at)),
+        "halt must be recorded at exactly the planned update"
+    );
+
+    // Phase 2: a fresh process restores the checkpoint and finishes.
+    let restored = TrainingCheckpoint::load(&ckpt).expect("checkpoint must load cleanly");
+    assert_eq!(restored.applied, halt_at);
+    assert!(restored.loss_pred.is_some() && restored.step_pred.is_some());
+    let resume_plan = FaultPlan::new();
+    let second = run_cluster_with(
+        ThreadCluster::new(4),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions {
+            fault_plan: Some(resume_plan.clone()),
+            resume: Some(restored),
+            ..RunOptions::default()
+        },
+    )
+    .expect("resumed run failed");
+    std::fs::remove_file(&ckpt).ok();
+
+    assert_eq!(second.epochs.len(), c.epochs, "the resumed run completes all epochs");
+    assert_eq!(second.iterations as usize, target, "updates continue from the halt point");
+    let report = second.faults.as_ref().unwrap();
+    assert_eq!(report.resumed_at, halt_at);
+    assert!(
+        report
+            .records
+            .iter()
+            .any(|r| matches!(r, FaultRecord::Resumed { at_update } if *at_update == halt_at)),
+        "the resume must be recorded"
+    );
+
+    // The interrupted-and-resumed run must land within tolerance of an
+    // uninterrupted one.
+    let uninterrupted = run_cluster(ThreadCluster::new(4), &c, &build, &train, &test)
+        .expect("uninterrupted run failed");
+    assert!(
+        (second.final_test_error() - uninterrupted.final_test_error()).abs() < 0.25,
+        "resumed {} vs uninterrupted {}",
+        second.final_test_error(),
+        uninterrupted.final_test_error()
+    );
+}

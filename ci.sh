@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 # Crates this sequence of PRs actively touches; lint-gated at -D warnings.
-TOUCHED=(-p lcasgd-simcluster -p lcasgd-netcluster -p lcasgd-core -p lc-asgd)
+TOUCHED=(-p lcasgd-simcluster -p lcasgd-netcluster -p lcasgd-core -p lcasgd-bench -p lc-asgd)
 
 echo "==> cargo build --release"
 cargo build --release
@@ -22,6 +22,22 @@ echo "==> chaos / fault-injection suite (hard 300s timeout)"
 timeout 300 cargo test -q --release --test chaos_faults
 timeout 120 cargo test -q --release -p lcasgd-core checkpoint
 timeout 120 cargo test -q --release -p lcasgd-netcluster frame
+
+# Observability contract: traced LC-ASGD on all three backends must tile
+# each worker's timeline (per-phase totals within 5% of elapsed time in
+# the run's clock domain) and the TCP byte counters must be frame-exact.
+# Same timeout rationale as the chaos suite — net tests hang on regress.
+echo "==> trace / observability suite (hard 300s timeout)"
+timeout 300 cargo test -q --release --test trace_integration
+
+# CLI smoke: --trace must emit a non-empty, well-formed Chrome trace.
+echo "==> lcasgd train --trace smoke"
+TRACE_OUT=$(mktemp /tmp/lcasgd_ci_trace.XXXXXX.json)
+timeout 120 ./target/release/lcasgd train --algorithm lc-asgd --workers 2 \
+    --scale tiny --epochs 2 --trace "$TRACE_OUT" >/dev/null
+[ -s "$TRACE_OUT" ] || { echo "trace file is empty"; exit 1; }
+grep -q '"traceEvents"' "$TRACE_OUT" || { echo "trace file is not a Chrome trace"; exit 1; }
+rm -f "$TRACE_OUT"
 
 echo "==> cargo fmt --check (touched crates)"
 cargo fmt --check "${TOUCHED[@]}"

@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     for m in [4usize, 8, 16] {
         let r = quick::imagenet_run(Algorithm::LcAsgd, m);
-        println!("fig6: LC-ASGD M={m} virtual total {:.1}s for {} updates", r.total_time, r.iterations);
+        println!(
+            "fig6: LC-ASGD M={m} virtual total {:.1}s for {} updates",
+            r.total_time, r.iterations
+        );
     }
     let mut g = c.benchmark_group("fig6_imagenet_walltime");
     g.sample_size(10);

@@ -28,7 +28,9 @@ fn main() {
         println!("model params: {}", net.num_params());
     }
 
-    for algo in [Algorithm::Sgd, Algorithm::Ssgd, Algorithm::Asgd, Algorithm::DcAsgd, Algorithm::LcAsgd] {
+    for algo in
+        [Algorithm::Sgd, Algorithm::Ssgd, Algorithm::Asgd, Algorithm::DcAsgd, Algorithm::LcAsgd]
+    {
         for m in [4usize, 16] {
             if algo == Algorithm::Sgd && m != 4 {
                 continue;

@@ -40,17 +40,18 @@ impl CurveSet {
         out
     }
 
-    /// Renders error against virtual wall-clock seconds (Figures 4 and 6)
-    /// — each curve carries its own time axis, so rows print per run.
+    /// Renders error against elapsed seconds (Figures 4 and 6) — each
+    /// curve carries its own time axis, so rows print per run. The axis is
+    /// labelled with the runs' clock domain: the co-simulated drivers
+    /// report *virtual* seconds, real backends wall seconds
+    /// ([`RunResult::clock`]).
     pub fn render_by_time(&self) -> String {
-        let mut out = format!("== {} (by wall-clock) ==\n", self.title);
-        // Convergence-speed crossover: virtual seconds to reach 2× the
-        // panel's best final error — the quantity Figure 4/6 plots answer.
-        let best_final = self
-            .runs
-            .iter()
-            .map(|r| r.final_test_error())
-            .fold(f32::INFINITY, f32::min);
+        let clock = self.runs.first().map(|r| r.clock).unwrap_or_default();
+        let mut out = format!("== {} (by {clock}-clock seconds) ==\n", self.title);
+        // Convergence-speed crossover: seconds to reach 2× the panel's
+        // best final error — the quantity Figure 4/6 plots answer.
+        let best_final =
+            self.runs.iter().map(|r| r.final_test_error()).fold(f32::INFINITY, f32::min);
         let threshold = (best_final * 2.0).max(best_final + 0.01);
         for r in &self.runs {
             let reach = r
@@ -73,7 +74,7 @@ impl CurveSet {
             let test: Vec<f64> = r.epochs.iter().map(|e| e.test_error as f64).collect();
             out.push_str(&series_table(
                 &format!("{} vs time", short(&r.label)),
-                "seconds",
+                &format!("{}-s", r.clock),
                 &xs,
                 &[("train_err", train), ("test_err", test)],
             ));

@@ -57,7 +57,14 @@ pub mod quick {
         S.get_or_init(|| Scenario::imagenet(Scale::Tiny))
     }
 
-    fn run(scenario: &Scenario, algo: Algorithm, m: usize, epochs: usize, bn: BnMode, comp: CompensationMode) -> RunResult {
+    fn run(
+        scenario: &Scenario,
+        algo: Algorithm,
+        m: usize,
+        epochs: usize,
+        bn: BnMode,
+        comp: CompensationMode,
+    ) -> RunResult {
         let mut cfg = scenario.config(algo, m, crate::REPRO_SEED);
         cfg.epochs = epochs;
         cfg.bn_mode = bn;
@@ -88,7 +95,10 @@ pub mod quick {
     }
 
     /// Short ASGD CIFAR run with gradient compression on the push.
-    pub fn cifar_run_compressed(m: usize, compression: lcasgd_core::comm::Compression) -> RunResult {
+    pub fn cifar_run_compressed(
+        m: usize,
+        compression: lcasgd_core::comm::Compression,
+    ) -> RunResult {
         let scenario = cifar();
         let mut cfg = scenario.config(Algorithm::Asgd, m, crate::REPRO_SEED);
         cfg.epochs = 2;

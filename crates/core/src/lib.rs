@@ -20,7 +20,10 @@
 //! * [`protocol`] — the wire encoding of the pull / push-state / push-grad
 //!   messages those backends carry;
 //! * [`metrics`] — epoch records, staleness, predictor traces, overheads,
-//!   transport statistics.
+//!   transport statistics;
+//! * [`trace`] — the observability layer: phase-tagged span events from
+//!   every backend on an explicit clock domain, with Chrome-trace,
+//!   Prometheus-text and per-epoch-summary exporters.
 
 pub mod algorithms;
 pub mod bnmode;
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod predictor;
 pub mod protocol;
 pub mod server;
+pub mod trace;
 pub mod trainer;
 pub mod worker;
 
@@ -43,3 +47,4 @@ pub use compensation::CompensationMode;
 pub use config::{CostModel, ExperimentConfig, NetTuning, Scale};
 pub use metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, RunResult};
 pub use protocol::{ClusterReq, ClusterResp};
+pub use trace::{ClockDomain, TraceEvent, TraceFormat, TraceLog, TraceSink};

@@ -1,13 +1,17 @@
 //! Run results: everything the figure/table harnesses consume.
 
-use lcasgd_simcluster::{FaultKind, FaultRecord, TransportStats};
+use crate::trace::TraceLog;
+use lcasgd_simcluster::{ClockDomain, FaultKind, FaultRecord, TransportStats};
 
 /// One row of a learning curve (Figures 3–6 plot these).
 #[derive(Clone, Debug)]
 pub struct EpochRecord {
     /// 1-based epoch number.
     pub epoch: usize,
-    /// Virtual wall-clock seconds at the end of the epoch.
+    /// Seconds at the end of the epoch, measured on the run's clock —
+    /// virtual seconds on the simulator, monotonic wall seconds on the
+    /// thread/TCP backends. [`RunResult::clock`] says which; values from
+    /// runs in different domains are not comparable.
     pub time: f64,
     /// Error rate on the (sub-sampled) training set, eval mode.
     pub train_error: f32,
@@ -115,7 +119,7 @@ impl FaultReport {
 }
 
 /// Everything produced by one training run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunResult {
     /// Algorithm / BN labels for table rendering.
     pub label: String,
@@ -128,8 +132,22 @@ pub struct RunResult {
     pub overhead: Option<OverheadStats>,
     /// Total gradient applications at the server.
     pub iterations: u64,
-    /// Virtual seconds for the whole run.
+    /// Elapsed seconds for the whole run, in [`RunResult::clock`]'s
+    /// domain.
     pub total_time: f64,
+    /// The clock domain `total_time` and every [`EpochRecord::time`] are
+    /// measured in: [`ClockDomain::Virtual`] for the discrete-event
+    /// simulator and the co-simulated drivers, [`ClockDomain::Wall`] for
+    /// the thread and TCP backends.
+    pub clock: ClockDomain,
+    /// Real (monotonic wall-clock) seconds the run took, regardless of
+    /// domain: equal to `total_time` on wall-clock backends, and the
+    /// host-side execution time of a simulated run otherwise — so both
+    /// clocks are recorded where both exist.
+    pub wall_time: f64,
+    /// Phase-tagged span timeline, when the run was traced (see
+    /// [`crate::trace`]); `None` otherwise.
+    pub timeline: Option<TraceLog>,
     /// Transport accounting (bytes, round trips, serialization time) when
     /// the run was driven through a [`ClusterBackend`]; `None` for the
     /// co-simulated drivers, which never serialize.
@@ -176,7 +194,7 @@ impl RunResult {
         h
     }
 
-    /// Average measured per-iteration virtual milliseconds.
+    /// Average per-iteration milliseconds, in the run's clock domain.
     pub fn avg_iteration_ms(&self) -> f64 {
         self.total_time * 1e3 / self.iterations.max(1) as f64
     }
@@ -207,8 +225,7 @@ mod tests {
             overhead: None,
             iterations: 10,
             total_time: 1.0,
-            transport: None,
-            faults: None,
+            ..RunResult::default()
         };
         assert_eq!(r.final_test_error(), 0.3);
         assert_eq!(r.best_test_error(), 0.2);
@@ -225,8 +242,7 @@ mod tests {
             overhead: None,
             iterations: 1,
             total_time: 1.0,
-            transport: None,
-            faults: None,
+            ..RunResult::default()
         };
         let deg = r.degradation_vs(0.0515);
         assert!((deg - 10.097).abs() < 0.05, "{deg}");
@@ -242,8 +258,7 @@ mod tests {
             overhead: None,
             iterations: 5,
             total_time: 0.16,
-            transport: None,
-            faults: None,
+            ..RunResult::default()
         };
         assert!((r.mean_staleness() - 3.2).abs() < 1e-9);
         let h = r.staleness_histogram(3);
@@ -285,17 +300,26 @@ impl RunResult {
         self.epochs.iter().find(|e| e.test_error <= threshold).map(|e| e.epoch)
     }
 
-    /// Staleness quantile (`q` in [0, 1]); 0.5 = median, 1.0 = max. The
-    /// tail quantiles are what distinguish a volatile (straggler-prone)
-    /// cluster from a merely slow one.
+    /// Staleness quantile (`q` in [0, 1]) under the **nearest-rank**
+    /// definition: the smallest sample `v` such that at least `⌈q·n⌉` of
+    /// the `n` samples are ≤ `v` — i.e. `sorted[max(⌈q·n⌉, 1) − 1]`. So
+    /// 0.0 = min, 0.5 = lower median, 1.0 = max, and every returned value
+    /// is an actual sample (no interpolation). The tail quantiles are
+    /// what distinguish a volatile (straggler-prone) cluster from a
+    /// merely slow one.
+    ///
+    /// (The previous `round((n−1)·q)` formula drifted up to one rank high
+    /// at interior quantiles, e.g. the median of 4 samples came back as
+    /// the 3rd-smallest instead of the 2nd.)
     pub fn staleness_quantile(&self, q: f64) -> u32 {
         if self.staleness.is_empty() {
             return 0;
         }
         let mut s = self.staleness.clone();
         s.sort_unstable();
-        let idx = ((s.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        s[idx]
+        let n = s.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        s[rank - 1]
     }
 }
 
@@ -323,8 +347,7 @@ mod convergence_tests {
             overhead: None,
             iterations: 7,
             total_time: 10.0,
-            transport: None,
-            faults: None,
+            ..RunResult::default()
         }
     }
 
@@ -349,5 +372,51 @@ mod convergence_tests {
         let mut r = run_with(&[0.5]);
         r.staleness = Vec::new();
         assert_eq!(r.staleness_quantile(0.5), 0);
+    }
+}
+
+#[cfg(test)]
+mod quantile_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference nearest-rank quantile: the smallest sample `v` with
+    /// `|{x : x ≤ v}| ≥ ⌈q·n⌉`, found by counting values rather than
+    /// indexing into the sorted array.
+    fn reference_nearest_rank(samples: &[u32], q: f64) -> u32 {
+        let n = samples.len() as f64;
+        let need = (q.clamp(0.0, 1.0) * n).ceil().max(1.0);
+        let mut vals = samples.to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        for v in vals {
+            let cnt = samples.iter().filter(|&&x| x <= v).count() as f64;
+            if cnt >= need {
+                return v;
+            }
+        }
+        unreachable!("the maximum always satisfies the rank");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn quantile_matches_reference(
+            samples in prop::collection::vec(0u32..64, 1..40),
+            q in 0.0f64..=1.0,
+        ) {
+            let r = RunResult { staleness: samples.clone(), ..RunResult::default() };
+            prop_assert_eq!(r.staleness_quantile(q), reference_nearest_rank(&samples, q));
+        }
+    }
+
+    #[test]
+    fn median_of_four_is_second_smallest() {
+        // The old round((n−1)·q) formula returned the 3rd-smallest here.
+        let r = RunResult { staleness: vec![10, 20, 30, 40], ..RunResult::default() };
+        assert_eq!(r.staleness_quantile(0.25), 10);
+        assert_eq!(r.staleness_quantile(0.5), 20);
+        assert_eq!(r.staleness_quantile(0.75), 30);
+        assert_eq!(r.staleness_quantile(1.0), 40);
     }
 }

@@ -18,6 +18,7 @@ use crate::metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, Ru
 use crate::predictor::{LossPredictor, StepPredictor};
 use crate::protocol::{ClusterReq, ClusterResp};
 use crate::server::ParameterServer;
+use crate::trace::{phase, ClockDomain, TraceSink};
 use crate::worker::WorkerNode;
 use lcasgd_autograd::ops::norm::BnBatchStats;
 use lcasgd_data::{BatchIter, Dataset};
@@ -30,6 +31,8 @@ use lcasgd_simcluster::{
 };
 use lcasgd_tensor::{Rng, Tensor};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A model factory: must be deterministic in the RNG it is given so every
 /// algorithm starts "based on the same randomly initialized model" (§5).
@@ -118,6 +121,7 @@ fn run_sequential(
     train: &Dataset,
     test: &Dataset,
 ) -> RunResult {
+    let t0 = Instant::now();
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let canonical = build(&mut rng);
     let mut server = ParameterServer::new(&canonical, 1, BnMode::Regular, cfg.bn_momentum);
@@ -148,8 +152,11 @@ fn run_sequential(
         overhead: None,
         iterations: server.version,
         total_time: time,
+        clock: ClockDomain::Virtual,
+        wall_time: t0.elapsed().as_secs_f64(),
         transport: None,
         faults: None,
+        timeline: None,
     }
 }
 
@@ -165,6 +172,7 @@ fn run_ssgd(
     test: &Dataset,
 ) -> RunResult {
     let m = cfg.workers.max(1);
+    let t0 = Instant::now();
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let canonical = build(&mut rng);
     let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
@@ -232,8 +240,11 @@ fn run_ssgd(
         overhead: None,
         iterations: server.version,
         total_time: round_start,
+        clock: ClockDomain::Virtual,
+        wall_time: t0.elapsed().as_secs_f64(),
         transport: None,
         faults: None,
+        timeline: None,
     }
 }
 
@@ -267,6 +278,7 @@ fn run_async(
     let is_lc = cfg.algorithm == Algorithm::LcAsgd;
     let is_dc = cfg.algorithm == Algorithm::DcAsgd;
 
+    let t0 = Instant::now();
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let canonical = build(&mut rng);
     let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
@@ -466,8 +478,11 @@ fn run_async(
         overhead,
         iterations: server.version,
         total_time: sim.now(),
+        clock: ClockDomain::Virtual,
+        wall_time: t0.elapsed().as_secs_f64(),
         transport: None,
         faults: None,
+        timeline: None,
     }
 }
 
@@ -543,6 +558,10 @@ pub struct RunOptions {
     /// fresh. The configuration must match the run that wrote it (same
     /// model, worker count, algorithm).
     pub resume: Option<TrainingCheckpoint>,
+    /// Record a phase-tagged span timeline ([`crate::trace`]) and return
+    /// it in [`RunResult::timeline`]. Off by default: tracing buffers
+    /// every span in memory for the run's whole lifetime.
+    pub trace: bool,
 }
 
 /// [`run_cluster`] plus the robustness machinery of [`RunOptions`]:
@@ -551,7 +570,7 @@ pub struct RunOptions {
 /// bookkeeping per Algorithm 2), periodic checkpoints, planned
 /// server-restart halts, and checkpoint resume.
 pub fn run_cluster_with<B: ClusterBackend>(
-    backend: B,
+    mut backend: B,
     cfg: &ExperimentConfig,
     build: ModelFn<'_>,
     train: &Dataset,
@@ -560,7 +579,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
 ) -> Result<RunResult, ClusterError> {
     use parking_lot::Mutex;
 
-    let RunOptions { fault_plan, checkpoint_path, checkpoint_every, resume } = opts;
+    let RunOptions { fault_plan, checkpoint_path, checkpoint_every, resume, trace: want_trace } =
+        opts;
     let m = backend.workers();
     let is_lc = cfg.algorithm == Algorithm::LcAsgd;
     let is_dc = cfg.algorithm == Algorithm::DcAsgd;
@@ -669,7 +689,34 @@ pub fn run_cluster_with<B: ClusterBackend>(
     let ckpt_every = if checkpoint_every == 0 { updates_per_epoch } else { checkpoint_every };
     let mut halted = false;
 
-    let t0 = std::time::Instant::now();
+    // ---- observability ------------------------------------------------
+    // The sink observes; it never feeds back into scheduling, so a traced
+    // run applies bit-identical updates to an untraced one. The backend
+    // decides the clock domain epoch records are stamped in: the
+    // discrete-event simulator reports virtual seconds, real backends
+    // report wall seconds ([`RunResult::clock`] says which).
+    let clock = backend.clock_domain();
+    let sink = TraceSink::new(want_trace);
+    backend.attach_trace_hook(Arc::new(sink.clone()));
+
+    let t0 = Instant::now();
+    sink.start_clock(t0);
+    // Seconds "now" on the run's clock, for epoch-record stamping.
+    let run_now = |sink: &TraceSink| match clock {
+        ClockDomain::Virtual => sink.virt_high(),
+        ClockDomain::Wall => t0.elapsed().as_secs_f64(),
+    };
+    // Checkpoint-write failures observed without a fault plan to report
+    // into; they still must reach [`RunResult::faults`].
+    let mut ckpt_failures: Vec<FaultRecord> = Vec::new();
+    // Worker-side phase spans only make sense on wall-clock backends: on
+    // the discrete-event simulator the worker's wall time is meaningless
+    // (the sim backend emits virtual compute/comm spans instead).
+    let wspan = |worker: usize, ph: &'static str, start: Instant| {
+        if clock == ClockDomain::Wall {
+            sink.wall_span_at(Some(worker), ph, start, start.elapsed().as_secs_f64());
+        }
+    };
 
     let server_fn = |w: usize, req: ClusterReq, ctx: &mut ServerCtx<ClusterResp>| match req {
         ClusterReq::Join { .. } => {
@@ -700,10 +747,14 @@ pub fn run_cluster_with<B: ClusterBackend>(
         ClusterReq::State { loss, running, batch_stats, t_comm, t_comp } => {
             // Algorithm 2 lines 2–7, on real measured timings.
             let actual_step = server.log_arrival(w) as f32;
+            let t_sp = Instant::now();
             let km = step_pred.observe_and_predict(w, actual_step, t_comm, t_comp);
+            sink.wall_span_at(Some(w), phase::PREDICTOR_STEP, t_sp, t_sp.elapsed().as_secs_f64());
             let km_int = km.round().max(0.0) as usize;
             let one_step_forecast = loss_pred.pending_forecast();
+            let t_lp = Instant::now();
             let lp = loss_pred.observe_and_predict(loss, km_int);
+            sink.wall_span_at(Some(w), phase::PREDICTOR_LOSS, t_lp, t_lp.elapsed().as_secs_f64());
             if cfg.record_traces {
                 trace.finish_order.push(w);
                 trace.actual_loss.push(loss);
@@ -730,16 +781,24 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 if round.len() == m {
                     let lr = cfg.lr.at_epoch(rounds_done / rounds_per_epoch) * cfg.ssgd_lr_scale;
                     let gs: Vec<Vec<f32>> = round.iter().map(|(_, g, _, _)| g.clone()).collect();
+                    let t_apply = Instant::now();
                     server.apply_grad_avg(&gs, lr);
                     for (_, _, running, batch) in &round {
                         server.absorb_bn(running, batch);
                     }
+                    sink.wall_span_at(
+                        None,
+                        phase::SERVER_APPLY,
+                        t_apply,
+                        t_apply.elapsed().as_secs_f64(),
+                    );
+                    sink.note_version(server.version);
                     rounds_done += 1;
                     if rounds_done.is_multiple_of(rounds_per_epoch) {
                         let epoch = rounds_done / rounds_per_epoch;
                         records.push(epoch_record(
                             epoch,
-                            t0.elapsed().as_secs_f64(),
+                            run_now(&sink),
                             &mut harness,
                             &server,
                             &mut losses,
@@ -765,9 +824,12 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 // Late gradients past the target (or past a planned
                 // halt) are dropped, as a real server shutting down
                 // would drop them.
-                staleness.push((server.version - pull_version) as u32);
+                let stale = (server.version - pull_version) as u32;
+                staleness.push(stale);
+                sink.note_staleness(stale);
                 let lr = cfg.lr.at_epoch(applied / updates_per_epoch);
                 let g = grads.decompress();
+                let t_apply = Instant::now();
                 // A rejoined worker's backup was cleared at Join; until
                 // its next pull re-snapshots, fall back to the plain
                 // update (zero assumed drift).
@@ -780,13 +842,20 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     server.log_arrival(w);
                     server.absorb_bn(&running, &batch_stats);
                 }
+                sink.wall_span_at(
+                    Some(w),
+                    phase::SERVER_APPLY,
+                    t_apply,
+                    t_apply.elapsed().as_secs_f64(),
+                );
+                sink.note_version(server.version);
                 losses.push(loss);
                 applied += 1;
                 if applied.is_multiple_of(updates_per_epoch) {
                     let epoch = applied / updates_per_epoch;
                     records.push(epoch_record(
                         epoch,
-                        t0.elapsed().as_secs_f64(),
+                        run_now(&sink),
                         &mut harness,
                         &server,
                         &mut losses,
@@ -816,7 +885,39 @@ pub fn run_cluster_with<B: ClusterBackend>(
                             step_pred: is_lc.then(|| step_pred.snapshot()),
                             worker_batches: batch_pos.lock().clone(),
                         };
-                        ck.save(path).expect("failed to write training checkpoint");
+                        let t_ck = Instant::now();
+                        match ck.save(path) {
+                            Ok(()) => sink.wall_span_at(
+                                None,
+                                phase::CHECKPOINT,
+                                t_ck,
+                                t_ck.elapsed().as_secs_f64(),
+                            ),
+                            Err(e) => {
+                                // A failed periodic checkpoint must not
+                                // kill training: surface it in the fault
+                                // report and on the trace timeline, and
+                                // keep serving gradients.
+                                eprintln!(
+                                    "warning: checkpoint write to {} failed: {e}",
+                                    path.display()
+                                );
+                                let rec = FaultRecord::CheckpointFailed {
+                                    at_update: applied as u64,
+                                    error: e.to_string(),
+                                };
+                                sink.wall_instant(
+                                    None,
+                                    phase::CHECKPOINT,
+                                    Instant::now(),
+                                    rec.to_string(),
+                                );
+                                match &fault_log {
+                                    Some(log) => log.push(rec),
+                                    None => ckpt_failures.push(rec),
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -840,21 +941,26 @@ pub fn run_cluster_with<B: ClusterBackend>(
         'run: {
             let mut residual = Vec::new();
             if is_ssgd {
+                let pull_start = Instant::now();
                 let mut resp = match link.request(ClusterReq::Pull) {
                     Ok(r) => r,
                     Err(_) => break 'run,
                 };
+                wspan(w, phase::PULL, pull_start);
                 loop {
                     let (flat, version) = match resp {
                         ClusterResp::Stop => break,
                         ClusterResp::Weights { flat, version } => (flat, version),
                         ClusterResp::Compensation { .. } => break,
                     };
+                    let compute_start = Instant::now();
                     let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
+                    wspan(w, phase::COMPUTE, compute_start);
                     let grads = wire_grads(&cfg.compression, grads, &mut residual);
                     let running = node.bn_running();
                     // The barrier: this request blocks until the whole round
                     // has arrived and the server releases the new weights.
+                    let push_start = Instant::now();
                     resp = match link.request(ClusterReq::Grad {
                         grads,
                         pull_version: version,
@@ -865,27 +971,30 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         Ok(r) => r,
                         Err(_) => break,
                     };
+                    wspan(w, phase::PUSH, push_start);
                 }
                 break 'run;
             }
             let mut last_t_comp = 0.0f32;
             loop {
-                let pull_start = std::time::Instant::now();
+                let pull_start = Instant::now();
                 let resp = match link.request(ClusterReq::Pull) {
                     Ok(r) => r,
                     Err(_) => break,
                 };
+                wspan(w, phase::PULL, pull_start);
                 let t_comm = pull_start.elapsed().as_secs_f32();
                 let (flat, version) = match resp {
                     ClusterResp::Stop => break,
                     ClusterResp::Weights { flat, version } => (flat, version),
                     ClusterResp::Compensation { .. } => break,
                 };
-                let compute_start = std::time::Instant::now();
+                let compute_start = Instant::now();
                 if is_lc {
                     // Algorithm 1: push the forward state, receive ℓ_delay,
                     // backpropagate the compensated loss (Formula 5).
                     let (loss, batch_stats) = node.forward_phase(&flat, train);
+                    wspan(w, phase::COMPUTE, compute_start);
                     let running = node.bn_running();
                     let state = ClusterReq::State {
                         loss,
@@ -894,15 +1003,19 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         t_comm,
                         t_comp: last_t_comp,
                     };
+                    let state_start = Instant::now();
                     let (l_delay, one_step, km) = match link.request(state) {
                         Ok(ClusterResp::Compensation { l_delay, one_step, km }) => {
                             (l_delay, one_step, km)
                         }
                         _ => break,
                     };
+                    wspan(w, phase::PUSH, state_start);
                     let seed =
                         cfg.compensation.seed(loss, l_delay, one_step, km as usize, cfg.lambda);
+                    let backward_start = Instant::now();
                     let grads = node.backward_phase(seed);
+                    wspan(w, phase::COMPUTE, backward_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
                     let grads = wire_grads(&cfg.compression, grads, &mut residual);
                     let push = ClusterReq::Grad {
@@ -912,14 +1025,18 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         batch_stats: Vec::new(),
                         running: BnState::default(),
                     };
+                    let push_start = Instant::now();
                     if link.send(push).is_err() {
                         break;
                     }
+                    wspan(w, phase::PUSH, push_start);
                 } else {
                     let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
+                    wspan(w, phase::COMPUTE, compute_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
                     let grads = wire_grads(&cfg.compression, grads, &mut residual);
                     let running = node.bn_running();
+                    let push_start = Instant::now();
                     if link
                         .send(ClusterReq::Grad {
                             grads,
@@ -932,6 +1049,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     {
                         break;
                     }
+                    wspan(w, phase::PUSH, push_start);
                 }
                 // Report the batch-stream position the next checkpoint
                 // should record.
@@ -946,6 +1064,21 @@ pub fn run_cluster_with<B: ClusterBackend>(
 
     let transport = backend.run(server_fn, worker_fn)?;
 
+    // Replay every observed fault/recovery onto the trace timeline as an
+    // instant event, at the wall instant the log stamped it with.
+    // Checkpoint failures already produced a `checkpoint` instant inline.
+    if let Some(log) = &fault_log {
+        for (rec, at) in log.timed_records() {
+            let worker = match &rec {
+                FaultRecord::Injected { worker, .. }
+                | FaultRecord::WorkerRestarted { worker, .. } => Some(*worker),
+                FaultRecord::CheckpointFailed { .. } => continue,
+                _ => None,
+            };
+            sink.wall_instant(worker, phase::FAULT_INJECT, at, rec.to_string());
+        }
+    }
+
     if is_ssgd {
         staleness = vec![0; server.version as usize];
     }
@@ -954,13 +1087,14 @@ pub fn run_cluster_with<B: ClusterBackend>(
         step_pred_ms: step_pred.elapsed_ms,
         iterations: server.version,
     });
-    // A resumed run reports even without a fault plan, so callers can see
-    // where training picked back up.
-    let faults = if fault_plan.is_some() || resume.is_some() {
+    // A resumed run (or a checkpoint-write failure) reports even without a
+    // fault plan, so callers can see what happened.
+    let faults = if fault_plan.is_some() || resume.is_some() || !ckpt_failures.is_empty() {
         let mut records = fault_plan.as_ref().map(|p| p.records()).unwrap_or_default();
-        if fault_plan.is_none() {
+        if fault_plan.is_none() && resume.is_some() {
             records.push(FaultRecord::Resumed { at_update: resumed_at });
         }
+        records.append(&mut ckpt_failures);
         Some(FaultReport { records, server_halted: halted, resumed_at })
     } else {
         None
@@ -972,9 +1106,12 @@ pub fn run_cluster_with<B: ClusterBackend>(
         trace: (is_lc && cfg.record_traces).then_some(trace),
         overhead,
         iterations: server.version,
-        total_time: t0.elapsed().as_secs_f64(),
+        total_time: run_now(&sink),
+        clock,
+        wall_time: t0.elapsed().as_secs_f64(),
         transport: Some(transport),
         faults,
+        timeline: want_trace.then(|| sink.finish()),
     })
 }
 

@@ -36,11 +36,12 @@ pub use server::NetServer;
 pub use worker::NetWorker;
 
 use lcasgd_simcluster::{
-    ClusterBackend, ClusterError, FaultPlan, FaultyLink, ServerCtx, TransportStats, WireMsg,
-    WorkerLink,
+    ClusterBackend, ClusterError, FaultPlan, FaultyLink, ServerCtx, TraceHook, TransportStats,
+    WireMsg, WorkerLink,
 };
 use parking_lot::Mutex;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::sync::Arc;
 
 /// TCP instantiation of [`ClusterBackend`]: one `NetServer` and M
 /// `NetWorker` threads over loopback by default.
@@ -49,6 +50,7 @@ pub struct NetCluster {
     cfg: NetConfig,
     addr: SocketAddr,
     fault_plan: Option<FaultPlan>,
+    trace_hook: Option<Arc<dyn TraceHook>>,
 }
 
 impl NetCluster {
@@ -60,6 +62,7 @@ impl NetCluster {
             cfg: NetConfig::default(),
             addr: SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0),
             fault_plan: None,
+            trace_hook: None,
         }
     }
 
@@ -91,6 +94,10 @@ impl ClusterBackend for NetCluster {
         self.workers
     }
 
+    fn attach_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
+        self.trace_hook = Some(hook);
+    }
+
     fn run<Req, Resp, S, W>(
         self,
         server_fn: S,
@@ -103,9 +110,13 @@ impl ClusterBackend for NetCluster {
         W: Fn(usize, &mut dyn WorkerLink<Req, Resp>) + Send + Sync,
     {
         let m = self.workers;
-        let server = NetServer::bind(self.addr, m, self.cfg.clone())?;
+        let mut server = NetServer::bind(self.addr, m, self.cfg.clone())?;
+        if let Some(hook) = &self.trace_hook {
+            server.set_trace_hook(Arc::clone(hook));
+        }
         let addr = server.local_addr()?;
         let plan = self.fault_plan;
+        let hook = self.trace_hook;
         let worker_stats: Mutex<TransportStats> = Mutex::new(TransportStats::default());
         let mut server_result: Result<TransportStats, ClusterError> =
             Err(ClusterError::Disconnected);
@@ -114,15 +125,19 @@ impl ClusterBackend for NetCluster {
             for w in 0..m {
                 let cfg = self.cfg.clone();
                 let plan = plan.clone();
+                let hook = hook.clone();
                 let worker_fn = &worker_fn;
                 let worker_stats = &worker_stats;
                 scope.spawn(move || {
                     // A worker that cannot connect is simply absent; the
                     // server writes its rank off after the hello timeout
                     // and the survivors keep training.
-                    let Ok(link) = NetWorker::connect(addr, w, cfg) else {
+                    let Ok(mut link) = NetWorker::connect(addr, w, cfg) else {
                         return;
                     };
+                    if let Some(hook) = hook {
+                        link.set_trace_hook(hook);
+                    }
                     // A panicking worker must still hang up cleanly, or
                     // the server would wait out the heartbeat timeout.
                     let (mut link, outcome) = match plan {

@@ -20,7 +20,7 @@
 
 use crate::config::NetConfig;
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
-use lcasgd_simcluster::{ClusterError, ServerCtx, TransportStats, WireMsg};
+use lcasgd_simcluster::{ClusterError, ServerCtx, TraceHook, TransportStats, WireMsg};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -62,6 +62,7 @@ pub struct NetServer {
     listener: TcpListener,
     workers: usize,
     cfg: NetConfig,
+    trace_hook: Option<std::sync::Arc<dyn TraceHook>>,
 }
 
 impl NetServer {
@@ -69,7 +70,14 @@ impl NetServer {
     /// for; pass `127.0.0.1:0` as `addr` to let the OS pick a free port.
     pub fn bind(addr: impl ToSocketAddrs, workers: usize, cfg: NetConfig) -> io::Result<NetServer> {
         assert!(workers > 0, "need at least one worker");
-        Ok(NetServer { listener: TcpListener::bind(addr)?, workers, cfg })
+        Ok(NetServer { listener: TcpListener::bind(addr)?, workers, cfg, trace_hook: None })
+    }
+
+    /// Installs a span observer: server-side frame encode/decode time is
+    /// reported as wall-clock `codec` spans attributed to the worker the
+    /// payload belongs to.
+    pub fn set_trace_hook(&mut self, hook: std::sync::Arc<dyn TraceHook>) {
+        self.trace_hook = Some(hook);
     }
 
     /// The address workers should connect to.
@@ -88,6 +96,7 @@ impl NetServer {
     {
         let m = self.workers;
         let cfg = &self.cfg;
+        let hook = self.trace_hook.clone();
         let addr = self.listener.local_addr()?;
         let tick = (cfg.heartbeat_timeout / 4).max(Duration::from_millis(2));
         let stop = AtomicBool::new(false);
@@ -284,7 +293,11 @@ impl NetServer {
                                         continue;
                                     }
                                 };
-                                stats.serialize_seconds += t0.elapsed().as_secs_f64();
+                                let decode = t0.elapsed().as_secs_f64();
+                                stats.serialize_seconds += decode;
+                                if let Some(h) = &hook {
+                                    h.wall_span(Some(rank), "codec", t0, decode);
+                                }
 
                                 let mut ctx = ServerCtx::new(rank, expects_reply);
                                 server_fn(rank, req, &mut ctx);
@@ -309,7 +322,11 @@ impl NetServer {
                                     };
                                     let t0 = Instant::now();
                                     let reply = Frame::new(FrameKind::Reply, seq, resp.encoded());
-                                    stats.serialize_seconds += t0.elapsed().as_secs_f64();
+                                    let encode = t0.elapsed().as_secs_f64();
+                                    stats.serialize_seconds += encode;
+                                    if let Some(h) = &hook {
+                                        h.wall_span(Some(target), "codec", t0, encode);
+                                    }
                                     let delivered = rank_conn[target]
                                         .and_then(|cid| conns.get_mut(&cid))
                                         .map(|c| write_frame(&mut c.write, &reply));

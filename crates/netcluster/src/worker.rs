@@ -18,7 +18,7 @@
 
 use crate::config::NetConfig;
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
-use lcasgd_simcluster::{ClusterError, FaultHooks, TransportStats, WireMsg, WorkerLink};
+use lcasgd_simcluster::{ClusterError, FaultHooks, TraceHook, TransportStats, WireMsg, WorkerLink};
 use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -72,6 +72,7 @@ pub struct NetWorker {
     seq: u64,
     stats: TransportStats,
     finished: bool,
+    trace_hook: Option<Arc<dyn TraceHook>>,
 }
 
 impl NetWorker {
@@ -90,6 +91,7 @@ impl NetWorker {
             seq: 0,
             stats: TransportStats::default(),
             finished: false,
+            trace_hook: None,
         };
         worker.reconnect()?;
         Ok(worker)
@@ -98,6 +100,19 @@ impl NetWorker {
     /// This worker's rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Installs a span observer: frame encode/decode time is reported as
+    /// `codec` spans and each request round trip as a `comm` span, all on
+    /// the wall clock.
+    pub fn set_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
+        self.trace_hook = Some(hook);
+    }
+
+    fn span(&self, phase: &'static str, t0: Instant, dur: f64) {
+        if let Some(h) = &self.trace_hook {
+            h.wall_span(Some(self.rank), phase, t0, dur);
+        }
     }
 
     /// Tears down any existing connection, then dials the server again
@@ -194,7 +209,9 @@ impl NetWorker {
     ) -> Result<Resp, ClusterError> {
         let t0 = Instant::now();
         let payload = req.encoded();
-        self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
+        let encode = t0.elapsed().as_secs_f64();
+        self.stats.serialize_seconds += encode;
+        self.span("codec", t0, encode);
         self.seq += 1;
         let seq = self.seq;
         self.write_with_retry(&Frame::new(FrameKind::Request, seq, payload))?;
@@ -230,7 +247,9 @@ impl NetWorker {
             }
             // Requests/oneways/bytes are counted server-side; recording
             // them here too would double-count after the backend merge.
-            self.stats.rtt.record(sent.elapsed().as_secs_f64());
+            let rtt = sent.elapsed().as_secs_f64();
+            self.stats.rtt.record(rtt);
+            self.span("comm", sent, rtt);
             let t0 = Instant::now();
             let resp = match Resp::decoded(&frame.payload) {
                 Ok(resp) => resp,
@@ -243,7 +262,9 @@ impl NetWorker {
                     return Err(e);
                 }
             };
-            self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
+            let decode = t0.elapsed().as_secs_f64();
+            self.stats.serialize_seconds += decode;
+            self.span("codec", t0, decode);
             return Ok(resp);
         }
     }
@@ -252,7 +273,9 @@ impl NetWorker {
     pub fn send<Req: WireMsg>(&mut self, req: &Req) -> Result<(), ClusterError> {
         let t0 = Instant::now();
         let payload = req.encoded();
-        self.stats.serialize_seconds += t0.elapsed().as_secs_f64();
+        let encode = t0.elapsed().as_secs_f64();
+        self.stats.serialize_seconds += encode;
+        self.span("codec", t0, encode);
         self.seq += 1;
         let frame = Frame::new(FrameKind::Oneway, self.seq, payload);
         self.write_with_retry(&frame)?;

@@ -345,6 +345,77 @@ impl TransportStats {
     }
 }
 
+// ------------------------------------------------------------- tracing
+
+/// Which clock a duration or timestamp was measured against.
+///
+/// The discrete-event simulator advances a *virtual* clock; the thread and
+/// TCP backends run in real time on the *wall* (monotonic) clock. The two
+/// are never comparable, so every timed figure a run reports carries its
+/// domain explicitly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ClockDomain {
+    /// Real monotonic time (`std::time::Instant`).
+    #[default]
+    Wall,
+    /// Simulated seconds from the discrete-event queue.
+    Virtual,
+}
+
+impl std::fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClockDomain::Wall => write!(f, "wall"),
+            ClockDomain::Virtual => write!(f, "virtual"),
+        }
+    }
+}
+
+/// Observer interface backends use to report phase-tagged span events.
+///
+/// Backends are instrumented at their natural measurement points — the
+/// simulator emits virtual-clock compute/communication spans as it
+/// schedules them, the TCP transport emits wall-clock codec spans around
+/// frame encode/decode — and forward them here. The driver (`core`)
+/// provides the implementation that aggregates the events into a
+/// timeline; the default methods are no-ops so trivial hooks only
+/// implement what they observe.
+///
+/// All methods take `&self`: hooks are shared across worker threads and
+/// must synchronize internally.
+pub trait TraceHook: Send + Sync {
+    /// A wall-clock span: `phase` ran for `dur_seconds` starting at
+    /// `start`. `worker` is `None` for server-side work.
+    fn wall_span(
+        &self,
+        worker: Option<usize>,
+        phase: &'static str,
+        start: std::time::Instant,
+        dur_seconds: f64,
+    ) {
+        let _ = (worker, phase, start, dur_seconds);
+    }
+
+    /// A virtual-clock span (simulator backends only), in simulated
+    /// seconds from the start of the run.
+    fn virt_span(
+        &self,
+        worker: Option<usize>,
+        phase: &'static str,
+        start_seconds: f64,
+        dur_seconds: f64,
+    ) {
+        let _ = (worker, phase, start_seconds, dur_seconds);
+    }
+
+    /// Advances the virtual-clock high-water mark. Simulator backends
+    /// call this as virtual time progresses so the driver can stamp
+    /// epoch records in virtual seconds mid-run.
+    fn virt_now(&self, seconds: f64) {
+        let _ = seconds;
+    }
+}
+
 // -------------------------------------------------------------- contract
 
 /// The worker side of a backend: rank plus the two message primitives of
@@ -415,6 +486,20 @@ impl<Resp> ServerCtx<Resp> {
 pub trait ClusterBackend {
     /// Number of workers this backend will spawn.
     fn workers(&self) -> usize;
+
+    /// Which clock this backend's timings are measured against. Real
+    /// backends run on the wall clock; the simulator overrides this.
+    fn clock_domain(&self) -> ClockDomain {
+        ClockDomain::Wall
+    }
+
+    /// Installs a [`TraceHook`] the backend will report span events to
+    /// during [`ClusterBackend::run`]. Backends without internal
+    /// measurement points may ignore it (the default), in which case the
+    /// driver's own instrumentation is the only event source.
+    fn attach_trace_hook(&mut self, hook: std::sync::Arc<dyn TraceHook>) {
+        let _ = hook;
+    }
 
     /// Runs the round to completion and reports transport statistics.
     fn run<Req, Resp, S, W>(

@@ -104,6 +104,9 @@ pub enum FaultRecord {
     ServerHalted { at_update: u64 },
     /// A run resumed from a checkpoint taken at this update count.
     Resumed { at_update: u64 },
+    /// A periodic checkpoint write failed (I/O error). The run continues;
+    /// the failure is surfaced here instead of panicking the server.
+    CheckpointFailed { at_update: u64, error: String },
 }
 
 impl fmt::Display for FaultRecord {
@@ -119,23 +122,34 @@ impl fmt::Display for FaultRecord {
                 write!(f, "server halted at update {at_update}")
             }
             FaultRecord::Resumed { at_update } => write!(f, "resumed from update {at_update}"),
+            FaultRecord::CheckpointFailed { at_update, error } => {
+                write!(f, "checkpoint failed at update {at_update}: {error}")
+            }
         }
     }
 }
 
 /// Shared, clonable record of injected faults and recoveries. Backends and
 /// the trainer hold clones of the same log; the caller reads it afterward.
+///
+/// Every record is stamped with the wall-clock instant it was observed, so
+/// fault events can be replayed onto a trace timeline.
 #[derive(Clone, Default, Debug)]
-pub struct FaultLog(Arc<Mutex<Vec<FaultRecord>>>);
+pub struct FaultLog(Arc<Mutex<Vec<(FaultRecord, std::time::Instant)>>>);
 
 impl FaultLog {
-    /// Appends one record.
+    /// Appends one record, stamped with the current wall-clock instant.
     pub fn push(&self, rec: FaultRecord) {
-        self.0.lock().expect("fault log poisoned").push(rec);
+        self.0.lock().expect("fault log poisoned").push((rec, std::time::Instant::now()));
     }
 
     /// Snapshot of all records so far.
     pub fn records(&self) -> Vec<FaultRecord> {
+        self.0.lock().expect("fault log poisoned").iter().map(|(r, _)| r.clone()).collect()
+    }
+
+    /// Snapshot of all records with their observation instants.
+    pub fn timed_records(&self) -> Vec<(FaultRecord, std::time::Instant)> {
         self.0.lock().expect("fault log poisoned").clone()
     }
 
@@ -196,6 +210,7 @@ impl FaultPlan {
             FaultRecord::WorkerRestarted { worker, op } => (1, *worker, *op),
             FaultRecord::ServerHalted { at_update } => (2, 0, *at_update),
             FaultRecord::Resumed { at_update } => (3, 0, *at_update),
+            FaultRecord::CheckpointFailed { at_update, .. } => (4, 0, *at_update),
         });
         recs
     }

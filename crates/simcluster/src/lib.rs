@@ -28,8 +28,8 @@ pub mod sim_backend;
 pub mod thread_cluster;
 
 pub use backend::{
-    ClusterBackend, ClusterError, LatencyHistogram, ServerCtx, TransportStats, WireMsg, WireReader,
-    WorkerLink,
+    ClockDomain, ClusterBackend, ClusterError, LatencyHistogram, ServerCtx, TraceHook,
+    TransportStats, WireMsg, WireReader, WorkerLink,
 };
 pub use event::EventQueue;
 pub use faults::{FaultEvent, FaultHooks, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultyLink};

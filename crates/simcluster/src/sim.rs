@@ -59,6 +59,10 @@ pub struct ClusterSim<T> {
     /// callers are unaffected); restarts and link stalls are charged in
     /// virtual time, keeping faulty runs bit-reproducible.
     fault_plan: Option<FaultPlan>,
+    /// Span observer used by the backend adapter. Purely an observer: the
+    /// hook never influences scheduling, so traced and untraced runs are
+    /// bit-identical.
+    trace_hook: Option<std::sync::Arc<dyn crate::backend::TraceHook>>,
 }
 
 impl<T> ClusterSim<T> {
@@ -76,7 +80,18 @@ impl<T> ClusterSim<T> {
             // CIFAR-like per-iteration scale; overridable for backend runs.
             nominal_cost: 0.032,
             fault_plan: None,
+            trace_hook: None,
         }
+    }
+
+    /// Installs the span observer used by the backend adapter.
+    pub fn set_trace_hook(&mut self, hook: std::sync::Arc<dyn crate::backend::TraceHook>) {
+        self.trace_hook = Some(hook);
+    }
+
+    /// The installed span observer, if any.
+    pub fn trace_hook(&self) -> Option<std::sync::Arc<dyn crate::backend::TraceHook>> {
+        self.trace_hook.clone()
     }
 
     /// Attaches a fault schedule for backend-driven runs (see

@@ -19,7 +19,8 @@
 //! [`TransportStats`] are real, and a codec bug fails here first.
 
 use crate::backend::{
-    ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
+    ClockDomain, ClusterBackend, ClusterError, ServerCtx, TraceHook, TransportStats, WireMsg,
+    WorkerLink,
 };
 use crate::faults::{FaultHooks, FaultyLink};
 use crate::sim::ClusterSim;
@@ -109,6 +110,14 @@ impl ClusterBackend for ClusterSim<SimPayload> {
         self.num_workers()
     }
 
+    fn clock_domain(&self) -> ClockDomain {
+        ClockDomain::Virtual
+    }
+
+    fn attach_trace_hook(&mut self, hook: std::sync::Arc<dyn TraceHook>) {
+        self.set_trace_hook(hook);
+    }
+
     fn run<Req, Resp, S, W>(
         mut self,
         mut server_fn: S,
@@ -123,6 +132,7 @@ impl ClusterBackend for ClusterSim<SimPayload> {
         let m = self.num_workers();
         let nominal = self.nominal_cost();
         let plan = self.fault_plan().cloned();
+        let hook = self.trace_hook();
         let (tx, rx) = unbounded::<WorkerEvent>();
         let mut reply_txs: Vec<Option<Sender<Vec<u8>>>> = Vec::with_capacity(m);
         let mut reply_rxs: Vec<Option<Receiver<Vec<u8>>>> = Vec::with_capacity(m);
@@ -197,6 +207,11 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                             stats.bytes_sent += bytes.len() as u64;
                             let dur =
                                 self.submit(w, vt[w], cost, SimPayload { bytes, expects_reply });
+                            if dur > 0.0 {
+                                if let Some(h) = &hook {
+                                    h.virt_span(Some(w), "compute", vt[w], dur);
+                                }
+                            }
                             vt[w] += dur;
                             if expects_reply {
                                 sent_at[w] = vt[w];
@@ -217,10 +232,17 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                             // keeps sending) and pays the outage virtually;
                             // a permanent crash is followed by `Done`.
                             if let Some(ms) = restart_after_ms {
-                                vt[w] += f64::from(ms) / 1e3;
+                                let outage = f64::from(ms) / 1e3;
+                                if let Some(h) = &hook {
+                                    h.virt_span(Some(w), "fault_inject", vt[w], outage);
+                                }
+                                vt[w] += outage;
                             }
                         }
                         Ok(WorkerEvent::Delay { worker: w, seconds }) => {
+                            if let Some(h) = &hook {
+                                h.virt_span(Some(w), "fault_inject", vt[w], seconds);
+                            }
                             vt[w] += seconds;
                         }
                         // All senders gone: every worker thread exited.
@@ -238,6 +260,9 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                     break 'drive;
                 };
 
+                if let Some(h) = &hook {
+                    h.virt_now(self.now());
+                }
                 let w = arrival.worker;
                 let t0 = Instant::now();
                 let req = match Req::decoded(&arrival.payload.bytes) {
@@ -247,7 +272,11 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                         break 'drive;
                     }
                 };
-                stats.serialize_seconds += t0.elapsed().as_secs_f64();
+                let decode = t0.elapsed().as_secs_f64();
+                stats.serialize_seconds += decode;
+                if let Some(h) = &hook {
+                    h.wall_span(Some(w), "codec", t0, decode);
+                }
 
                 let mut ctx = ServerCtx::new(w, arrival.payload.expects_reply);
                 server_fn(w, req, &mut ctx);
@@ -261,7 +290,11 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                     }
                     let t0 = Instant::now();
                     let bytes = resp.encoded();
-                    stats.serialize_seconds += t0.elapsed().as_secs_f64();
+                    let encode = t0.elapsed().as_secs_f64();
+                    stats.serialize_seconds += encode;
+                    if let Some(h) = &hook {
+                        h.wall_span(Some(target), "codec", t0, encode);
+                    }
                     stats.bytes_received += bytes.len() as u64;
 
                     // The reply reaches the worker after a sampled downlink;
@@ -269,6 +302,17 @@ impl ClusterBackend for ClusterSim<SimPayload> {
                     let down = self.downlink(target);
                     let receive_at = self.now() + down;
                     stats.rtt.record((receive_at - sent_at[target]).max(0.0));
+                    if let Some(h) = &hook {
+                        // The request round trip, from the worker's view:
+                        // uplink + server queueing/processing + downlink.
+                        h.virt_span(
+                            Some(target),
+                            "comm",
+                            sent_at[target],
+                            (receive_at - sent_at[target]).max(0.0),
+                        );
+                        h.virt_now(receive_at);
+                    }
                     vt[target] = receive_at;
                     charge_phase[target] = true;
                     state[target] = WState::Running;

@@ -49,7 +49,7 @@ fn main() {
         .with_event(3, 4, FaultKind::SlowLink { delay_ms: 15 });
     let backend =
         NetCluster::new(workers).with_config(net_config(&cfg.net)).with_fault_plan(plan.clone());
-    let opts = RunOptions { fault_plan: Some(plan), ..RunOptions::default() };
+    let opts = RunOptions { fault_plan: Some(plan), trace: true, ..RunOptions::default() };
 
     println!("training LC-ASGD with {workers} workers over loopback TCP (with fault injection)…\n");
     let r = run_cluster_with(backend, &cfg, &build, &train, &test, opts)
@@ -94,6 +94,9 @@ fn main() {
             FaultRecord::Resumed { at_update } => {
                 println!("  resumed from checkpoint at update {at_update}")
             }
+            FaultRecord::CheckpointFailed { at_update, error } => {
+                println!("  checkpoint write failed at update {at_update}: {error}")
+            }
         }
     }
     println!(
@@ -103,10 +106,10 @@ fn main() {
         r.staleness_quantile(0.99)
     );
 
-    let t = r.transport.expect("backend runs always report transport stats");
+    let t = r.transport.clone().expect("backend runs always report transport stats");
     println!("\ntransport (what actually crossed the wire):");
-    println!("  server→worker bytes : {}", t.bytes_sent);
-    println!("  worker→server bytes : {}", t.bytes_received);
+    println!("  worker→server bytes : {}", t.bytes_sent);
+    println!("  server→worker bytes : {}", t.bytes_received);
     println!("  blocking requests   : {}", t.requests);
     println!("  one-way pushes      : {}", t.oneways);
     println!("  codec time          : {:.1} ms", t.serialize_seconds * 1e3);
@@ -122,4 +125,19 @@ fn main() {
             println!("    {:>8} → {}", floor, n);
         }
     }
+
+    // The run was traced (`opts.trace`): the same fault timeline, phase
+    // spans, and transport numbers land in a Chrome trace you can open in
+    // chrome://tracing or Perfetto.
+    let trace_path = std::env::temp_dir().join("lcasgd_net_training.trace.json");
+    let chrome = lc_asgd::core::trace::export(&r, TraceFormat::Chrome)
+        .expect("traced runs carry a timeline");
+    std::fs::write(&trace_path, chrome).expect("write trace");
+    let log = r.timeline.as_ref().expect("traced runs carry a timeline");
+    println!(
+        "\ntrace: {} span events ({} fault markers) written to {}",
+        log.len(),
+        log.instants().count(),
+        trace_path.display()
+    );
 }

@@ -7,6 +7,7 @@
 //!                [--partitioned] [--stragglers]
 //!                [--checkpoint PATH] [--checkpoint-every N]
 //!                [--fault-plan PATH] [--resume PATH]
+//!                [--trace PATH] [--trace-format chrome|prometheus|summary]
 //! lcasgd staleness [--workers N] [--seed N] [--stragglers]
 //! lcasgd help
 //! ```
@@ -15,12 +16,19 @@
 //! `staleness` profiles the cluster simulator's staleness distribution
 //! without any model computation.
 //!
-//! `--checkpoint`, `--fault-plan`, and `--resume` switch the run to the
-//! real-thread cluster backend: `--checkpoint PATH` writes a full
-//! training checkpoint every `--checkpoint-every` updates (default: once
-//! per epoch), `--fault-plan PATH` injects the crash/drop/delay schedule
-//! described by the text file, and `--resume PATH` continues a run from a
-//! previously written checkpoint.
+//! `--checkpoint`, `--fault-plan`, `--resume`, and `--trace` switch the
+//! run to the real-thread cluster backend: `--checkpoint PATH` writes a
+//! full training checkpoint every `--checkpoint-every` updates (default:
+//! once per epoch), `--fault-plan PATH` injects the crash/drop/delay
+//! schedule described by the text file, and `--resume PATH` continues a
+//! run from a previously written checkpoint.
+//!
+//! `--trace PATH` records a phase-tagged span timeline of the run and
+//! writes it to `PATH` in the format chosen by `--trace-format`:
+//! `chrome` (default; load the file in `chrome://tracing` or Perfetto),
+//! `prometheus` (text exposition of phase totals, staleness histogram,
+//! and transport counters), or `summary` (a per-epoch phase breakdown
+//! table).
 
 use lc_asgd::core::config::DataPartition;
 use lc_asgd::nn::resnet::ResNetConfig;
@@ -53,7 +61,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
+        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
     );
     exit(2)
 }
@@ -158,9 +166,15 @@ fn train(args: &Args) {
         })
     });
     let checkpoint_path = args.value("--checkpoint").map(PathBuf::from);
-    // Any robustness flag routes the run through the real-thread cluster
-    // backend; the default path stays the co-simulated experiment driver.
-    let cluster_run = fault_plan.is_some() || resume.is_some() || checkpoint_path.is_some();
+    let trace_path = args.value("--trace").map(PathBuf::from);
+    let trace_format: TraceFormat = args.parse("--trace-format", TraceFormat::Chrome);
+    // Any robustness or observability flag routes the run through the
+    // real-thread cluster backend; the default path stays the
+    // co-simulated experiment driver.
+    let cluster_run = fault_plan.is_some()
+        || resume.is_some()
+        || checkpoint_path.is_some()
+        || trace_path.is_some();
     if fault_plan.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("--fault-plan requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
@@ -182,6 +196,7 @@ fn train(args: &Args) {
             checkpoint_path: checkpoint_path.clone(),
             checkpoint_every: args.parse("--checkpoint-every", 0),
             resume,
+            trace: trace_path.is_some(),
         };
         run_cluster_with(backend, &cfg, &build, &train_set, &test_set, opts).unwrap_or_else(|e| {
             eprintln!("cluster run failed: {e}");
@@ -204,13 +219,16 @@ fn train(args: &Args) {
             e.time
         );
     }
+    // `total_time` is measured on the backend's clock: virtual seconds on
+    // the discrete-event simulator, wall seconds on real backends.
     println!(
-        "\nfinal test error {:.2}% | mean staleness {:.2} (p95 {}) | {} updates in {:.1} virtual s",
+        "\nfinal test error {:.2}% | mean staleness {:.2} (p95 {}) | {} updates in {:.1} {} s",
         result.final_test_error() * 100.0,
         result.mean_staleness(),
         result.staleness_quantile(0.95),
         result.iterations,
-        result.total_time
+        result.total_time,
+        result.clock
     );
     if let Some(o) = &result.overhead {
         println!(
@@ -237,6 +255,18 @@ fn train(args: &Args) {
     }
     if let Some(path) = &checkpoint_path {
         println!("training checkpoints written to {}", path.display());
+    }
+    if let Some(path) = &trace_path {
+        match lc_asgd::core::trace::export(&result, trace_format) {
+            Some(text) => {
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("cannot write trace to {}: {e}", path.display());
+                    exit(1);
+                }
+                println!("{trace_format} trace written to {}", path.display());
+            }
+            None => eprintln!("no timeline was recorded; trace not written"),
+        }
     }
 }
 

@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 # Crates this sequence of PRs actively touches; lint-gated at -D warnings.
-TOUCHED=(-p lcasgd-simcluster -p lcasgd-netcluster -p lcasgd-core -p lcasgd-bench -p lc-asgd)
+TOUCHED=(-p lcasgd-tensor -p lcasgd-simcluster -p lcasgd-netcluster -p lcasgd-core -p lcasgd-bench -p lc-asgd)
 
 echo "==> cargo build --release"
 cargo build --release
@@ -29,6 +29,22 @@ timeout 120 cargo test -q --release -p lcasgd-netcluster frame
 # Same timeout rationale as the chaos suite — net tests hang on regress.
 echo "==> trace / observability suite (hard 300s timeout)"
 timeout 300 cargo test -q --release --test trace_integration
+
+# Kernel correctness: the packed/fused kernels must match the naive
+# reference kernels on randomized shapes that straddle every blocking
+# edge, and public tensor ops must be bitwise identical across thread
+# counts. Run in release so the differential proptests cover all cases
+# quickly (and so the AVX2 dispatch path — the one production uses — is
+# what gets tested).
+echo "==> kernel differential + determinism suites (hard 300s timeout)"
+timeout 300 cargo test -q --release -p lcasgd-tensor --test kernel_differential
+timeout 300 cargo test -q --release --test properties thread_invariance
+
+# Kernel performance: re-measure the hot kernels and fail if any
+# optimized kernel regressed >20% against the committed BENCH_kernels.json
+# (schema is validated; the gate is skipped when no baseline exists).
+echo "==> kernel-baseline --smoke (hard 300s timeout)"
+timeout 300 ./target/release/kernel-baseline --smoke
 
 # CLI smoke: --trace must emit a non-empty, well-formed Chrome trace.
 echo "==> lcasgd train --trace smoke"

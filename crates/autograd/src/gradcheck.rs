@@ -204,6 +204,112 @@ mod tests {
     }
 
     #[test]
+    fn gc_conv2d_input_strided_nonsquare() {
+        // Config the fused path specializes: stride 2, padding 1, a
+        // non-square input, and cout = 3 (not a multiple of the MR=4 tile
+        // height, so the GEMM runs a partial row tile).
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1 };
+        let w = randn(&[3, 2, 3, 3], 83);
+        check(
+            move |g, x| {
+                let wv = g.leaf(w.clone());
+                let y = g.conv2d(x, wv, spec);
+                let y2 = g.mul(y, y);
+                g.mean(y2)
+            },
+            &randn(&[1, 2, 5, 4], 84),
+        );
+    }
+
+    #[test]
+    fn gc_conv2d_1x1_input() {
+        // 1x1 kernels degenerate to a per-pixel matmul; the packers must
+        // still index correctly.
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 2, kernel: 1, stride: 1, padding: 0 };
+        let w = randn(&[2, 3, 1, 1], 85);
+        check(
+            move |g, x| {
+                let wv = g.leaf(w.clone());
+                let y = g.conv2d(x, wv, spec);
+                let y2 = g.mul(y, y);
+                g.mean(y2)
+            },
+            &randn(&[2, 3, 3, 4], 86),
+        );
+    }
+
+    #[test]
+    fn gc_conv2d_weight_nonsquare_offtile_cout() {
+        // Weight gradient with cout = 5 (partial MR tile) on a non-square
+        // input — exercises conv2d_dw's pixel-major panel packer tails.
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 5, kernel: 3, stride: 1, padding: 1 };
+        let x0 = randn(&[1, 2, 4, 6], 87);
+        let w0 = randn(&[5, 2, 3, 3], 88);
+        let build = |g: &mut Graph, w: crate::Var| {
+            let x = g.leaf(x0.clone());
+            let y = g.conv2d(x, w, spec);
+            let y2 = g.mul(y, y);
+            g.mean(y2)
+        };
+        let mut g = Graph::new();
+        let w = g.leaf(w0.clone());
+        let out = build(&mut g, w);
+        g.backward(out);
+        let analytic = g.grad(w).unwrap().clone();
+        assert_grad_matches(
+            |probe| {
+                let mut g = Graph::new();
+                let w = g.leaf(probe.clone());
+                let out = build(&mut g, w);
+                g.value(out).item()
+            },
+            &w0,
+            &analytic,
+            EPS,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn fused_update_matches_directional_derivative() {
+        // The optimizer's fused axpy apply (`w += -lr·g`) must reduce the
+        // loss by lr·‖g‖² to first order — ties the update kernel to the
+        // same finite-difference oracle the per-op checks use.
+        let x0 = randn(&[4, 3], 89);
+        let w0 = randn(&[2, 3], 90);
+        let b0 = randn(&[2], 91);
+        let loss = |wt: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.leaf(x0.clone());
+            let w = g.leaf(wt.clone());
+            let b = g.leaf(b0.clone());
+            let y = g.linear(x, w, b);
+            let y2 = g.mul(y, y);
+            let out = g.mean(y2);
+            g.value(out).item()
+        };
+        let mut g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let w = g.leaf(w0.clone());
+        let b = g.leaf(b0.clone());
+        let y = g.linear(x, w, b);
+        let y2 = g.mul(y, y);
+        let out = g.mean(y2);
+        g.backward(out);
+        let grad = g.grad(w).unwrap().clone();
+
+        let lr = 1e-3f32;
+        let mut w1 = w0.clone();
+        w1.add_assign_scaled(&grad, -lr);
+        let drop = loss(&w0) - loss(&w1);
+        let expect = lr * grad.dot(&grad);
+        assert!(
+            (drop - expect).abs() <= 0.05 * expect.abs().max(1e-6),
+            "fused update: observed loss drop {drop} vs first-order prediction {expect}"
+        );
+    }
+
+    #[test]
     fn gc_batch_norm1d() {
         check(
             |g, x| {
@@ -264,10 +370,7 @@ mod tests {
 
     #[test]
     fn gc_softmax_cross_entropy() {
-        check(
-            |g, x| g.softmax_cross_entropy(x, &[1, 0, 3]),
-            &randn(&[3, 4], 75),
-        );
+        check(|g, x| g.softmax_cross_entropy(x, &[1, 0, 3]), &randn(&[3, 4], 75));
     }
 
     #[test]

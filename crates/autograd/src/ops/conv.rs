@@ -1,8 +1,14 @@
-//! Differentiable 2-D convolution via im2col.
+//! Differentiable 2-D convolution over the fused GEMM kernels.
+//!
+//! Both passes stay fused: the forward pass never materializes the im2col
+//! matrix, and the backward pass calls the dedicated `conv2d_dw`/`conv2d_dx`
+//! kernels instead of saving `cols` from the forward pass — which also
+//! removes the `[n·oh·ow, cin·k·k]` tensor that used to live in the tape
+//! for the whole backward sweep.
 
 use crate::graph::{BackwardOp, Ctx, Var};
 use crate::Graph;
-use lcasgd_tensor::ops::conv::{col2im, conv2d, im2col, Conv2dSpec};
+use lcasgd_tensor::ops::conv::{conv2d, conv2d_dw, conv2d_dx, Conv2dSpec};
 use lcasgd_tensor::Tensor;
 
 /// Reorders an NCHW tensor into pixel rows: `[n, c, h, w] -> [n·h·w, c]`,
@@ -48,27 +54,13 @@ struct Conv2dBack {
     x: Var,
     w: Var,
     spec: Conv2dSpec,
-    /// Saved im2col matrix `[n·oh·ow, cin·k·k]` from the forward pass.
-    cols: Tensor,
-    n: usize,
     in_h: usize,
     in_w: usize,
 }
 impl BackwardOp for Conv2dBack {
     fn backward(&self, ctx: &mut Ctx<'_>) {
-        let d = ctx.grad.dims();
-        let (oh, ow) = (d[2], d[3]);
-        // [n·oh·ow, cout]
-        let dy = nchw_to_rows(ctx.grad);
-        // dW = dYᵀ · cols : [cout, plen]
-        let dw = dy
-            .matmul_tn(&self.cols)
-            .reshape(&[self.spec.out_channels, self.spec.in_channels, self.spec.kernel, self.spec.kernel]);
-        // dcols = dY · Wmat : [n·oh·ow, plen]
-        let wmat = ctx.value(self.w).reshaped(&[self.spec.out_channels, self.spec.patch_len()]);
-        let dcols = dy.matmul(&wmat);
-        let dx = col2im(&dcols, &self.spec, self.n, self.in_h, self.in_w);
-        let _ = (oh, ow);
+        let dw = conv2d_dw(ctx.grad, ctx.value(self.x), &self.spec);
+        let dx = conv2d_dx(ctx.grad, ctx.value(self.w), &self.spec, self.in_h, self.in_w);
         ctx.accumulate(self.w, dw);
         ctx.accumulate(self.x, dx);
     }
@@ -79,10 +71,9 @@ impl Graph {
     /// Bias-free (ResNet convs carry no bias; BatchNorm provides the shift).
     pub fn conv2d(&mut self, x: Var, w: Var, spec: Conv2dSpec) -> Var {
         let xt = self.value(x);
-        let (n, in_h, in_w) = (xt.dims()[0], xt.dims()[2], xt.dims()[3]);
-        let cols = im2col(xt, &spec);
+        let (in_h, in_w) = (xt.dims()[2], xt.dims()[3]);
         let y = conv2d(xt, self.value(w), &spec);
-        self.push(y, Some(Box::new(Conv2dBack { x, w, spec, cols, n, in_h, in_w })))
+        self.push(y, Some(Box::new(Conv2dBack { x, w, spec, in_h, in_w })))
     }
 }
 

@@ -98,10 +98,6 @@ mod tests {
         assert_close(g1.value(y1), g2.value(y2), 1e-5);
         assert_close(g1.grad(x1).unwrap(), g2.grad(x2).unwrap(), 1e-5);
         assert_close(g1.grad(b1).unwrap(), g2.grad(b2).unwrap(), 1e-5);
-        assert_close(
-            g1.grad(w1).unwrap(),
-            &g2.grad(wt_t).unwrap().transpose2d(),
-            1e-5,
-        );
+        assert_close(g1.grad(w1).unwrap(), &g2.grad(wt_t).unwrap().transpose2d(), 1e-5);
     }
 }

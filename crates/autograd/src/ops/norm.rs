@@ -106,10 +106,8 @@ fn normalize(
     eps: f32,
     layout: &Layout,
 ) -> (Tensor, Tensor, Tensor) {
-    let inv_std = Tensor::from_vec(
-        var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect(),
-        var.dims(),
-    );
+    let inv_std =
+        Tensor::from_vec(var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect(), var.dims());
     let mut xhat = x.clone();
     let (md, isd) = (mean.data(), inv_std.data());
     for (i, v) in xhat.data_mut().iter_mut().enumerate() {
@@ -128,13 +126,7 @@ fn normalize(
 impl Graph {
     /// Training-mode BatchNorm over an NCHW activation. Normalizes with the
     /// *batch* statistics and returns them for running-average maintenance.
-    pub fn batch_norm2d(
-        &mut self,
-        x: Var,
-        gamma: Var,
-        beta: Var,
-        eps: f32,
-    ) -> (Var, BnBatchStats) {
+    pub fn batch_norm2d(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> (Var, BnBatchStats) {
         let xt = self.value(x);
         assert_eq!(xt.shape().rank(), 4, "batch_norm2d expects NCHW");
         let d = xt.dims();
@@ -150,13 +142,7 @@ impl Graph {
     }
 
     /// Training-mode BatchNorm over a `[b, features]` activation.
-    pub fn batch_norm1d(
-        &mut self,
-        x: Var,
-        gamma: Var,
-        beta: Var,
-        eps: f32,
-    ) -> (Var, BnBatchStats) {
+    pub fn batch_norm1d(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> (Var, BnBatchStats) {
         let xt = self.value(x);
         assert_eq!(xt.shape().rank(), 2, "batch_norm1d expects [b, n]");
         let (b, n) = (xt.dims()[0], xt.dims()[1]);
@@ -328,10 +314,6 @@ mod tests {
         let gamma = g.leaf(Tensor::ones(&[2]));
         let beta = g.leaf(Tensor::zeros(&[2]));
         let y = g.batch_norm_inference(x, gamma, beta, &mean, &var, 0.0);
-        assert_close(
-            g.value(y),
-            &Tensor::from_vec(vec![-1., -1., 1., 1.], &[2, 2]),
-            1e-5,
-        );
+        assert_close(g.value(y), &Tensor::from_vec(vec![-1., -1., 1., 1.], &[2, 2]), 1e-5);
     }
 }

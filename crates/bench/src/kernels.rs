@@ -1,0 +1,524 @@
+//! Kernel perf baseline: seed kernels vs the packed/fused kernels.
+//!
+//! The `kernel-baseline` binary times the hot tensor kernels twice — once
+//! with byte-faithful copies of the *seed* implementations (the pre-packing
+//! row-kernel matmul and the materializing im2col conv, preserved in
+//! [`seed`]) and once through the shipping `lcasgd-tensor` entry points —
+//! and emits `BENCH_kernels.json`. The committed copy of that file is the
+//! perf baseline: CI re-measures in `--smoke` mode and fails when any
+//! kernel's optimized time regresses more than [`GATE_TOLERANCE`] against
+//! it. All timings are min-of-samples (the minimum is the only estimator
+//! whose noise is one-sided under scheduler interference).
+
+use lcasgd_tensor::ops::conv::{conv2d, conv2d_dw, im2col, Conv2dSpec};
+use lcasgd_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+/// Relative regression tolerance for the CI gate: fail when the measured
+/// optimized time exceeds the committed baseline by more than 20 %.
+pub const GATE_TOLERANCE: f64 = 0.20;
+
+/// Schema tag written to (and required of) `BENCH_kernels.json`.
+pub const SCHEMA: &str = "kernel_baseline/v1";
+
+/// Default output filename, written into the working directory (repo root
+/// when invoked via `ci.sh` or the README quickstart).
+pub const BASELINE_FILE: &str = "BENCH_kernels.json";
+
+/// Byte-faithful copies of the seed kernels (commit `dfb689d`), kept here
+/// so the harness always measures the same "before" no matter how the
+/// library evolves. Do not modernize these.
+pub mod seed {
+    use super::*;
+    use rayon::prelude::*;
+
+    const PAR_ROWS: usize = 8;
+    const PAR_FLOPS: usize = 1 << 18;
+
+    fn matmul_rows(out_rows: &mut [f32], a_rows: &[f32], b: &[f32], k: usize, n: usize) {
+        for (out_row, a_row) in out_rows.chunks_exact_mut(n).zip(a_rows.chunks_exact(k)) {
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..kk * n + n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+
+    /// The seed `Tensor::matmul`: i-k-j row kernel, rayon bands over rows.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        let ad = a.data();
+        let bd = b.data();
+        let flops = m * n * k;
+        if m >= PAR_ROWS && flops >= PAR_FLOPS {
+            let band = (m / rayon::current_num_threads().max(1)).max(1);
+            out.data_mut()
+                .par_chunks_mut(band * n)
+                .zip(ad.par_chunks(band * k))
+                .for_each(|(out_band, a_band)| matmul_rows(out_band, a_band, bd, k, n));
+        } else {
+            matmul_rows(out.data_mut(), ad, bd, k, n);
+        }
+        out
+    }
+
+    /// The seed `Tensor::matmul_tn`: serial k-major accumulation.
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let ad = a.data();
+        let bd = b.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        let od = out.data_mut();
+        for kk in 0..k {
+            let a_row = &ad[kk * m..kk * m + m];
+            let b_row = &bd[kk * n..kk * n + n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let o = &mut od[i * n..i * n + n];
+                for (ov, &bv) in o.iter_mut().zip(b_row) {
+                    *ov += aki * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed `Tensor::matmul_nt`: serial per-output dot products.
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[0];
+        let ad = a.data();
+        let bd = b.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        for (i, out_row) in out.data_mut().chunks_mut(n).enumerate() {
+            let a_row = &ad[i * k..i * k + k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &bd[j * k..j * k + k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// The seed `conv2d`: materialized im2col, `cols × Wᵀ`, then an NCHW
+    /// reorder scatter.
+    pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let dims = input.dims();
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let (oh, ow) = spec.out_hw(h, w);
+        let cols = im2col(input, spec);
+        let wmat = weight.reshaped(&[spec.out_channels, spec.patch_len()]);
+        let prod = matmul_nt(&cols, &wmat);
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        let pd = prod.data();
+        let hw = oh * ow;
+        out.data_mut().chunks_mut(spec.out_channels * hw).enumerate().for_each(|(img, dst)| {
+            for p in 0..hw {
+                let row =
+                    &pd[(img * hw + p) * spec.out_channels..(img * hw + p + 1) * spec.out_channels];
+                for (co, &v) in row.iter().enumerate() {
+                    dst[co * hw + p] = v;
+                }
+            }
+        });
+        out
+    }
+
+    /// The seed conv weight gradient: pixel-row reorder of dY, then
+    /// `dYᵀ × cols` against the materialized im2col matrix (what
+    /// `Conv2dBack` did before the fused `conv2d_dw`).
+    pub fn conv2d_dw(dy: &Tensor, input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let d = dy.dims();
+        let (n, cout, hw) = (d[0], d[1], d[2] * d[3]);
+        let mut dy_rows = Tensor::zeros(&[n * hw, cout]);
+        let src = dy.data();
+        let dst = dy_rows.data_mut();
+        for img in 0..n {
+            let base = img * cout * hw;
+            for ch in 0..cout {
+                for p in 0..hw {
+                    dst[(img * hw + p) * cout + ch] = src[base + ch * hw + p];
+                }
+            }
+        }
+        let cols = im2col(input, spec);
+        matmul_tn(&dy_rows, &cols).reshape(&[
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ])
+    }
+
+    /// The seed EMA update: two full passes (`scale_inplace` then
+    /// `add_assign_scaled`).
+    pub fn ema(dst: &mut Tensor, src: &Tensor, momentum: f32) {
+        dst.scale_inplace(1.0 - momentum);
+        dst.add_assign_scaled(src, momentum);
+    }
+}
+
+/// One kernel's before/after measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    pub name: String,
+    pub shape: String,
+    pub seed_ms: f64,
+    pub opt_ms: f64,
+}
+
+impl KernelReport {
+    pub fn speedup(&self) -> f64 {
+        if self.opt_ms > 0.0 {
+            self.seed_ms / self.opt_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Minimum wall-clock over `samples` runs (after one warmup), in ms.
+fn time_min_ms<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+fn randn(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    Tensor::randn(dims, 1.0, &mut rng)
+}
+
+/// Measures every tracked kernel, seed vs optimized. Each pair is also
+/// cross-checked for agreement (≤1e-3 absolute on unit-normal data) so the
+/// harness cannot quietly benchmark two kernels computing different things.
+pub fn measure_all(samples: usize) -> Vec<KernelReport> {
+    let mut reports = Vec::new();
+    let mut push = |name: &str, shape: String, seed_ms: f64, opt_ms: f64| {
+        reports.push(KernelReport { name: name.into(), shape, seed_ms, opt_ms });
+    };
+
+    // Square GEMM at the paper's hidden sizes (acceptance target: >= 2x).
+    {
+        let (m, n, k) = (256, 256, 256);
+        let a = randn(&[m, k], 1);
+        let b = randn(&[k, n], 2);
+        assert!(max_abs_diff(&seed::matmul(&a, &b), &a.matmul(&b)) < 1e-3, "matmul mismatch");
+        let seed_ms = time_min_ms(samples, || seed::matmul(&a, &b));
+        let opt_ms = time_min_ms(samples, || a.matmul(&b));
+        push("matmul", format!("{m}x{n}x{k}"), seed_ms, opt_ms);
+    }
+    // Transposed variants (linear-layer backward products).
+    {
+        let (m, n, k) = (256, 256, 256);
+        let at = randn(&[k, m], 3);
+        let b = randn(&[k, n], 4);
+        assert!(max_abs_diff(&seed::matmul_tn(&at, &b), &at.matmul_tn(&b)) < 1e-3, "tn mismatch");
+        let seed_ms = time_min_ms(samples, || seed::matmul_tn(&at, &b));
+        let opt_ms = time_min_ms(samples, || at.matmul_tn(&b));
+        push("matmul_tn", format!("{m}x{n}x{k}"), seed_ms, opt_ms);
+    }
+    {
+        let (m, n, k) = (256, 256, 256);
+        let a = randn(&[m, k], 5);
+        let bt = randn(&[n, k], 6);
+        assert!(max_abs_diff(&seed::matmul_nt(&a, &bt), &a.matmul_nt(&bt)) < 1e-3, "nt mismatch");
+        let seed_ms = time_min_ms(samples, || seed::matmul_nt(&a, &bt));
+        let opt_ms = time_min_ms(samples, || a.matmul_nt(&bt));
+        push("matmul_nt", format!("{m}x{n}x{k}"), seed_ms, opt_ms);
+    }
+    // ResNet-18 CIFAR body conv: 3x3, 64->64 channels, 32x32 maps
+    // (acceptance target: >= 1.5x).
+    {
+        let spec =
+            Conv2dSpec { in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1 };
+        let x = randn(&[4, 64, 32, 32], 7);
+        let w = randn(&[64, 64, 3, 3], 8);
+        assert!(
+            max_abs_diff(&seed::conv2d(&x, &w, &spec), &conv2d(&x, &w, &spec)) < 1e-2,
+            "conv3x3 mismatch"
+        );
+        let seed_ms = time_min_ms(samples, || seed::conv2d(&x, &w, &spec));
+        let opt_ms = time_min_ms(samples, || conv2d(&x, &w, &spec));
+        push("conv3x3", "n4_c64-64_32x32_s1p1".into(), seed_ms, opt_ms);
+    }
+    // ResNet downsample-style 1x1 conv.
+    {
+        let spec =
+            Conv2dSpec { in_channels: 64, out_channels: 128, kernel: 1, stride: 1, padding: 0 };
+        let x = randn(&[4, 64, 16, 16], 9);
+        let w = randn(&[128, 64, 1, 1], 10);
+        assert!(
+            max_abs_diff(&seed::conv2d(&x, &w, &spec), &conv2d(&x, &w, &spec)) < 1e-2,
+            "conv1x1 mismatch"
+        );
+        let seed_ms = time_min_ms(samples, || seed::conv2d(&x, &w, &spec));
+        let opt_ms = time_min_ms(samples, || conv2d(&x, &w, &spec));
+        push("conv1x1", "n4_c64-128_16x16_s1p0".into(), seed_ms, opt_ms);
+    }
+    // Conv weight gradient at the 3x3 CIFAR shape.
+    {
+        let spec =
+            Conv2dSpec { in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1 };
+        let x = randn(&[4, 64, 32, 32], 11);
+        let dy = randn(&[4, 64, 32, 32], 12);
+        assert!(
+            max_abs_diff(&seed::conv2d_dw(&dy, &x, &spec), &conv2d_dw(&dy, &x, &spec)) < 2e-1,
+            "conv_dw mismatch"
+        );
+        let seed_ms = time_min_ms(samples, || seed::conv2d_dw(&dy, &x, &spec));
+        let opt_ms = time_min_ms(samples, || conv2d_dw(&dy, &x, &spec));
+        push("conv3x3_dw", "n4_c64-64_32x32_s1p1".into(), seed_ms, opt_ms);
+    }
+    // The LSTM predictor's gate product must stay on the cheap serial
+    // path: this row documents that small matmuls did not regress.
+    {
+        let (m, n, k) = (1, 512, 128);
+        let a = randn(&[m, k], 13);
+        let b = randn(&[k, n], 14);
+        let seed_ms = time_min_ms(samples * 50, || seed::matmul(&a, &b));
+        let opt_ms = time_min_ms(samples * 50, || a.matmul(&b));
+        push("predictor_matmul", format!("{m}x{n}x{k}"), seed_ms, opt_ms);
+    }
+    // Fused EMA vs the two-pass seed update (BN running stats).
+    {
+        let len = 1 << 18;
+        let src = randn(&[len], 15);
+        let base = randn(&[len], 16);
+        let seed_ms = time_min_ms(samples, || {
+            let mut d = base.clone();
+            seed::ema(&mut d, &src, 0.1);
+            d
+        });
+        let opt_ms = time_min_ms(samples, || {
+            let mut d = base.clone();
+            d.scale_add_inplace(0.9, &src, 0.1);
+            d
+        });
+        push("fused_ema", format!("{len}"), seed_ms, opt_ms);
+    }
+    reports
+}
+
+/// Renders the report list as the `BENCH_kernels.json` document.
+pub fn to_json(reports: &[KernelReport], samples: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shape\": \"{}\", \"seed_ms\": {:.4}, \"opt_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.shape,
+            r.seed_ms,
+            r.opt_ms,
+            r.speedup(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// A `(name, shape, opt_ms)` row parsed back from a committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub name: String,
+    pub shape: String,
+    pub opt_ms: f64,
+}
+
+fn extract_string(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_number(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses (and schema-validates) a `BENCH_kernels.json` document. This is
+/// a purpose-built scanner for the exact shape [`to_json`] emits, not a
+/// general JSON parser — the workspace has no serde and does not want one.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineEntry>, String> {
+    match extract_string(json, "schema") {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unsupported baseline schema {s:?} (expected {SCHEMA:?})")),
+        None => return Err("baseline file has no \"schema\" field".into()),
+    }
+    let kernels_at = json
+        .find("\"kernels\"")
+        .ok_or_else(|| "baseline file has no \"kernels\" array".to_string())?;
+    let mut entries = Vec::new();
+    let mut rest = &json[kernels_at..];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .map(|c| open + c)
+            .ok_or_else(|| "unterminated kernel object".to_string())?;
+        let obj = &rest[open..=close];
+        let name = extract_string(obj, "name")
+            .ok_or_else(|| format!("kernel object missing name: {obj}"))?;
+        let shape =
+            extract_string(obj, "shape").ok_or_else(|| format!("kernel {name} missing shape"))?;
+        let opt_ms =
+            extract_number(obj, "opt_ms").ok_or_else(|| format!("kernel {name} missing opt_ms"))?;
+        if !(opt_ms.is_finite() && opt_ms >= 0.0) {
+            return Err(format!("kernel {name} has invalid opt_ms {opt_ms}"));
+        }
+        entries.push(BaselineEntry { name, shape, opt_ms });
+        rest = &rest[close + 1..];
+    }
+    if entries.is_empty() {
+        return Err("baseline file has an empty kernels array".into());
+    }
+    Ok(entries)
+}
+
+/// Compares a fresh measurement against the committed baseline: an error
+/// names every kernel whose optimized time regressed beyond `tolerance`
+/// (relative). Kernels present on only one side are ignored (new kernels
+/// are allowed; removed ones no longer gate).
+pub fn regression_gate(
+    current: &[KernelReport],
+    baseline: &[BaselineEntry],
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for b in baseline {
+        if let Some(c) = current.iter().find(|c| c.name == b.name && c.shape == b.shape) {
+            if c.opt_ms > b.opt_ms * (1.0 + tolerance) {
+                failures.push(format!(
+                    "{} [{}]: {:.4} ms vs baseline {:.4} ms (+{:.0}%)",
+                    b.name,
+                    b.shape,
+                    c.opt_ms,
+                    b.opt_ms,
+                    (c.opt_ms / b.opt_ms - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "kernel perf regression (> {:.0}% over baseline):\n  {}",
+            tolerance * 100.0,
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reports() -> Vec<KernelReport> {
+        vec![
+            KernelReport {
+                name: "matmul".into(),
+                shape: "8x8x8".into(),
+                seed_ms: 2.0,
+                opt_ms: 0.5,
+            },
+            KernelReport {
+                name: "conv3x3".into(),
+                shape: "tiny".into(),
+                seed_ms: 3.0,
+                opt_ms: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let reports = sample_reports();
+        let json = to_json(&reports, 5);
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "matmul");
+        assert_eq!(parsed[0].shape, "8x8x8");
+        assert!((parsed[0].opt_ms - 0.5).abs() < 1e-9);
+        assert!((parsed[1].opt_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_rejects_wrong_schema() {
+        let bad = to_json(&sample_reports(), 3).replace(SCHEMA, "kernel_baseline/v0");
+        assert!(parse_baseline(&bad).unwrap_err().contains("unsupported baseline schema"));
+        assert!(parse_baseline("{}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = parse_baseline(&to_json(&sample_reports(), 3)).unwrap();
+        let mut current = sample_reports();
+        current[0].opt_ms = 0.55; // +10% — within the 20% gate
+        assert!(regression_gate(&current, &baseline, GATE_TOLERANCE).is_ok());
+        current[0].opt_ms = 0.65; // +30% — must fail and name the kernel
+        let err = regression_gate(&current, &baseline, GATE_TOLERANCE).unwrap_err();
+        assert!(err.contains("matmul"), "{err}");
+    }
+
+    #[test]
+    fn gate_ignores_unmatched_kernels() {
+        let baseline = parse_baseline(&to_json(&sample_reports(), 3)).unwrap();
+        let current = vec![KernelReport {
+            name: "brand_new".into(),
+            shape: "1x1".into(),
+            seed_ms: 1.0,
+            opt_ms: 100.0,
+        }];
+        assert!(regression_gate(&current, &baseline, GATE_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn seed_kernels_agree_with_optimized_on_small_shapes() {
+        let a = randn(&[9, 17], 100);
+        let b = randn(&[17, 13], 101);
+        assert!(max_abs_diff(&seed::matmul(&a, &b), &a.matmul(&b)) < 1e-4);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1 };
+        let x = randn(&[2, 2, 7, 7], 102);
+        let w = randn(&[3, 2, 3, 3], 103);
+        assert!(max_abs_diff(&seed::conv2d(&x, &w, &spec), &conv2d(&x, &w, &spec)) < 1e-4);
+        let dy = randn(&[2, 3, 4, 4], 104);
+        assert!(max_abs_diff(&seed::conv2d_dw(&dy, &x, &spec), &conv2d_dw(&dy, &x, &spec)) < 1e-4);
+    }
+}

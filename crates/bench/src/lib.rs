@@ -10,6 +10,7 @@
 //! paper-vs-measured comparison produced by these binaries.
 
 pub mod figures;
+pub mod kernels;
 pub mod render;
 pub mod scenario;
 pub mod tables;

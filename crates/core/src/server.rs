@@ -120,10 +120,8 @@ impl ParameterServer {
                 assert_eq!(batch.len(), self.bn.means.len(), "BN layer-count mismatch");
                 let d = self.bn_momentum;
                 for (i, s) in batch.iter().enumerate() {
-                    self.bn.means[i].scale_inplace(1.0 - d);
-                    self.bn.means[i].add_assign_scaled(&s.mean, d);
-                    self.bn.vars[i].scale_inplace(1.0 - d);
-                    self.bn.vars[i].add_assign_scaled(&s.var, d);
+                    self.bn.means[i].scale_add_inplace(1.0 - d, &s.mean, d);
+                    self.bn.vars[i].scale_add_inplace(1.0 - d, &s.var, d);
                 }
             }
         }

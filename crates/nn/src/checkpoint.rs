@@ -95,7 +95,10 @@ impl Checkpoint {
             let mean = read_f32s(r)?;
             let var = read_f32s(r)?;
             if mean.len() != var.len() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "BN mean/var length mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "BN mean/var length mismatch",
+                ));
             }
             let c = mean.len();
             bn.means.push(Tensor::from_vec(mean, &[c]));

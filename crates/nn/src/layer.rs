@@ -169,18 +169,36 @@ impl ResidualBlock {
             rng,
         );
         let conv2 = Conv2d::new(
-            Conv2dSpec { in_channels: out_ch, out_channels: out_ch, kernel: 3, stride: 1, padding: 1 },
+            Conv2dSpec {
+                in_channels: out_ch,
+                out_channels: out_ch,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             rng,
         );
         let downsample = if stride != 1 || in_ch != out_ch {
             Some(Conv2d::new(
-                Conv2dSpec { in_channels: in_ch, out_channels: out_ch, kernel: 1, stride, padding: 0 },
+                Conv2dSpec {
+                    in_channels: in_ch,
+                    out_channels: out_ch,
+                    kernel: 1,
+                    stride,
+                    padding: 0,
+                },
                 rng,
             ))
         } else {
             None
         };
-        ResidualBlock { bn1: BatchNorm::new(in_ch), conv1, bn2: BatchNorm::new(out_ch), conv2, downsample }
+        ResidualBlock {
+            bn1: BatchNorm::new(in_ch),
+            conv1,
+            bn2: BatchNorm::new(out_ch),
+            conv2,
+            downsample,
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, x: Var, ctx: &mut ForwardCtx) -> Var {
@@ -234,7 +252,13 @@ impl BottleneckBlock {
         );
         let downsample = if stride != 1 || in_ch != out_ch {
             Some(Conv2d::new(
-                Conv2dSpec { in_channels: in_ch, out_channels: out_ch, kernel: 1, stride, padding: 0 },
+                Conv2dSpec {
+                    in_channels: in_ch,
+                    out_channels: out_ch,
+                    kernel: 1,
+                    stride,
+                    padding: 0,
+                },
                 rng,
             ))
         } else {
@@ -275,7 +299,10 @@ pub enum Layer {
     Conv(Conv2d),
     BatchNorm(BatchNorm),
     Relu,
-    MaxPool { k: usize, stride: usize },
+    MaxPool {
+        k: usize,
+        stride: usize,
+    },
     GlobalAvgPool,
     /// Flattens `[n, c, h, w]` to `[n, c·h·w]`.
     Flatten,

@@ -29,7 +29,12 @@ impl LstmCell {
             *v = 1.0;
         }
         LstmCell {
-            weight: init::xavier_uniform(&[4 * hidden, input + hidden], input + hidden, 4 * hidden, rng),
+            weight: init::xavier_uniform(
+                &[4 * hidden, input + hidden],
+                input + hidden,
+                4 * hidden,
+                rng,
+            ),
             bias,
             hidden,
         }
@@ -92,14 +97,26 @@ pub struct Lstm {
 
 impl Lstm {
     /// `input_dim -> [hidden × num_layers] -> out_dim`.
-    pub fn new(input_dim: usize, hidden: usize, num_layers: usize, out_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        num_layers: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(num_layers >= 1);
         let mut cells = Vec::with_capacity(num_layers);
         cells.push(LstmCell::new(input_dim, hidden, rng));
         for _ in 1..num_layers {
             cells.push(LstmCell::new(hidden, hidden, rng));
         }
-        Lstm { cells, head: Linear::new_xavier(hidden, out_dim, rng), input_dim, hidden, grad_clip: 5.0 }
+        Lstm {
+            cells,
+            head: Linear::new_xavier(hidden, out_dim, rng),
+            input_dim,
+            hidden,
+            grad_clip: 5.0,
+        }
     }
 
     /// Input dimensionality.
@@ -159,7 +176,13 @@ impl Lstm {
     /// One online training step: forward from `state` on `x`, MSE against
     /// `target: [1, out_dim]`, backward, clipped SGD update with rate `lr`.
     /// Returns the loss and the advanced (detached) state.
-    pub fn train_step(&mut self, x: &Tensor, target: &Tensor, state: &LstmState, lr: f32) -> (f32, LstmState) {
+    pub fn train_step(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+        state: &LstmState,
+        lr: f32,
+    ) -> (f32, LstmState) {
         let mut g = Graph::new();
         let xv = g.leaf(x.clone());
         let mut params = Vec::new();

@@ -146,10 +146,8 @@ impl Network {
         for l in &mut self.layers {
             l.visit_bn_mut(&mut |b| {
                 let s = &stats[i];
-                b.running_mean.scale_inplace(1.0 - momentum);
-                b.running_mean.add_assign_scaled(&s.mean, momentum);
-                b.running_var.scale_inplace(1.0 - momentum);
-                b.running_var.add_assign_scaled(&s.var, momentum);
+                b.running_mean.scale_add_inplace(1.0 - momentum, &s.mean, momentum);
+                b.running_var.scale_add_inplace(1.0 - momentum, &s.var, momentum);
                 i += 1;
             });
         }
@@ -240,10 +238,8 @@ mod tests {
     fn bn_running_ema_update() {
         let mut rng = Rng::seed_from_u64(105);
         let mut net = tiny_net(&mut rng);
-        let stats = vec![BnBatchStats {
-            mean: Tensor::full(&[8], 10.0),
-            var: Tensor::full(&[8], 4.0),
-        }];
+        let stats =
+            vec![BnBatchStats { mean: Tensor::full(&[8], 10.0), var: Tensor::full(&[8], 4.0) }];
         net.update_bn_running(&stats, 0.5);
         let st = net.bn_state();
         assert_eq!(st.means[0].data(), &[5.0; 8]); // (1-0.5)*0 + 0.5*10

@@ -232,7 +232,8 @@ mod bottleneck_tests {
     #[test]
     fn bottleneck_param_visit_matches_forward_order() {
         let mut rng = Rng::seed_from_u64(126);
-        let layer = Layer::Bottleneck(Box::new(crate::layer::BottleneckBlock::new(4, 8, 2, &mut rng)));
+        let layer =
+            Layer::Bottleneck(Box::new(crate::layer::BottleneckBlock::new(4, 8, 2, &mut rng)));
         let mut g = Graph::new();
         let x = g.leaf(Tensor::randn(&[1, 4, 6, 6], 1.0, &mut rng));
         let mut ctx = crate::layer::ForwardCtx::new(true);

@@ -13,14 +13,50 @@
 //! (bands of matmul rows, whole images), so band splitting loses nothing
 //! to rayon's work stealing at this workspace's sizes.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
 /// Number of worker threads parallel operations fan out to.
+///
+/// Defaults to the machine's available parallelism (overridable with the
+/// `RAYON_NUM_THREADS` environment variable, like real rayon). A
+/// [`with_num_threads`] scope on the current thread takes precedence —
+/// that is how the determinism tests run the same kernel at 1 and N
+/// threads within one process.
 pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.with(|c| c.get());
+    if forced > 0 {
+        return forced;
+    }
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     })
+}
+
+/// Runs `f` with [`current_num_threads`] pinned to `n` on the current
+/// thread (worker threads spawned *inside* the scope still see the global
+/// count, but fan-out decisions are made by the calling thread, which is
+/// what matters). The previous override is restored on exit, including on
+/// panic.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "thread count must be positive");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|c| c.replace(n)));
+    f()
 }
 
 /// An indexed source of independent items.
@@ -308,5 +344,26 @@ mod tests {
     #[test]
     fn thread_count_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = super::current_num_threads();
+        let inner = super::with_num_threads(7, || {
+            // Nesting: innermost override wins, then unwinds.
+            assert_eq!(super::with_num_threads(3, super::current_num_threads), 3);
+            super::current_num_threads()
+        });
+        assert_eq!(inner, 7);
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn forced_fanout_still_covers_all_elements() {
+        let mut v = vec![0u32; 1000];
+        super::with_num_threads(8, || {
+            v.par_iter_mut().for_each(|x| *x += 1);
+        });
+        assert!(v.iter().all(|&x| x == 1));
     }
 }

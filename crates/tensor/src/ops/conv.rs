@@ -1,11 +1,22 @@
-//! Convolution support: im2col / col2im lowering.
+//! Convolution kernels: GEMM-fused forward/backward plus im2col / col2im
+//! helpers.
 //!
-//! `conv2d` is lowered to a single large matmul per batch:
-//! `im2col(input) [n·oh·ow, cin·kh·kw] × weightᵀ [cin·kh·kw, cout]`, which
-//! reuses the parallel matmul kernel instead of a bespoke conv loop. The
-//! backward passes (in `lcasgd-autograd`) use `col2im` for the input
-//! gradient and the transposed products for the weight gradient.
+//! The forward pass no longer materializes the `[n·oh·ow, cin·k·k]` im2col
+//! matrix. Instead, each image is one packed GEMM
+//! `Wmat [cout, plen] × P [plen, oh·ow]` where the virtual patch matrix `P`
+//! is generated straight into the GEMM's packed B panels
+//! ([`pack_patch_panel`]) — the unfold, the product and the NCHW layout all
+//! happen in one pass, because `C = Wmat·P` *is* the `[cout, oh·ow]` image
+//! slice of the NCHW output. The weight gradient ([`conv2d_dw`]) fuses the
+//! same way (per-image `dY [cout, oh·ow] × colsᵀ` with on-the-fly pixel
+//! packing), and the input gradient ([`conv2d_dx`]) materializes only one
+//! image's `dcols` at a time before folding with [`col2im`]'s inner loop.
+//!
+//! `im2col`/`col2im` remain public: `col2im` is the adjoint the input
+//! gradient needs, and `im2col` is kept for tests and external users.
 
+use super::gemm::{gemm, gemm_band, MatRef};
+use super::tune::NR;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -23,14 +34,164 @@ impl Conv2dSpec {
     /// Output spatial size for an input of `h × w`. Panics when the kernel
     /// does not fit (misconfigured network).
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
-        let ow = (w + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
+        let oh = (h + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .expect("kernel larger than padded input")
+            / self.stride
+            + 1;
+        let ow = (w + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .expect("kernel larger than padded input")
+            / self.stride
+            + 1;
         (oh, ow)
     }
 
     /// Number of columns of the im2col matrix (`cin·kh·kw`).
     pub fn patch_len(&self) -> usize {
         self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Decodes a flat patch index into `(channel, ky, kx)`.
+#[inline(always)]
+fn decode_patch(idx: usize, k: usize) -> (usize, usize, usize) {
+    let kk = k * k;
+    (idx / kk, (idx % kk) / k, idx % k)
+}
+
+/// Packs the virtual patch matrix `P[plen, oh·ow]`
+/// (`P[patch, pixel] = im2col value`) block `[pc..pc+kc, jc..jc+nc]` into
+/// `NR`-lane GEMM B panels — this *is* im2col, fused into the panel loop.
+/// All index arithmetic in the pixel scan is incremental (no div/mod), so
+/// packing stays a small fraction of the GEMM's FMA work.
+#[allow(clippy::too_many_arguments)]
+fn pack_patch_panel(
+    dst: &mut [f32],
+    img: &[f32],
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    ow: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let k = spec.kernel;
+    let (s, pad) = (spec.stride, spec.padding as isize);
+    let panels = nc.div_ceil(NR);
+    if !nc.is_multiple_of(NR) {
+        // The last panel has dead lanes; clear them once so the micro-kernel
+        // reads zeros instead of a previous block's values.
+        dst[(panels - 1) * kc * NR..panels * kc * NR].fill(0.0);
+    }
+    let (mut ch, mut ky, mut kx) = decode_patch(pc, k);
+    let (oy0, ox0) = (jc / ow, jc % ow);
+    for l in 0..kc {
+        let plane = &img[ch * h * w..(ch + 1) * h * w];
+        // Scan pixels jc..jc+nc with incremental (iy, ix) tracking.
+        let mut ox = ox0;
+        let mut iy = (oy0 * s + ky) as isize - pad;
+        let mut ix = (ox * s + kx) as isize - pad;
+        let mut write = l * NR;
+        let mut lane = 0;
+        for _ in 0..nc {
+            dst[write + lane] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                plane[iy as usize * w + ix as usize]
+            } else {
+                0.0
+            };
+            lane += 1;
+            if lane == NR {
+                lane = 0;
+                write += kc * NR;
+            }
+            ox += 1;
+            ix += s as isize;
+            if ox == ow {
+                ox = 0;
+                iy += s as isize;
+                ix = kx as isize - pad;
+            }
+        }
+        if lane != 0 {
+            dst[write + lane..write + NR].fill(0.0);
+        }
+        kx += 1;
+        if kx == k {
+            kx = 0;
+            ky += 1;
+            if ky == k {
+                ky = 0;
+                ch += 1;
+            }
+        }
+    }
+}
+
+/// Packs the *transposed* virtual patch matrix `cols[oh·ow, plen]`
+/// (`cols[pixel, patch]`) block `[pc..pc+kc, jc..jc+nc]` into B panels —
+/// the operand of the fused weight-gradient GEMM.
+#[allow(clippy::too_many_arguments)]
+fn pack_pixel_panel(
+    dst: &mut [f32],
+    img: &[f32],
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    ow: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let k = spec.kernel;
+    let (s, pad) = (spec.stride, spec.padding as isize);
+    let panels = nc.div_ceil(NR);
+    if !nc.is_multiple_of(NR) {
+        dst[(panels - 1) * kc * NR..panels * kc * NR].fill(0.0);
+    }
+    let (mut oy, mut ox) = (pc / ow, pc % ow);
+    let (ch0, ky0, kx0) = decode_patch(jc, k);
+    for l in 0..kc {
+        let iy0 = (oy * s) as isize - pad;
+        let ix0 = (ox * s) as isize - pad;
+        // Scan patch indices jc..jc+nc with incremental (ch, ky, kx).
+        let (mut ch, mut ky, mut kx) = (ch0, ky0, kx0);
+        let mut write = l * NR;
+        let mut lane = 0;
+        for _ in 0..nc {
+            let iy = iy0 + ky as isize;
+            let ix = ix0 + kx as isize;
+            dst[write + lane] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                img[ch * h * w + iy as usize * w + ix as usize]
+            } else {
+                0.0
+            };
+            lane += 1;
+            if lane == NR {
+                lane = 0;
+                write += kc * NR;
+            }
+            kx += 1;
+            if kx == k {
+                kx = 0;
+                ky += 1;
+                if ky == k {
+                    ky = 0;
+                    ch += 1;
+                }
+            }
+        }
+        if lane != 0 {
+            dst[write + lane..write + NR].fill(0.0);
+        }
+        ox += 1;
+        if ox == ow {
+            ox = 0;
+            oy += 1;
+        }
     }
 }
 
@@ -50,39 +211,67 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let img_stride = c * h * w;
     let rows_per_img = oh * ow;
 
-    out.data_mut()
-        .par_chunks_mut(rows_per_img * plen)
-        .enumerate()
-        .for_each(|(img, img_rows)| {
-            let base = img * img_stride;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &mut img_rows[(oy * ow + ox) * plen..(oy * ow + ox + 1) * plen];
-                    let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
-                    let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
-                    for ch in 0..c {
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            let dst = &mut row[(ch * k + ky) * k..(ch * k + ky + 1) * k];
-                            if iy < 0 || iy >= h as isize {
-                                dst.fill(0.0);
-                                continue;
-                            }
-                            let src_row = base + ch * h * w + iy as usize * w;
-                            for (kx, d) in dst.iter_mut().enumerate() {
-                                let ix = ix0 + kx as isize;
-                                *d = if ix < 0 || ix >= w as isize {
-                                    0.0
-                                } else {
-                                    src[src_row + ix as usize]
-                                };
-                            }
+    out.data_mut().par_chunks_mut(rows_per_img * plen).enumerate().for_each(|(img, img_rows)| {
+        let base = img * img_stride;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &mut img_rows[(oy * ow + ox) * plen..(oy * ow + ox + 1) * plen];
+                let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        let dst = &mut row[(ch * k + ky) * k..(ch * k + ky + 1) * k];
+                        if iy < 0 || iy >= h as isize {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        let src_row = base + ch * h * w + iy as usize * w;
+                        for (kx, d) in dst.iter_mut().enumerate() {
+                            let ix = ix0 + kx as isize;
+                            *d = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                src[src_row + ix as usize]
+                            };
                         }
                     }
                 }
             }
-        });
+        }
+    });
     out
+}
+
+/// Folds one image's patch-row gradients (`[oh·ow, plen]`) onto that
+/// image's input gradient (`[c·h·w]`). Overlapping patches accumulate.
+fn col2im_image(dst: &mut [f32], img_rows: &[f32], spec: &Conv2dSpec, h: usize, w: usize) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let plen = spec.patch_len();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = &img_rows[(oy * ow + ox) * plen..(oy * ow + ox + 1) * plen];
+            let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+            let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+            for ch in 0..spec.in_channels {
+                for ky in 0..k {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = ch * h * w + iy as usize * w;
+                    let srow = &row[(ch * k + ky) * k..(ch * k + ky + 1) * k];
+                    for (kx, &v) in srow.iter().enumerate() {
+                        let ix = ix0 + kx as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst[dst_row + ix as usize] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Folds patch-row gradients back onto the input: the adjoint of
@@ -90,119 +279,130 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
 /// given spatial size. Overlapping patches accumulate.
 pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Tensor {
     let (oh, ow) = spec.out_hw(h, w);
-    let k = spec.kernel;
-    let c = spec.in_channels;
     let plen = spec.patch_len();
     assert_eq!(cols.dims(), &[n * oh * ow, plen], "col2im shape");
-    let mut out = Tensor::zeros(&[n, c, h, w]);
-    let img_stride = c * h * w;
+    let mut out = Tensor::zeros(&[n, spec.in_channels, h, w]);
+    let img_stride = spec.in_channels * h * w;
     let rows_per_img = oh * ow;
     let src = cols.data();
 
-    out.data_mut()
-        .par_chunks_mut(img_stride)
-        .enumerate()
-        .for_each(|(img, dst)| {
-            let img_rows = &src[img * rows_per_img * plen..(img + 1) * rows_per_img * plen];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &img_rows[(oy * ow + ox) * plen..(oy * ow + ox + 1) * plen];
-                    let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
-                    let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
-                    for ch in 0..c {
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let dst_row = ch * h * w + iy as usize * w;
-                            let srow = &row[(ch * k + ky) * k..(ch * k + ky + 1) * k];
-                            for (kx, &v) in srow.iter().enumerate() {
-                                let ix = ix0 + kx as isize;
-                                if ix >= 0 && ix < w as isize {
-                                    dst[dst_row + ix as usize] += v;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        });
+    out.data_mut().par_chunks_mut(img_stride).enumerate().for_each(|(img, dst)| {
+        let img_rows = &src[img * rows_per_img * plen..(img + 1) * rows_per_img * plen];
+        col2im_image(dst, img_rows, spec, h, w);
+    });
     out
 }
 
-/// Convolution forward pass via im2col. `input` is NCHW, `weight` is
-/// `[cout, cin, k, k]`. Returns `[n, cout, oh, ow]`.
+/// Convolution forward pass, im2col fused into the GEMM panel loop.
+/// `input` is NCHW, `weight` is `[cout, cin, k, k]`.
+/// Returns `[n, cout, oh, ow]`. No `[n·oh·ow, cin·k·k]` intermediate is
+/// materialized; images are processed in parallel, each as one packed GEMM
+/// whose output slab is already in NCHW order.
 pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let dims = input.dims();
-    let (n, _, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, spec.in_channels, "conv2d input channel mismatch");
     assert_eq!(
         weight.dims(),
         &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
         "conv2d weight shape"
     );
     let (oh, ow) = spec.out_hw(h, w);
-    let cols = im2col(input, spec); // [n·oh·ow, plen]
-    let wmat = weight.reshaped(&[spec.out_channels, spec.patch_len()]);
-    // [n·oh·ow, plen] × [cout, plen]ᵀ -> [n·oh·ow, cout]
-    let prod = cols.matmul_nt(&wmat);
-    // Reorder [n·oh·ow, cout] -> [n, cout, oh, ow].
+    let (ohw, plen) = (oh * ow, spec.patch_len());
     let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
-    let pd = prod.data();
-    let hw = oh * ow;
-    out.data_mut()
-        .chunks_mut(spec.out_channels * hw)
-        .enumerate()
-        .for_each(|(img, dst)| {
-            for p in 0..hw {
-                let row = &pd[(img * hw + p) * spec.out_channels..(img * hw + p + 1) * spec.out_channels];
-                for (co, &v) in row.iter().enumerate() {
-                    dst[co * hw + p] = v;
-                }
-            }
-        });
+    let src = input.data();
+    let wd = weight.data(); // already [cout, plen] row-major
+    let img_stride = c * h * w;
+    out.data_mut().par_chunks_mut(spec.out_channels * ohw).enumerate().for_each(|(img, dst)| {
+        let img_src = &src[img * img_stride..(img + 1) * img_stride];
+        let pack = |d: &mut [f32], pc: usize, kc: usize, jc: usize, nc: usize| {
+            pack_patch_panel(d, img_src, spec, h, w, ow, pc, kc, jc, nc)
+        };
+        gemm_band(dst, spec.out_channels, ohw, plen, MatRef::row_major(wd, plen), &pack);
+    });
     out
+}
+
+/// Fused convolution weight gradient:
+/// `dW [cout, plen] = Σ_img dY_img [cout, oh·ow] × cols_img [oh·ow, plen]`,
+/// with the per-image `cols` operand generated straight into the packed
+/// panels (nothing materialized). `dy` is `[n, cout, oh, ow]`; returns
+/// `[cout, cin, k, k]`.
+pub fn conv2d_dw(dy: &Tensor, input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    let (ohw, plen) = (oh * ow, spec.patch_len());
+    assert_eq!(dy.dims(), &[n, spec.out_channels, oh, ow], "conv2d_dw dy shape");
+    let mut dw = Tensor::zeros(&[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel]);
+    let dyd = dy.data();
+    let src = input.data();
+    let img_stride = c * h * w;
+    // Images accumulate serially into dW (fixed order — thread-count
+    // invariant); row-banding inside each image's GEMM is safe because
+    // bands write disjoint dW rows.
+    for img in 0..n {
+        let dy_img = &dyd[img * spec.out_channels * ohw..(img + 1) * spec.out_channels * ohw];
+        let img_src = &src[img * img_stride..(img + 1) * img_stride];
+        let pack = |d: &mut [f32], pc: usize, kc: usize, jc: usize, nc: usize| {
+            pack_pixel_panel(d, img_src, spec, h, w, ow, pc, kc, jc, nc)
+        };
+        gemm_band(
+            dw.data_mut(),
+            spec.out_channels,
+            plen,
+            ohw,
+            MatRef::row_major(dy_img, ohw),
+            &pack,
+        );
+    }
+    dw
+}
+
+/// Fused convolution input gradient: per image,
+/// `dcols_img [oh·ow, plen] = dY_imgᵀ × Wmat`, folded immediately with
+/// the col2im adjoint — only one image's `dcols` exists at a time.
+/// `dy` is `[n, cout, oh, ow]`; returns `[n, cin, h, w]`.
+pub fn conv2d_dx(dy: &Tensor, weight: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+    let n = dy.dims()[0];
+    let (oh, ow) = spec.out_hw(h, w);
+    let (ohw, plen) = (oh * ow, spec.patch_len());
+    assert_eq!(dy.dims(), &[n, spec.out_channels, oh, ow], "conv2d_dx dy shape");
+    assert_eq!(
+        weight.dims(),
+        &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+        "conv2d_dx weight shape"
+    );
+    let mut dx = Tensor::zeros(&[n, spec.in_channels, h, w]);
+    let dyd = dy.data();
+    let wd = weight.data();
+    let img_stride = spec.in_channels * h * w;
+    dx.data_mut().par_chunks_mut(img_stride).enumerate().for_each(|(img, dst)| {
+        let dy_img = &dyd[img * spec.out_channels * ohw..(img + 1) * spec.out_channels * ohw];
+        let mut dcols = vec![0.0f32; ohw * plen];
+        gemm(
+            &mut dcols,
+            ohw,
+            plen,
+            spec.out_channels,
+            MatRef::transposed(dy_img, ohw),
+            MatRef::row_major(wd, plen),
+            1,
+        );
+        col2im_image(dst, &dcols, spec, h, w);
+    });
+    dx
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::reference;
     use crate::{assert_close, Rng};
 
     fn random(dims: &[usize], rng: &mut Rng) -> Tensor {
         let n: usize = dims.iter().product();
         Tensor::from_vec((0..n).map(|_| rng.normal() as f32).collect(), dims)
-    }
-
-    /// Direct convolution loop used as ground truth.
-    fn naive_conv(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
-        let (oh, ow) = spec.out_hw(h, w);
-        let k = spec.kernel;
-        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
-        for img in 0..n {
-            for co in 0..spec.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0;
-                        for ci in 0..c {
-                            for ky in 0..k {
-                                for kx in 0..k {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                        acc += input.at(&[img, ci, iy as usize, ix as usize])
-                                            * weight.at(&[co, ci, ky, kx]);
-                                    }
-                                }
-                            }
-                        }
-                        *out.at_mut(&[img, co, oy, ox]) = acc;
-                    }
-                }
-            }
-        }
-        out
     }
 
     #[test]
@@ -221,7 +421,7 @@ mod tests {
         let spec = Conv2dSpec { in_channels: 3, out_channels: 4, kernel: 3, stride: 1, padding: 1 };
         let x = random(&[2, 3, 6, 6], &mut rng);
         let w = random(&[4, 3, 3, 3], &mut rng);
-        assert_close(&conv2d(&x, &w, &spec), &naive_conv(&x, &w, &spec), 1e-4);
+        assert_close(&conv2d(&x, &w, &spec), &reference::conv2d_ref(&x, &w, &spec), 1e-4);
     }
 
     #[test]
@@ -230,7 +430,7 @@ mod tests {
         let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1 };
         let x = random(&[1, 2, 7, 7], &mut rng);
         let w = random(&[3, 2, 3, 3], &mut rng);
-        assert_close(&conv2d(&x, &w, &spec), &naive_conv(&x, &w, &spec), 1e-4);
+        assert_close(&conv2d(&x, &w, &spec), &reference::conv2d_ref(&x, &w, &spec), 1e-4);
     }
 
     #[test]
@@ -239,7 +439,41 @@ mod tests {
         let spec = Conv2dSpec { in_channels: 4, out_channels: 2, kernel: 1, stride: 1, padding: 0 };
         let x = random(&[2, 4, 5, 5], &mut rng);
         let w = random(&[2, 4, 1, 1], &mut rng);
-        assert_close(&conv2d(&x, &w, &spec), &naive_conv(&x, &w, &spec), 1e-4);
+        assert_close(&conv2d(&x, &w, &spec), &reference::conv2d_ref(&x, &w, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_nonsquare_blocksized() {
+        // Non-square input, oh·ow and plen straddling the NC/KC boundaries.
+        let mut rng = Rng::seed_from_u64(15);
+        let spec = Conv2dSpec { in_channels: 5, out_channels: 6, kernel: 3, stride: 1, padding: 1 };
+        let x = random(&[1, 5, 9, 13], &mut rng);
+        let w = random(&[6, 5, 3, 3], &mut rng);
+        assert_close(&conv2d(&x, &w, &spec), &reference::conv2d_ref(&x, &w, &spec), 1e-4);
+    }
+
+    #[test]
+    fn fused_dw_matches_naive() {
+        let mut rng = Rng::seed_from_u64(16);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1 };
+        let x = random(&[2, 2, 7, 6], &mut rng);
+        let (oh, ow) = spec.out_hw(7, 6);
+        let dy = random(&[2, 3, oh, ow], &mut rng);
+        assert_close(&conv2d_dw(&dy, &x, &spec), &reference::conv2d_dw_ref(&dy, &x, &spec), 1e-4);
+    }
+
+    #[test]
+    fn fused_dx_matches_naive() {
+        let mut rng = Rng::seed_from_u64(17);
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let w = random(&[2, 3, 3, 3], &mut rng);
+        let (oh, ow) = spec.out_hw(5, 8);
+        let dy = random(&[2, 2, oh, ow], &mut rng);
+        assert_close(
+            &conv2d_dx(&dy, &w, &spec, 5, 8),
+            &reference::conv2d_dx_ref(&dy, &w, &spec, 5, 8),
+            1e-4,
+        );
     }
 
     #[test]

@@ -20,7 +20,13 @@ fn map_unary_inplace(t: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
 }
 
 fn zip_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "elementwise shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
     let mut out = a.clone();
     if out.numel() >= PAR_THRESHOLD {
         out.data_mut().par_iter_mut().zip(b.data().par_iter()).for_each(|(x, &y)| *x = f(*x, y));
@@ -83,6 +89,24 @@ impl Tensor {
     /// `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
         self.add_assign_scaled(other, 1.0);
+    }
+
+    /// Fused `self = a·self + b·other` — one pass over both buffers instead
+    /// of a `scale_inplace` followed by an `add_assign_scaled`. Used for the
+    /// exponential-moving-average updates of BN running statistics
+    /// (`a = 1−momentum, b = momentum`). Per-element arithmetic is identical
+    /// to the two-pass form (`x·a` then `+ b·y`), so results are bitwise
+    /// equal to the unfused sequence.
+    pub fn scale_add_inplace(&mut self, a: f32, other: &Tensor, b: f32) {
+        assert_eq!(self.shape(), other.shape(), "scale_add shape mismatch");
+        if self.numel() >= PAR_THRESHOLD {
+            self.data_mut()
+                .par_iter_mut()
+                .zip(other.data().par_iter())
+                .for_each(|(x, &y)| *x = *x * a + b * y);
+        } else {
+            self.data_mut().iter_mut().zip(other.data()).for_each(|(x, &y)| *x = *x * a + b * y);
+        }
     }
 
     /// Elementwise `max(x, 0)`.
@@ -248,6 +272,18 @@ mod tests {
         let serial: Vec<f32> = a.data().iter().map(|x| x.max(0.0) + 1.0).collect();
         let par = a.relu().add_scalar(1.0);
         assert_eq!(par.data(), &serial[..]);
+    }
+
+    #[test]
+    fn fused_ema_bitwise_equals_two_pass() {
+        let n = super::PAR_THRESHOLD + 3; // cover the parallel branch too
+        let dst = Tensor::from_vec((0..n).map(|i| (i as f32).sin()).collect(), &[n]);
+        let src = Tensor::from_vec((0..n).map(|i| (i as f32).cos()).collect(), &[n]);
+        let momentum = 0.1f32;
+        let mut fused = dst.clone();
+        fused.scale_add_inplace(1.0 - momentum, &src, momentum);
+        let two_pass = crate::ops::reference::ema_ref(&dst, &src, momentum);
+        assert_eq!(fused.data(), two_pass.data());
     }
 
     #[test]

@@ -1,22 +1,21 @@
-//! Matrix multiplication: rayon-parallel over output rows with a cache-
-//! blocked inner kernel.
+//! Matrix multiplication: packed/blocked GEMM for large products, simple
+//! serial kernels for small ones.
 //!
-//! The kernel iterates `i, k, j` (accumulating into the output row) so the
-//! innermost loop is a unit-stride fused multiply-add over `b`'s row — the
-//! auto-vectorizer turns this into packed SIMD. Parallelism splits the
-//! output rows across rayon workers; each worker writes disjoint rows so no
-//! synchronization is needed.
+//! All three variants (`matmul`, `matmul_tn`, `matmul_nt`) dispatch on
+//! shape alone (see [`tune`](super::tune)): products below
+//! [`GEMM_PACK_FLOPS`](super::tune::GEMM_PACK_FLOPS) — notably the LSTM
+//! predictors' `[1, h] × [h, 4h]` gate products — run a serial loop with no
+//! packing or thread dispatch; everything larger goes through the shared
+//! cache-blocked, register-tiled kernel in [`gemm`](super::gemm), which
+//! handles transposed operands via strided packing instead of materialized
+//! transposes and splits output rows across threads without changing
+//! results (DESIGN.md §8).
 
+use super::gemm::{gemm, MatRef};
+use super::tune::{gemm_threads, use_packed_gemm};
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
-/// Rows-of-output threshold before dispatching to rayon. A single LSTM
-/// predictor step multiplies `[1, h] × [h, 4h]`; those must stay serial.
-const PAR_ROWS: usize = 8;
-/// Minimum total FLOPs before parallelizing.
-const PAR_FLOPS: usize = 1 << 18;
-
-fn matmul_rows(out_rows: &mut [f32], a_rows: &[f32], b: &[f32], k: usize, n: usize) {
+fn matmul_rows_serial(out_rows: &mut [f32], a_rows: &[f32], b: &[f32], k: usize, n: usize) {
     // out[i, :] += a[i, k] * b[k, :]
     for (out_row, a_row) in out_rows.chunks_exact_mut(n).zip(a_rows.chunks_exact(k)) {
         for (kk, &aik) in a_row.iter().enumerate() {
@@ -43,16 +42,18 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
-        let flops = m * n * k;
-        if m >= PAR_ROWS && flops >= PAR_FLOPS {
-            // Split output rows into contiguous bands, one rayon task each.
-            let band = (m / rayon::current_num_threads().max(1)).max(1);
-            out.data_mut()
-                .par_chunks_mut(band * n)
-                .zip(a.par_chunks(band * k))
-                .for_each(|(out_band, a_band)| matmul_rows(out_band, a_band, b, k, n));
+        if use_packed_gemm(m, n, k) {
+            gemm(
+                out.data_mut(),
+                m,
+                n,
+                k,
+                MatRef::row_major(a, k),
+                MatRef::row_major(b, n),
+                gemm_threads(m, n, k),
+            );
         } else {
-            matmul_rows(out.data_mut(), a, b, k, n);
+            matmul_rows_serial(out.data_mut(), a, b, k, n);
         }
         out
     }
@@ -68,6 +69,18 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = Tensor::zeros(&[m, n]);
+        if use_packed_gemm(m, n, k) {
+            gemm(
+                out.data_mut(),
+                m,
+                n,
+                k,
+                MatRef::transposed(a, m),
+                MatRef::row_major(b, n),
+                gemm_threads(m, n, k),
+            );
+            return out;
+        }
         // out[i, j] = sum_k a[k, i] * b[k, j]; accumulate k-major so both
         // reads stream sequentially.
         let od = out.data_mut();
@@ -98,7 +111,19 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = Tensor::zeros(&[m, n]);
-        let compute_row = |i: usize, out_row: &mut [f32]| {
+        if use_packed_gemm(m, n, k) {
+            gemm(
+                out.data_mut(),
+                m,
+                n,
+                k,
+                MatRef::row_major(a, k),
+                MatRef::transposed(b, k),
+                gemm_threads(m, n, k),
+            );
+            return out;
+        }
+        for (i, out_row) in out.data_mut().chunks_mut(n).enumerate() {
             let a_row = &a[i * k..i * k + k];
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &b[j * k..j * k + k];
@@ -107,16 +132,6 @@ impl Tensor {
                     acc += x * y;
                 }
                 *o = acc;
-            }
-        };
-        if m >= PAR_ROWS && m * n * k >= PAR_FLOPS {
-            out.data_mut()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, row)| compute_row(i, row));
-        } else {
-            for (i, row) in out.data_mut().chunks_mut(n).enumerate() {
-                compute_row(i, row);
             }
         }
         out
@@ -141,17 +156,14 @@ impl Tensor {
     /// Dot product of two rank-1 tensors (f64 accumulation).
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape(), other.shape(), "dot shape mismatch");
-        self.data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum::<f64>() as f32
+        self.data().iter().zip(other.data()).map(|(&a, &b)| a as f64 * b as f64).sum::<f64>() as f32
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::reference;
     use crate::{assert_close, Rng};
 
     fn random(dims: &[usize], rng: &mut Rng) -> Tensor {
@@ -159,38 +171,21 @@ mod tests {
         Tensor::from_vec((0..n).map(|_| rng.normal() as f32).collect(), dims)
     }
 
-    /// Straightforward triple loop used as the ground truth.
-    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = (a.dims()[0], a.dims()[1]);
-        let n = b.dims()[1];
-        let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
-                }
-                *out.at_mut(&[i, j]) = acc;
-            }
-        }
-        out
-    }
-
     #[test]
     fn matches_naive_small() {
         let mut rng = Rng::seed_from_u64(1);
         let a = random(&[3, 5], &mut rng);
         let b = random(&[5, 4], &mut rng);
-        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+        assert_close(&a.matmul(&b), &reference::matmul_ref(&a, &b), 1e-4);
     }
 
     #[test]
-    fn matches_naive_parallel_path() {
-        // Large enough to trigger the rayon band split.
+    fn matches_naive_packed_path() {
+        // Large enough to take the packed GEMM (and band-split) path.
         let mut rng = Rng::seed_from_u64(2);
         let a = random(&[96, 80], &mut rng);
         let b = random(&[80, 64], &mut rng);
-        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-3);
+        assert_close(&a.matmul(&b), &reference::matmul_ref(&a, &b), 1e-3);
     }
 
     #[test]
@@ -210,11 +205,27 @@ mod tests {
     }
 
     #[test]
+    fn tn_packed_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(40);
+        let a = random(&[70, 50], &mut rng);
+        let b = random(&[70, 60], &mut rng);
+        assert_close(&a.matmul_tn(&b), &a.transpose2d().matmul(&b), 1e-3);
+    }
+
+    #[test]
     fn nt_equals_explicit_transpose() {
         let mut rng = Rng::seed_from_u64(5);
         let a = random(&[7, 5], &mut rng);
         let b = random(&[6, 5], &mut rng);
         assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose2d()), 1e-4);
+    }
+
+    #[test]
+    fn nt_packed_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(50);
+        let a = random(&[70, 50], &mut rng);
+        let b = random(&[60, 50], &mut rng);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose2d()), 1e-3);
     }
 
     #[test]

@@ -3,13 +3,20 @@
 //! Every op validates shapes eagerly (panicking with a descriptive message)
 //! so that shape bugs surface at the op that caused them, not three layers
 //! downstream in a backward pass.
+//!
+//! Dispatch thresholds and cache-blocking parameters are centralized in
+//! [`tune`]; the packed GEMM kernel shared by the matmul variants and the
+//! fused conv path lives in [`gemm`]. Deliberately-naive reference kernels
+//! for differential testing live in [`reference`] (test builds and the
+//! `reference-kernels` feature only).
 
 pub mod conv;
 pub mod elementwise;
+pub mod gemm;
 pub mod matmul;
 pub mod reduce;
+#[cfg(any(test, feature = "reference-kernels"))]
+pub mod reference;
+pub mod tune;
 
-/// Minimum element count before an elementwise op dispatches to rayon.
-/// Below this, the rayon fork/join overhead dwarfs the arithmetic (the LSTM
-/// predictors operate on vectors of 64–128 floats).
-pub const PAR_THRESHOLD: usize = 16 * 1024;
+pub use tune::PAR_THRESHOLD;

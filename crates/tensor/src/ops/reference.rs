@@ -1,0 +1,190 @@
+//! Deliberately-naive reference kernels for differential testing.
+//!
+//! These are the "obviously correct" textbook loops — serial, unblocked,
+//! unpacked — that the optimized kernels are checked against in
+//! `tests/kernel_differential.rs`. They are compiled only for test builds
+//! and under the `reference-kernels` feature, so they can never end up on
+//! a hot path by accident. Do not optimize them: their value is that a
+//! reader can verify them by inspection.
+
+use super::conv::Conv2dSpec;
+use crate::tensor::Tensor;
+
+/// Triple-loop `[m, k] × [k, n]` matrix product.
+pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_ref inner dims");
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a.at(&[i, l]) * b.at(&[l, j]);
+            }
+            *out.at_mut(&[i, j]) = acc;
+        }
+    }
+    out
+}
+
+/// `aᵀ × b` with `a: [k, m]`, `b: [k, n]`, via explicit indexing.
+pub fn matmul_tn_ref(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn_ref inner dims");
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a.at(&[l, i]) * b.at(&[l, j]);
+            }
+            *out.at_mut(&[i, j]) = acc;
+        }
+    }
+    out
+}
+
+/// `a × bᵀ` with `a: [m, k]`, `b: [n, k]`, via explicit indexing.
+pub fn matmul_nt_ref(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt_ref inner dims");
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a.at(&[i, l]) * b.at(&[j, l]);
+            }
+            *out.at_mut(&[i, j]) = acc;
+        }
+    }
+    out
+}
+
+/// Seven-loop direct convolution: `input` NCHW, `weight`
+/// `[cout, cin, k, k]`, zero padding.
+pub fn conv2d_ref(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    assert_eq!(c, spec.in_channels, "conv2d_ref channel mismatch");
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+    for img in 0..n {
+        for co in 0..spec.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    acc += input.at(&[img, ci, iy as usize, ix as usize])
+                                        * weight.at(&[co, ci, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                    *out.at_mut(&[img, co, oy, ox]) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Weight gradient of [`conv2d_ref`]: `dW[co, ci, ky, kx] = Σ dY · x`.
+pub fn conv2d_dw_ref(dy: &Tensor, input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    assert_eq!(dy.dims(), &[n, spec.out_channels, oh, ow], "conv2d_dw_ref dy shape");
+    let mut dw = Tensor::zeros(&[spec.out_channels, c, k, k]);
+    for img in 0..n {
+        for co in 0..spec.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dy.at(&[img, co, oy, ox]);
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    *dw.at_mut(&[co, ci, ky, kx]) +=
+                                        g * input.at(&[img, ci, iy as usize, ix as usize]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dw
+}
+
+/// Input gradient of [`conv2d_ref`]: the transposed convolution of `dy`
+/// with `weight`.
+pub fn conv2d_dx_ref(
+    dy: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+) -> Tensor {
+    let n = dy.dims()[0];
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(dy.dims(), &[n, spec.out_channels, oh, ow], "conv2d_dx_ref dy shape");
+    let k = spec.kernel;
+    let mut dx = Tensor::zeros(&[n, spec.in_channels, h, w]);
+    for img in 0..n {
+        for co in 0..spec.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dy.at(&[img, co, oy, ox]);
+                    for ci in 0..spec.in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    *dx.at_mut(&[img, ci, iy as usize, ix as usize]) +=
+                                        g * weight.at(&[co, ci, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Single-loop f32 sum (no f64 widening, no blocking) — the reduction the
+/// optimized `sum_rows`/EMA kernels are compared against.
+pub fn sum_rows_ref(t: &Tensor) -> Tensor {
+    let b = t.dims()[0];
+    let row = t.numel() / b.max(1);
+    let mut out = Tensor::zeros(&t.dims()[1..]);
+    for i in 0..b {
+        for j in 0..row {
+            out.data_mut()[j] += t.data()[i * row + j];
+        }
+    }
+    out
+}
+
+/// Two-pass (unfused) EMA update: `dst = (1−m)·dst`, then `dst += m·src`.
+/// Reference for the fused `scale_add_inplace` kernel.
+pub fn ema_ref(dst: &Tensor, src: &Tensor, momentum: f32) -> Tensor {
+    let mut out = dst.clone();
+    out.scale_inplace(1.0 - momentum);
+    out.add_assign_scaled(src, momentum);
+    out
+}

@@ -141,6 +141,85 @@ proptest! {
     }
 }
 
+/// Thread-count invariance: every public tensor op must produce bitwise
+/// identical results whether the pool has 1 thread or many. The kernels
+/// guarantee this by splitting only *output* rows/images into contiguous
+/// bands and keeping each element's accumulation order fixed (DESIGN.md
+/// §8); these tests pin the contract using the rayon shim's per-thread
+/// override, so they are meaningful even on single-core CI hosts.
+mod thread_invariance {
+    use lc_asgd::prelude::Rng;
+    use lc_asgd::tensor::ops::conv::{conv2d, conv2d_dw, conv2d_dx, Conv2dSpec};
+    use lc_asgd::tensor::Tensor;
+
+    fn randn(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        Tensor::randn(dims, 1.0, &mut rng)
+    }
+
+    /// Runs `op` at 1, 3 and 8 forced threads and asserts bitwise equality.
+    fn pin(what: &str, op: impl Fn() -> Tensor) {
+        let serial = rayon::with_num_threads(1, &op);
+        for threads in [3, 8] {
+            let parallel = rayon::with_num_threads(threads, &op);
+            assert_eq!(
+                serial.data(),
+                parallel.data(),
+                "{what} is not bitwise thread-count invariant at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_variants_are_thread_invariant() {
+        // Big enough to take the packed + banded path.
+        let a = randn(&[80, 64], 1);
+        let b = randn(&[64, 72], 2);
+        let at = randn(&[64, 80], 3);
+        let bt = randn(&[72, 64], 4);
+        pin("matmul", || a.matmul(&b));
+        pin("matmul_tn", || at.matmul_tn(&b));
+        pin("matmul_nt", || a.matmul_nt(&bt));
+    }
+
+    #[test]
+    fn conv_kernels_are_thread_invariant() {
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 5, kernel: 3, stride: 1, padding: 1 };
+        let x = randn(&[4, 3, 10, 10], 5);
+        let w = randn(&[5, 3, 3, 3], 6);
+        let dy = randn(&[4, 5, 10, 10], 7);
+        pin("conv2d", || conv2d(&x, &w, &spec));
+        pin("conv2d_dw", || conv2d_dw(&dy, &x, &spec));
+        pin("conv2d_dx", || conv2d_dx(&dy, &w, &spec, 10, 10));
+    }
+
+    #[test]
+    fn elementwise_and_reductions_are_thread_invariant() {
+        // Above PAR_THRESHOLD so the parallel branches actually engage.
+        let n = 20_000;
+        let a = randn(&[n], 8);
+        let b = randn(&[n], 9);
+        let m = randn(&[8, 2500], 10);
+        let bias = randn(&[2500], 11);
+        pin("add", || a.add(&b));
+        pin("mul", || a.mul(&b));
+        pin("relu", || a.relu());
+        pin("sigmoid", || a.sigmoid());
+        pin("add_rows", || m.add_rows(&bias));
+        pin("sum_rows", || m.sum_rows());
+        pin("axpy", || {
+            let mut w = a.clone();
+            w.add_assign_scaled(&b, -0.37);
+            w
+        });
+        pin("scale_add (fused EMA)", || {
+            let mut w = a.clone();
+            w.scale_add_inplace(0.9, &b, 0.1);
+            w
+        });
+    }
+}
+
 mod extension_properties {
     use lc_asgd::core::comm::Compression;
     use lc_asgd::nn::checkpoint::Checkpoint;

@@ -23,6 +23,14 @@ timeout 300 cargo test -q --release --test chaos_faults
 timeout 120 cargo test -q --release -p lcasgd-core checkpoint
 timeout 120 cargo test -q --release -p lcasgd-netcluster frame
 
+# Supervisor chaos: the combined NaN-storm + corrupt-payload +
+# straggler run must self-heal on all three backends, and the
+# staleness-bound proptests must hold under arbitrary fault plans.
+echo "==> supervisor chaos suite (hard 300s timeout)"
+timeout 300 cargo test -q --release --test supervisor_chaos
+timeout 120 cargo test -q --release -p lcasgd-core supervisor
+timeout 120 cargo test -q --release -p lcasgd-netcluster breaker
+
 # Observability contract: traced LC-ASGD on all three backends must tile
 # each worker's timeline (per-phase totals within 5% of elapsed time in
 # the run's clock domain) and the TCP byte counters must be frame-exact.
@@ -54,6 +62,19 @@ timeout 120 ./target/release/lcasgd train --algorithm lc-asgd --workers 2 \
 [ -s "$TRACE_OUT" ] || { echo "trace file is empty"; exit 1; }
 grep -q '"traceEvents"' "$TRACE_OUT" || { echo "trace file is not a Chrome trace"; exit 1; }
 rm -f "$TRACE_OUT"
+
+# CLI smoke: a supervised run under a NaN storm must exit 0 and write a
+# non-empty health log recording the quarantine.
+echo "==> lcasgd train --fault-plan --fallback smoke"
+PLAN_FILE=$(mktemp /tmp/lcasgd_ci_plan.XXXXXX.txt)
+HEALTH_OUT=$(mktemp /tmp/lcasgd_ci_health.XXXXXX.log)
+printf 'nan worker=0 at-op=2\nnan worker=0 at-op=5\n' > "$PLAN_FILE"
+timeout 120 ./target/release/lcasgd train --algorithm lc-asgd --workers 2 \
+    --scale tiny --epochs 2 --fault-plan "$PLAN_FILE" --fallback auto \
+    --health-log "$HEALTH_OUT" >/dev/null
+[ -s "$HEALTH_OUT" ] || { echo "health log is empty"; exit 1; }
+grep -q 'nan-gradient' "$HEALTH_OUT" || { echo "health log misses the NaN sentinel"; exit 1; }
+rm -f "$PLAN_FILE" "$HEALTH_OUT"
 
 echo "==> cargo fmt --check (touched crates)"
 cargo fmt --check "${TOUCHED[@]}"

@@ -19,6 +19,10 @@
 //!   (simulator, real threads, or TCP sockets);
 //! * [`protocol`] — the wire encoding of the pull / push-state / push-grad
 //!   messages those backends carry;
+//! * [`supervisor`] — the self-healing health state machine: divergence
+//!   sentinels with quarantine and rollback, staleness admission control
+//!   (reject / clip / requeue) with straggler resharding, and the graded
+//!   LC→DC→ASGD fallback ladder;
 //! * [`metrics`] — epoch records, staleness, predictor traces, overheads,
 //!   transport statistics;
 //! * [`trace`] — the observability layer: phase-tagged span events from
@@ -35,6 +39,7 @@ pub mod metrics;
 pub mod predictor;
 pub mod protocol;
 pub mod server;
+pub mod supervisor;
 pub mod trace;
 pub mod trainer;
 pub mod worker;
@@ -47,4 +52,7 @@ pub use compensation::CompensationMode;
 pub use config::{CostModel, ExperimentConfig, NetTuning, Scale};
 pub use metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, RunResult};
 pub use protocol::{ClusterReq, ClusterResp};
+pub use supervisor::{
+    AdmissionPolicy, AlgoMode, HealthEvent, HealthReport, Supervisor, SupervisorConfig,
+};
 pub use trace::{ClockDomain, TraceEvent, TraceFormat, TraceLog, TraceSink};

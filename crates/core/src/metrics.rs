@@ -1,5 +1,6 @@
 //! Run results: everything the figure/table harnesses consume.
 
+use crate::supervisor::HealthReport;
 use crate::trace::TraceLog;
 use lcasgd_simcluster::{ClockDomain, FaultKind, FaultRecord, TransportStats};
 
@@ -158,6 +159,9 @@ pub struct RunResult {
     /// [`FaultPlan`](lcasgd_simcluster::FaultPlan); `None` for fault-free
     /// runs.
     pub faults: Option<FaultReport>,
+    /// Health transitions recorded by the training supervisor
+    /// ([`crate::supervisor`]); `None` when no supervisor was attached.
+    pub health: Option<HealthReport>,
 }
 
 impl RunResult {

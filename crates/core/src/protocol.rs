@@ -12,6 +12,7 @@
 //! [`RunResult`](crate::metrics::RunResult) then show the real ratio.
 
 use crate::comm::CompressedGrad;
+use crate::supervisor::AlgoMode;
 use lcasgd_autograd::ops::norm::BnBatchStats;
 use lcasgd_nn::network::BnState;
 use lcasgd_simcluster::backend::wire;
@@ -43,11 +44,24 @@ pub enum ClusterReq {
     Join { incarnation: u32 },
 }
 
+/// Supervisor instructions piggybacked on a pull reply: which rung of
+/// the fallback ladder the worker's next iteration runs on, and an
+/// optional replacement data shard (straggler reassignment).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PullDirective {
+    /// The algorithm the worker should run this iteration.
+    pub mode: AlgoMode,
+    /// Replacement example subset, if the supervisor resharded this
+    /// worker. `u64` on the wire; always small enough in practice.
+    pub shard: Option<Vec<u64>>,
+}
+
 /// Server → worker replies (Algorithm 2's downlink).
 pub enum ClusterResp {
     /// Current weights and their version (staleness is measured against
-    /// it when the gradient comes back).
-    Weights { flat: Vec<f32>, version: u64 },
+    /// it when the gradient comes back). `directive` is present only when
+    /// a supervisor is active.
+    Weights { flat: Vec<f32>, version: u64, directive: Option<PullDirective> },
     /// Reply to `State`: everything the worker needs to build the
     /// compensated loss seed (Formula 5) locally.
     Compensation { l_delay: f32, one_step: f32, km: u32 },
@@ -118,6 +132,41 @@ fn read_batch_stats(r: &mut WireReader<'_>) -> Result<Vec<BnBatchStats>, Cluster
 // ------------------------------------------------------------- WireMsg
 
 impl WireMsg for ClusterReq {
+    /// Valid-CRC payload corruption for fault injection: mutate the
+    /// message *before* framing so every checksum still passes and only
+    /// the supervisor's sentinels can catch it. NaN mode poisons the
+    /// gradient and loss outright; bit-flip mode XORs each gradient
+    /// value's sign bit, exponent LSB and mantissa (finite stays finite,
+    /// magnitude within 2×, direction garbage — gradient *ascent*).
+    /// Returns whether this variant had anything to corrupt.
+    fn corrupt_payload(&mut self, seed: u64, nan: bool) -> bool {
+        match self {
+            ClusterReq::Grad { grads, loss, .. } => {
+                let mut g = grads.decompress();
+                if nan {
+                    g.fill(f32::NAN);
+                    *loss = f32::NAN;
+                } else {
+                    let mut s = seed | 1;
+                    for v in &mut g {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        let mask = 0x8080_0000u32 | ((s as u32) & 0x007F_FFFF);
+                        *v = f32::from_bits(v.to_bits() ^ mask);
+                    }
+                }
+                *grads = CompressedGrad::Dense(g);
+                true
+            }
+            ClusterReq::State { loss, .. } if nan => {
+                *loss = f32::NAN;
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             ClusterReq::Pull => wire::put_u8(buf, 0),
@@ -170,10 +219,27 @@ impl WireMsg for ClusterReq {
 impl WireMsg for ClusterResp {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ClusterResp::Weights { flat, version } => {
+            ClusterResp::Weights { flat, version, directive } => {
                 wire::put_u8(buf, 0);
                 wire::put_vec_f32(buf, flat);
                 wire::put_u64(buf, *version);
+                match directive {
+                    None => wire::put_u8(buf, 0),
+                    Some(d) => {
+                        wire::put_u8(buf, 1);
+                        wire::put_u8(buf, d.mode.as_u8());
+                        match &d.shard {
+                            None => wire::put_u8(buf, 0),
+                            Some(shard) => {
+                                wire::put_u8(buf, 1);
+                                wire::put_u64(buf, shard.len() as u64);
+                                for &i in shard {
+                                    wire::put_u64(buf, i);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             ClusterResp::Compensation { l_delay, one_step, km } => {
                 wire::put_u8(buf, 1);
@@ -187,7 +253,38 @@ impl WireMsg for ClusterResp {
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
         match r.u8()? {
-            0 => Ok(ClusterResp::Weights { flat: r.vec_f32()?, version: r.u64()? }),
+            0 => {
+                let flat = r.vec_f32()?;
+                let version = r.u64()?;
+                let directive = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let tag = r.u8()?;
+                        let mode = AlgoMode::from_u8(tag).ok_or_else(|| {
+                            ClusterError::Protocol(format!("unknown AlgoMode tag {tag}"))
+                        })?;
+                        let shard = match r.u8()? {
+                            0 => None,
+                            1 => {
+                                let n = r.len(8)?;
+                                Some((0..n).map(|_| r.u64()).collect::<Result<_, _>>()?)
+                            }
+                            b => {
+                                return Err(ClusterError::Protocol(format!(
+                                    "bad shard presence byte {b}"
+                                )))
+                            }
+                        };
+                        Some(PullDirective { mode, shard })
+                    }
+                    b => {
+                        return Err(ClusterError::Protocol(format!(
+                            "bad directive presence byte {b}"
+                        )))
+                    }
+                };
+                Ok(ClusterResp::Weights { flat, version, directive })
+            }
             1 => Ok(ClusterResp::Compensation {
                 l_delay: r.f32()?,
                 one_step: r.f32()?,
@@ -287,11 +384,12 @@ mod tests {
 
     #[test]
     fn responses_roundtrip() {
-        let w = ClusterResp::Weights { flat: vec![1.0, -2.0, 3.5], version: 7 };
+        let w = ClusterResp::Weights { flat: vec![1.0, -2.0, 3.5], version: 7, directive: None };
         match ClusterResp::decoded(&w.encoded()).unwrap() {
-            ClusterResp::Weights { flat, version } => {
+            ClusterResp::Weights { flat, version, directive } => {
                 assert_eq!(flat, vec![1.0, -2.0, 3.5]);
                 assert_eq!(version, 7);
+                assert_eq!(directive, None);
             }
             _ => panic!("variant changed"),
         }
@@ -306,6 +404,70 @@ mod tests {
             ClusterResp::decoded(&ClusterResp::Stop.encoded()),
             Ok(ClusterResp::Stop)
         ));
+    }
+
+    #[test]
+    fn pull_directives_roundtrip() {
+        for directive in [
+            Some(PullDirective { mode: AlgoMode::Dc, shard: None }),
+            Some(PullDirective { mode: AlgoMode::Asgd, shard: Some(vec![3, 1, 4, 15]) }),
+        ] {
+            let w =
+                ClusterResp::Weights { flat: vec![0.5], version: 99, directive: directive.clone() };
+            match ClusterResp::decoded(&w.encoded()).unwrap() {
+                ClusterResp::Weights { directive: back, .. } => assert_eq!(back, directive),
+                _ => panic!("variant changed"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_nan_poisons_grad_and_loss() {
+        let mut req = ClusterReq::Grad {
+            grads: CompressedGrad::Dense(vec![1.0, -2.0]),
+            pull_version: 1,
+            loss: 0.5,
+            batch_stats: Vec::new(),
+            running: BnState::default(),
+        };
+        assert!(req.corrupt_payload(7, true));
+        match req {
+            ClusterReq::Grad { grads, loss, .. } => {
+                assert!(loss.is_nan());
+                assert!(grads.decompress().iter().all(|v| v.is_nan()));
+            }
+            _ => panic!("variant changed"),
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_bitflips_stay_finite_but_change_values() {
+        let original = vec![1.0f32, -2.0, 0.25, 8.0];
+        let mut req = ClusterReq::Grad {
+            grads: CompressedGrad::Dense(original.clone()),
+            pull_version: 1,
+            loss: 0.5,
+            batch_stats: Vec::new(),
+            running: BnState::default(),
+        };
+        assert!(req.corrupt_payload(0xDEAD_BEEF, false));
+        match req {
+            ClusterReq::Grad { grads, loss, .. } => {
+                assert_eq!(loss, 0.5, "bit-flip mode leaves the loss alone");
+                let g = grads.decompress();
+                assert_ne!(g, original);
+                for (a, b) in g.iter().zip(&original) {
+                    assert!(a.is_finite());
+                    // Sign + exponent-LSB + mantissa flips keep magnitude
+                    // within a factor of 4 of the original.
+                    assert!(a.abs() <= 4.0 * b.abs() && a.abs() >= b.abs() / 4.0);
+                }
+            }
+            _ => panic!("variant changed"),
+        }
+        // Pulls and joins carry nothing corruptible.
+        assert!(!ClusterReq::Pull.corrupt_payload(1, true));
+        assert!(!ClusterReq::Join { incarnation: 1 }.corrupt_payload(1, false));
     }
 
     #[test]

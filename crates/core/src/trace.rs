@@ -63,6 +63,7 @@ pub mod phase {
     pub const SERVER_APPLY: &str = "server_apply";
     pub const CHECKPOINT: &str = "checkpoint";
     pub const FAULT_INJECT: &str = "fault_inject";
+    pub const HEALTH: &str = "health";
 }
 
 /// One recorded event: a span (`dur > 0` or `instant == false`) or an

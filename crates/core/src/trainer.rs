@@ -15,9 +15,12 @@ use crate::bnmode::BnMode;
 use crate::checkpoint::TrainingCheckpoint;
 use crate::config::{DataPartition, ExperimentConfig};
 use crate::metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, RunResult};
-use crate::predictor::{LossPredictor, StepPredictor};
-use crate::protocol::{ClusterReq, ClusterResp};
+use crate::predictor::{
+    LossPredictor, LossPredictorSnapshot, StepPredictor, StepPredictorSnapshot,
+};
+use crate::protocol::{ClusterReq, ClusterResp, PullDirective};
 use crate::server::ParameterServer;
+use crate::supervisor::{AlgoMode, Supervisor, SupervisorConfig};
 use crate::trace::{phase, ClockDomain, TraceSink};
 use crate::worker::WorkerNode;
 use lcasgd_autograd::ops::norm::BnBatchStats;
@@ -157,6 +160,7 @@ fn run_sequential(
         transport: None,
         faults: None,
         timeline: None,
+        health: None,
     }
 }
 
@@ -245,6 +249,7 @@ fn run_ssgd(
         transport: None,
         faults: None,
         timeline: None,
+        health: None,
     }
 }
 
@@ -483,6 +488,7 @@ fn run_async(
         transport: None,
         faults: None,
         timeline: None,
+        health: None,
     }
 }
 
@@ -562,6 +568,14 @@ pub struct RunOptions {
     /// it in [`RunResult::timeline`]. Off by default: tracing buffers
     /// every span in memory for the run's whole lifetime.
     pub trace: bool,
+    /// Attach a self-healing training supervisor ([`crate::supervisor`]):
+    /// divergence sentinels with quarantine and rollback, staleness
+    /// admission control, straggler resharding, and the LC→DC→ASGD
+    /// fallback ladder. The resulting [`HealthReport`]
+    /// (`RunResult::health`) records every transition.
+    ///
+    /// [`HealthReport`]: crate::supervisor::HealthReport
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 /// [`run_cluster`] plus the robustness machinery of [`RunOptions`]:
@@ -579,8 +593,14 @@ pub fn run_cluster_with<B: ClusterBackend>(
 ) -> Result<RunResult, ClusterError> {
     use parking_lot::Mutex;
 
-    let RunOptions { fault_plan, checkpoint_path, checkpoint_every, resume, trace: want_trace } =
-        opts;
+    let RunOptions {
+        fault_plan,
+        checkpoint_path,
+        checkpoint_every,
+        resume,
+        trace: want_trace,
+        supervisor,
+    } = opts;
     let m = backend.workers();
     let is_lc = cfg.algorithm == Algorithm::LcAsgd;
     let is_dc = cfg.algorithm == Algorithm::DcAsgd;
@@ -590,6 +610,41 @@ pub fn run_cluster_with<B: ClusterBackend>(
     let canonical = build(&mut rng);
     let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
     let mut shards = worker_shards(cfg, m, train.len());
+
+    // ---- supervisor ---------------------------------------------------
+    // The health state machine runs entirely inside `server_fn` — the one
+    // serialized point every backend shares — and decides from message
+    // contents and counters only, so its transition sequence is
+    // bit-reproducible on the discrete-event simulator.
+    assert!(
+        !(is_ssgd && supervisor.is_some()),
+        "the supervisor targets the asynchronous protocols; SSGD's barrier has no admission point"
+    );
+    let base_mode = if is_lc {
+        AlgoMode::Lc
+    } else if is_dc {
+        AlgoMode::Dc
+    } else {
+        AlgoMode::Asgd
+    };
+    let mut sup = supervisor.map(|sc| {
+        let mut s = Supervisor::new(sc, base_mode, m);
+        s.set_shards(shards.clone());
+        s
+    });
+    // The ladder rung each worker was told to run at its last pull — what
+    // decides how its *next* gradient is applied (a mid-iteration mode
+    // change must not reinterpret an in-flight push).
+    let mut pulled_mode: Vec<AlgoMode> = vec![base_mode; m];
+    // Last-good server state for divergence rollback.
+    struct GoodState {
+        weights: Vec<f32>,
+        bn: BnState,
+        applied: u64,
+        loss_pred: Option<LossPredictorSnapshot>,
+        step_pred: Option<StepPredictorSnapshot>,
+    }
+    let mut last_good: Option<GoodState> = None;
     let nodes: Mutex<Vec<Option<WorkerNode>>> = Mutex::new(
         (0..m)
             .map(|w| {
@@ -735,12 +790,27 @@ pub fn run_cluster_with<B: ClusterBackend>(
             if !is_ssgd && (applied >= target || halted) {
                 ctx.reply(ClusterResp::Stop);
             } else {
-                if is_dc {
+                // The directive pins the rung (and any reassigned shard)
+                // for the iteration this pull starts; the push coming
+                // back is interpreted under the same rung even if the
+                // worker is demoted meanwhile.
+                let directive = sup.as_mut().map(|s| {
+                    let mode = s.mode(w);
+                    pulled_mode[w] = mode;
+                    PullDirective {
+                        mode,
+                        shard: s
+                            .take_pending_shard(w)
+                            .map(|v| v.into_iter().map(|i| i as u64).collect()),
+                    }
+                });
+                if pulled_mode[w] == AlgoMode::Dc {
                     backups[w] = server.weights.clone();
                 }
                 ctx.reply(ClusterResp::Weights {
                     flat: server.weights.clone(),
                     version: server.version,
+                    directive,
                 });
             }
         }
@@ -766,6 +836,19 @@ pub fn run_cluster_with<B: ClusterBackend>(
             }
             prev_step_pred[w] = Some(km);
             server.absorb_bn(&running, &batch_stats);
+            if let Some(s) = sup.as_mut() {
+                // Predictor-health watchdog: a wildly wrong one-step
+                // forecast is a demerit against this worker's LC rung.
+                s.observe_prediction(w, applied as u64, one_step_forecast, loss);
+                for (at, ev) in s.drain_new_events() {
+                    sink.wall_instant(
+                        ev.worker(),
+                        phase::HEALTH,
+                        Instant::now(),
+                        format!("at-update={at} {ev}"),
+                    );
+                }
+            }
             ctx.reply(ClusterResp::Compensation {
                 l_delay: lp.l_delay,
                 one_step: lp.one_step,
@@ -815,6 +898,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                                 ClusterResp::Weights {
                                     flat: server.weights.clone(),
                                     version: server.version,
+                                    directive: None,
                                 }
                             },
                         );
@@ -825,99 +909,147 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 // halt) are dropped, as a real server shutting down
                 // would drop them.
                 let stale = (server.version - pull_version) as u32;
-                staleness.push(stale);
-                sink.note_staleness(stale);
-                let lr = cfg.lr.at_epoch(applied / updates_per_epoch);
                 let g = grads.decompress();
-                let t_apply = Instant::now();
-                // A rejoined worker's backup was cleared at Join; until
-                // its next pull re-snapshots, fall back to the plain
-                // update (zero assumed drift).
-                if is_dc && backups[w].len() == g.len() {
-                    server.apply_grad_dc(&g, lr, cfg.lambda, &backups[w]);
-                } else {
-                    server.apply_grad(&g, lr);
-                }
-                if !is_lc {
-                    server.log_arrival(w);
-                    server.absorb_bn(&running, &batch_stats);
-                }
-                sink.wall_span_at(
-                    Some(w),
-                    phase::SERVER_APPLY,
-                    t_apply,
-                    t_apply.elapsed().as_secs_f64(),
-                );
-                sink.note_version(server.version);
-                losses.push(loss);
-                applied += 1;
-                if applied.is_multiple_of(updates_per_epoch) {
-                    let epoch = applied / updates_per_epoch;
-                    records.push(epoch_record(
-                        epoch,
-                        run_now(&sink),
-                        &mut harness,
-                        &server,
-                        &mut losses,
-                        lr,
-                    ));
-                }
-                let halt_now = halt_at.is_some_and(|h| applied as u64 >= h);
-                if halt_now {
-                    halted = true;
-                    if let Some(log) = &fault_log {
-                        log.push(FaultRecord::ServerHalted { at_update: applied as u64 });
+                // Admission control: the supervisor may discard, park, or
+                // LR-scale the gradient. Staleness samples are recorded
+                // for *applied* updates only, so the admitted stream is
+                // what the bound policies guarantee about.
+                let (g, lr_scale, want_rollback) = match sup.as_mut() {
+                    Some(s) => {
+                        let adm = s.admit(w, applied as u64, stale, g, loss);
+                        (adm.grads, adm.lr_scale, adm.rollback)
                     }
-                }
-                if let Some(path) = &checkpoint_path {
-                    if halt_now || applied.is_multiple_of(ckpt_every) {
-                        let ck = TrainingCheckpoint {
-                            weights: server.weights.clone(),
-                            bn: server.bn.clone(),
-                            version: server.version,
-                            applied: applied as u64,
-                            arrival: server.arrival_state(),
-                            iter: server.iter.clone(),
-                            staleness: staleness.clone(),
-                            epoch_losses: losses.clone(),
-                            epochs: records.clone(),
-                            loss_pred: is_lc.then(|| loss_pred.snapshot()),
-                            step_pred: is_lc.then(|| step_pred.snapshot()),
-                            worker_batches: batch_pos.lock().clone(),
-                        };
-                        let t_ck = Instant::now();
-                        match ck.save(path) {
-                            Ok(()) => sink.wall_span_at(
-                                None,
-                                phase::CHECKPOINT,
-                                t_ck,
-                                t_ck.elapsed().as_secs_f64(),
-                            ),
-                            Err(e) => {
-                                // A failed periodic checkpoint must not
-                                // kill training: surface it in the fault
-                                // report and on the trace timeline, and
-                                // keep serving gradients.
-                                eprintln!(
-                                    "warning: checkpoint write to {} failed: {e}",
-                                    path.display()
-                                );
-                                let rec = FaultRecord::CheckpointFailed {
-                                    at_update: applied as u64,
-                                    error: e.to_string(),
-                                };
-                                sink.wall_instant(
+                    None => (Some(g), 1.0, false),
+                };
+                if let Some(g) = g {
+                    staleness.push(stale);
+                    sink.note_staleness(stale);
+                    let lr = cfg.lr.at_epoch(applied / updates_per_epoch) * lr_scale;
+                    let t_apply = Instant::now();
+                    // A rejoined worker's backup was cleared at Join; until
+                    // its next pull re-snapshots, fall back to the plain
+                    // update (zero assumed drift).
+                    if pulled_mode[w] == AlgoMode::Dc && backups[w].len() == g.len() {
+                        server.apply_grad_dc(&g, lr, cfg.lambda, &backups[w]);
+                    } else {
+                        server.apply_grad(&g, lr);
+                    }
+                    if pulled_mode[w] != AlgoMode::Lc {
+                        server.log_arrival(w);
+                        server.absorb_bn(&running, &batch_stats);
+                    }
+                    sink.wall_span_at(
+                        Some(w),
+                        phase::SERVER_APPLY,
+                        t_apply,
+                        t_apply.elapsed().as_secs_f64(),
+                    );
+                    sink.note_version(server.version);
+                    losses.push(loss);
+                    applied += 1;
+                    if applied.is_multiple_of(updates_per_epoch) {
+                        let epoch = applied / updates_per_epoch;
+                        records.push(epoch_record(
+                            epoch,
+                            run_now(&sink),
+                            &mut harness,
+                            &server,
+                            &mut losses,
+                            lr,
+                        ));
+                    }
+                    let halt_now = halt_at.is_some_and(|h| applied as u64 >= h);
+                    if halt_now {
+                        halted = true;
+                        if let Some(log) = &fault_log {
+                            log.push(FaultRecord::ServerHalted { at_update: applied as u64 });
+                        }
+                    }
+                    if let Some(path) = &checkpoint_path {
+                        if halt_now || applied.is_multiple_of(ckpt_every) {
+                            let ck = TrainingCheckpoint {
+                                weights: server.weights.clone(),
+                                bn: server.bn.clone(),
+                                version: server.version,
+                                applied: applied as u64,
+                                arrival: server.arrival_state(),
+                                iter: server.iter.clone(),
+                                staleness: staleness.clone(),
+                                epoch_losses: losses.clone(),
+                                epochs: records.clone(),
+                                loss_pred: is_lc.then(|| loss_pred.snapshot()),
+                                step_pred: is_lc.then(|| step_pred.snapshot()),
+                                worker_batches: batch_pos.lock().clone(),
+                            };
+                            let t_ck = Instant::now();
+                            match ck.save(path) {
+                                Ok(()) => sink.wall_span_at(
                                     None,
                                     phase::CHECKPOINT,
-                                    Instant::now(),
-                                    rec.to_string(),
-                                );
-                                match &fault_log {
-                                    Some(log) => log.push(rec),
-                                    None => ckpt_failures.push(rec),
+                                    t_ck,
+                                    t_ck.elapsed().as_secs_f64(),
+                                ),
+                                Err(e) => {
+                                    // A failed periodic checkpoint must not
+                                    // kill training: surface it in the fault
+                                    // report and on the trace timeline, and
+                                    // keep serving gradients.
+                                    eprintln!(
+                                        "warning: checkpoint write to {} failed: {e}",
+                                        path.display()
+                                    );
+                                    let rec = FaultRecord::CheckpointFailed {
+                                        at_update: applied as u64,
+                                        error: e.to_string(),
+                                    };
+                                    sink.wall_instant(
+                                        None,
+                                        phase::CHECKPOINT,
+                                        Instant::now(),
+                                        rec.to_string(),
+                                    );
+                                    match &fault_log {
+                                        Some(log) => log.push(rec),
+                                        None => ckpt_failures.push(rec),
+                                    }
                                 }
                             }
                         }
+                    }
+                }
+                if let Some(s) = sup.as_mut() {
+                    if want_rollback {
+                        // Global divergence: restore the last-good
+                        // snapshot. `server.version` stays monotonic —
+                        // staleness accounting must never see the clock
+                        // move backwards; only the *state* rewinds.
+                        if let Some(good) = &last_good {
+                            server.weights = good.weights.clone();
+                            server.bn = good.bn.clone();
+                            if let Some(lp) = &good.loss_pred {
+                                loss_pred.restore(lp);
+                            }
+                            if let Some(sp) = &good.step_pred {
+                                step_pred.restore(sp);
+                            }
+                            s.rolled_back(applied as u64, good.applied);
+                        }
+                    } else if s.should_snapshot(applied as u64) {
+                        last_good = Some(GoodState {
+                            weights: server.weights.clone(),
+                            bn: server.bn.clone(),
+                            applied: applied as u64,
+                            loss_pred: is_lc.then(|| loss_pred.snapshot()),
+                            step_pred: is_lc.then(|| step_pred.snapshot()),
+                        });
+                    }
+                    for (at, ev) in s.drain_new_events() {
+                        sink.wall_instant(
+                            ev.worker(),
+                            phase::HEALTH,
+                            Instant::now(),
+                            format!("at-update={at} {ev}"),
+                        );
                     }
                 }
             }
@@ -950,7 +1082,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 loop {
                     let (flat, version) = match resp {
                         ClusterResp::Stop => break,
-                        ClusterResp::Weights { flat, version } => (flat, version),
+                        ClusterResp::Weights { flat, version, .. } => (flat, version),
                         ClusterResp::Compensation { .. } => break,
                     };
                     let compute_start = Instant::now();
@@ -984,13 +1116,21 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 };
                 wspan(w, phase::PULL, pull_start);
                 let t_comm = pull_start.elapsed().as_secs_f32();
-                let (flat, version) = match resp {
+                let (flat, version, directive) = match resp {
                     ClusterResp::Stop => break,
-                    ClusterResp::Weights { flat, version } => (flat, version),
+                    ClusterResp::Weights { flat, version, directive } => (flat, version, directive),
                     ClusterResp::Compensation { .. } => break,
                 };
+                // Supervisor directives: a reassigned data shard takes
+                // effect now, and the ladder rung decides whether this
+                // iteration runs the LC two-phase exchange or a plain
+                // fused one.
+                if let Some(shard) = directive.as_ref().and_then(|d| d.shard.as_ref()) {
+                    node.set_shard(shard.iter().map(|&i| i as usize).collect());
+                }
+                let use_lc = directive.as_ref().map_or(is_lc, |d| d.mode == AlgoMode::Lc);
                 let compute_start = Instant::now();
-                if is_lc {
+                if use_lc {
                     // Algorithm 1: push the forward state, receive ℓ_delay,
                     // backpropagate the compensated loss (Formula 5).
                     let (loss, batch_stats) = node.forward_phase(&flat, train);
@@ -1112,6 +1252,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
         transport: Some(transport),
         faults,
         timeline: want_trace.then(|| sink.finish()),
+        health: sup.map(Supervisor::into_report),
     })
 }
 

@@ -135,6 +135,13 @@ impl WorkerNode {
     pub fn replay_batches_to(&mut self, reshuffles: u64, pos: u64) {
         self.batches.replay_to(reshuffles, pos);
     }
+
+    /// Replaces this worker's data shard — the supervisor's straggler
+    /// reassignment, delivered in a pull directive. The batch stream
+    /// restarts on the new subset.
+    pub fn set_shard(&mut self, indices: Vec<usize>) {
+        self.batches.set_indices(indices);
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +213,17 @@ mod tests {
         assert_eq!(w.pending_loss(), Some(loss));
         w.backward_phase(1.0);
         assert!(w.pending_loss().is_none());
+    }
+
+    #[test]
+    fn set_shard_restricts_future_batches() {
+        let (mut w, data, weights) = setup();
+        w.set_shard(vec![0, 1, 2]);
+        assert_eq!(w.shard_len(), 3);
+        // Still trains: forward/backward over the narrowed shard works.
+        let (loss, _) = w.forward_phase(&weights, &data);
+        assert!(loss.is_finite());
+        w.backward_phase(1.0);
     }
 
     #[test]

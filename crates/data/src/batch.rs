@@ -103,6 +103,18 @@ impl BatchIter {
         self.pos = (pos as usize).min(self.order.len());
     }
 
+    /// Replaces the example subset this iterator draws from — the data-
+    /// shard reassignment a training supervisor performs when it moves
+    /// work off a straggler. The new subset is shuffled with the
+    /// iterator's own RNG stream (counted as a reshuffle, so
+    /// [`BatchIter::progress`] stays replayable) and iteration restarts at
+    /// the head of the new order. Panics on an empty subset.
+    pub fn set_indices(&mut self, indices: Vec<usize>) {
+        assert!(!indices.is_empty(), "empty example subset");
+        self.order = indices;
+        self.reshuffle();
+    }
+
     /// Number of batches per epoch.
     pub fn batches_per_epoch(&self) -> usize {
         self.order.len().div_ceil(self.batch)
@@ -207,6 +219,29 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(original.next_indices(), restored.next_indices());
         }
+    }
+
+    #[test]
+    fn set_indices_switches_shard_and_keeps_counting_reshuffles() {
+        let mut it = BatchIter::from_indices(vec![0, 1, 2, 3], 2, 9);
+        it.next_indices();
+        let (shuffles_before, _) = it.progress();
+        it.set_indices(vec![10, 11, 12]);
+        assert_eq!(it.len(), 3);
+        let (shuffles_after, pos) = it.progress();
+        assert_eq!(shuffles_after, shuffles_before + 1);
+        assert_eq!(pos, 0);
+        for _ in 0..8 {
+            for &i in it.next_indices() {
+                assert!([10, 11, 12].contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty example subset")]
+    fn set_indices_rejects_empty() {
+        BatchIter::new(4, 2, 1).set_indices(Vec::new());
     }
 
     #[test]

@@ -53,7 +53,12 @@ pub struct SyntheticImageSpec {
 impl SyntheticImageSpec {
     /// CIFAR-10-like default: 10 classes, 3 channels. Resolution and
     /// sample counts are scaled by the experiment `Scale` knob upstream.
-    pub fn cifar10_like(height: usize, width: usize, train_per_class: usize, test_per_class: usize) -> Self {
+    pub fn cifar10_like(
+        height: usize,
+        width: usize,
+        train_per_class: usize,
+        test_per_class: usize,
+    ) -> Self {
         SyntheticImageSpec {
             num_classes: 10,
             channels: 3,
@@ -122,8 +127,10 @@ impl SyntheticImageSpec {
                         let mut img = Tensor::zeros(&[c, h, w]);
                         for ch in 0..c {
                             // Class- and channel-specific structure.
-                            let fx = 0.5 + class as f64 * 0.37 + ch as f64 * 0.21 + rng.uniform() * 0.3;
-                            let fy = 0.3 + class as f64 * 0.53 + ch as f64 * 0.11 + rng.uniform() * 0.3;
+                            let fx =
+                                0.5 + class as f64 * 0.37 + ch as f64 * 0.21 + rng.uniform() * 0.3;
+                            let fy =
+                                0.3 + class as f64 * 0.53 + ch as f64 * 0.11 + rng.uniform() * 0.3;
                             let phase = rng.uniform_range(0.0, std::f64::consts::TAU);
                             let amp = 0.8 + 0.4 * rng.uniform();
                             for y in 0..h {
@@ -166,13 +173,7 @@ impl SyntheticImageSpec {
 
 /// Gaussian-blob feature dataset (`[n, dim]` rows) — the fast fixture for
 /// unit and integration tests where convolutions would be wasteful.
-pub fn blobs(
-    num_classes: usize,
-    dim: usize,
-    per_class: usize,
-    spread: f32,
-    seed: u64,
-) -> Dataset {
+pub fn blobs(num_classes: usize, dim: usize, per_class: usize, spread: f32, seed: u64) -> Dataset {
     let mut rng = Rng::seed_from_u64(seed);
     let centers: Vec<Tensor> =
         (0..num_classes).map(|_| Tensor::randn(&[dim], 2.0, &mut rng)).collect();
@@ -283,10 +284,8 @@ mod tests {
     fn class_structure_is_learnable_signal() {
         // Same-class samples must correlate more than cross-class ones on
         // average (prototype structure survives the noise).
-        let spec = SyntheticImageSpec {
-            noise: 0.5,
-            ..SyntheticImageSpec::cifar10_like(8, 8, 6, 2)
-        };
+        let spec =
+            SyntheticImageSpec { noise: 0.5, ..SyntheticImageSpec::cifar10_like(8, 8, 6, 2) };
         let (train, _) = spec.generate();
         let img_len = 3 * 8 * 8;
         let cos = |a: &[f32], b: &[f32]| {
@@ -299,7 +298,10 @@ mod tests {
         let (mut same, mut diff) = (Vec::new(), Vec::new());
         for i in 0..train.len() {
             for j in (i + 1)..train.len() {
-                let c = cos(&data[i * img_len..(i + 1) * img_len], &data[j * img_len..(j + 1) * img_len]);
+                let c = cos(
+                    &data[i * img_len..(i + 1) * img_len],
+                    &data[j * img_len..(j + 1) * img_len],
+                );
                 if train.labels[i] == train.labels[j] {
                     same.push(c);
                 } else {

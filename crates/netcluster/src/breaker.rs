@@ -1,0 +1,274 @@
+//! Per-connection circuit breakers for the TCP backend.
+//!
+//! A worker whose link keeps dying should not hammer the server with
+//! redial storms, and the server should not keep paying codec work for a
+//! rank whose frames keep failing CRC. Both sides therefore run a
+//! classic three-state breaker per connection:
+//!
+//! * **Closed** — traffic flows; failures are counted over a tumbling
+//!   window. Too many failures inside one window trips the breaker.
+//! * **Open** — everything is refused until a cooldown deadline passes.
+//!   Each consecutive trip doubles the cooldown, up to a cap.
+//! * **Half-open** — after the cooldown, exactly one probe is admitted.
+//!   Success closes the breaker (and resets the cooldown ladder);
+//!   failure re-opens it with the next-longer cooldown.
+//!
+//! The breaker is purely local state driven by an injected `Instant`, so
+//! it is unit-testable without sockets or sleeps.
+
+use std::time::{Duration, Instant};
+
+/// Thresholds for one [`CircuitBreaker`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Failures within one `window` that trip the breaker.
+    pub failure_threshold: u32,
+    /// Length of the tumbling failure-counting window.
+    pub window: Duration,
+    /// Cooldown after the first trip; doubles per consecutive trip.
+    pub cooldown: Duration,
+    /// Ceiling on the doubled cooldown.
+    pub cooldown_cap: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            window: Duration::from_secs(10),
+            cooldown: Duration::from_millis(500),
+            cooldown_cap: Duration::from_secs(30),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Aggressive thresholds for tests: trips after 2 failures, recovers
+    /// in tens of milliseconds.
+    pub fn fast() -> Self {
+        BreakerConfig {
+            failure_threshold: 2,
+            window: Duration::from_millis(500),
+            cooldown: Duration::from_millis(30),
+            cooldown_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows.
+    Closed,
+    /// Refusing everything until the cooldown deadline.
+    Open,
+    /// Cooldown expired; one probe is in flight.
+    HalfOpen,
+}
+
+/// One connection's error-rate circuit breaker. Not thread-safe on its
+/// own — callers hold it under their existing connection lock.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Failures inside the current tumbling window.
+    failures: u32,
+    window_start: Option<Instant>,
+    /// When an Open breaker transitions to Half-open.
+    open_until: Option<Instant>,
+    /// Consecutive trips without an intervening success (cooldown ladder).
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            failures: 0,
+            window_start: None,
+            open_until: None,
+            trips: 0,
+        }
+    }
+
+    /// Current state, after applying any cooldown expiry at `now`.
+    pub fn state(&mut self, now: Instant) -> BreakerState {
+        if self.state == BreakerState::Open
+            && self.open_until.is_some_and(|deadline| now >= deadline)
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether an operation may proceed at `now`. In Half-open this
+    /// admits the single probe (subsequent calls before the probe
+    /// resolves are refused).
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                // Arm the probe: refuse further ops until it resolves.
+                self.state = BreakerState::Open;
+                self.open_until = None; // no deadline: only the probe's
+                                        // outcome moves the state now
+                true
+            }
+        }
+    }
+
+    /// Records a successful operation: closes the breaker and resets the
+    /// failure window and the cooldown ladder.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.failures = 0;
+        self.window_start = None;
+        self.open_until = None;
+        self.trips = 0;
+    }
+
+    /// Records a failed operation at `now`; trips the breaker when the
+    /// window fills (or immediately if this was the Half-open probe).
+    pub fn record_failure(&mut self, now: Instant) {
+        if self.state == BreakerState::Open && self.open_until.is_none() {
+            // The Half-open probe failed: straight back to Open with the
+            // next-longer cooldown.
+            self.trip(now);
+            return;
+        }
+        if self.state != BreakerState::Closed {
+            return;
+        }
+        match self.window_start {
+            Some(start) if now.duration_since(start) <= self.cfg.window => {}
+            _ => {
+                // New tumbling window.
+                self.window_start = Some(now);
+                self.failures = 0;
+            }
+        }
+        self.failures += 1;
+        if self.failures >= self.cfg.failure_threshold {
+            self.trip(now);
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        let factor = 2u32.saturating_pow(self.trips.min(16));
+        let cooldown = (self.cfg.cooldown * factor).min(self.cfg.cooldown_cap);
+        self.trips = self.trips.saturating_add(1);
+        self.state = BreakerState::Open;
+        self.open_until = Some(now + cooldown);
+        self.failures = 0;
+        self.window_start = None;
+    }
+
+    /// The cooldown deadline, when Open with one pending.
+    pub fn open_until(&self) -> Option<Instant> {
+        self.open_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            window: Duration::from_secs(1),
+            cooldown: Duration::from_millis(100),
+            cooldown_cap: Duration::from_millis(350),
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = Instant::now();
+        b.record_failure(t);
+        b.record_failure(t + Duration::from_millis(10));
+        assert_eq!(b.state(t + Duration::from_millis(20)), BreakerState::Closed);
+        assert!(b.allow(t + Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn window_failures_trip_to_open() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = Instant::now();
+        for i in 0..3 {
+            b.record_failure(t + Duration::from_millis(i * 10));
+        }
+        assert_eq!(b.state(t + Duration::from_millis(40)), BreakerState::Open);
+        assert!(!b.allow(t + Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn failures_in_separate_windows_do_not_trip() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = Instant::now();
+        b.record_failure(t);
+        b.record_failure(t + Duration::from_millis(500));
+        // The third failure lands in a fresh tumbling window.
+        b.record_failure(t + Duration::from_millis(1600));
+        assert_eq!(b.state(t + Duration::from_millis(1700)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_success_closes() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t);
+        }
+        let after = t + Duration::from_millis(150); // past the 100ms cooldown
+        assert_eq!(b.state(after), BreakerState::HalfOpen);
+        assert!(b.allow(after), "one probe goes through");
+        assert!(!b.allow(after), "but only one");
+        b.record_success();
+        assert_eq!(b.state(after), BreakerState::Closed);
+        assert!(b.allow(after));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t);
+        }
+        let t1 = t + Duration::from_millis(150);
+        assert!(b.allow(t1));
+        b.record_failure(t1); // probe fails → second trip, 200ms cooldown
+        assert_eq!(b.state(t1 + Duration::from_millis(150)), BreakerState::Open);
+        assert_eq!(b.state(t1 + Duration::from_millis(250)), BreakerState::HalfOpen);
+        assert!(b.allow(t1 + Duration::from_millis(250)));
+        b.record_failure(t1 + Duration::from_millis(250)); // third trip: capped at 350ms
+        let deadline = b.open_until().expect("open with a deadline");
+        assert_eq!(
+            deadline.duration_since(t1 + Duration::from_millis(250)),
+            Duration::from_millis(350)
+        );
+    }
+
+    #[test]
+    fn success_resets_the_cooldown_ladder() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t);
+        }
+        let t1 = t + Duration::from_millis(150);
+        assert!(b.allow(t1));
+        b.record_success();
+        // Trip again from scratch: back to the base 100ms cooldown.
+        for _ in 0..3 {
+            b.record_failure(t1);
+        }
+        let deadline = b.open_until().expect("open with a deadline");
+        assert_eq!(deadline.duration_since(t1), Duration::from_millis(100));
+    }
+}

@@ -1,5 +1,6 @@
 //! Tuning knobs for the TCP backend's liveness machinery.
 
+use crate::breaker::BreakerConfig;
 use std::time::Duration;
 
 /// Timeouts and retry policy shared by [`crate::NetServer`] and
@@ -29,6 +30,10 @@ pub struct NetConfig {
     pub connect_backoff: Duration,
     /// Ceiling on the exponential backoff.
     pub connect_backoff_cap: Duration,
+    /// Per-connection circuit breaker thresholds: the worker gates its
+    /// redial storms and the server gates codec-failing ranks through
+    /// the same error-rate window → open → half-open probe machine.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for NetConfig {
@@ -41,6 +46,7 @@ impl Default for NetConfig {
             connect_attempts: 5,
             connect_backoff: Duration::from_millis(25),
             connect_backoff_cap: Duration::from_secs(1),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -57,6 +63,7 @@ impl NetConfig {
             connect_attempts: 5,
             connect_backoff: Duration::from_millis(5),
             connect_backoff_cap: Duration::from_millis(100),
+            breaker: BreakerConfig::fast(),
         }
     }
 }

@@ -26,11 +26,13 @@
 //! [`NetCluster`] merges both sides into one
 //! [`TransportStats`](lcasgd_simcluster::TransportStats).
 
+pub mod breaker;
 pub mod config;
 pub mod frame;
 pub mod server;
 pub mod worker;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use config::NetConfig;
 pub use server::NetServer;
 pub use worker::NetWorker;

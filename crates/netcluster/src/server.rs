@@ -18,6 +18,7 @@
 //! Termination: the run ends when every rank has either finished cleanly
 //! (`Goodbye`) or been declared dead.
 
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::NetConfig;
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
 use lcasgd_simcluster::{ClusterError, ServerCtx, TraceHook, TransportStats, WireMsg};
@@ -104,6 +105,11 @@ impl NetServer {
 
         let mut conns: HashMap<u64, ConnState> = HashMap::new();
         let mut rank_conn: Vec<Option<u64>> = vec![None; m];
+        // Per-rank circuit breakers driven by codec failures: a rank whose
+        // frames keep failing the payload codec has its redials refused
+        // until the cooldown admits a half-open probe.
+        let mut rank_breakers: Vec<CircuitBreaker> =
+            (0..m).map(|_| CircuitBreaker::new(cfg.breaker.clone())).collect();
         let mut rank_state = vec![RankState::Pending; m];
         // Pending request seq per rank, consumed when the reply goes out.
         let mut awaiting: Vec<Option<u64>> = vec![None; m];
@@ -233,6 +239,20 @@ impl NetServer {
                                     );
                                     continue;
                                 }
+                                if !rank_breakers[rank].allow(Instant::now()) {
+                                    // The rank's breaker is open: refuse
+                                    // the redial until the cooldown admits
+                                    // a probe. `conn.rank` is still unset,
+                                    // so this only drops the socket.
+                                    Self::close_conn(
+                                        &mut conns,
+                                        id,
+                                        &mut rank_conn,
+                                        &mut rank_state,
+                                        &mut awaiting,
+                                    );
+                                    continue;
+                                }
                                 conn.rank = Some(rank);
                                 // A reconnect supersedes the old socket.
                                 if let Some(old) = rank_conn[rank] {
@@ -282,7 +302,11 @@ impl NetServer {
                                         // not a run failure: drop the
                                         // connection and let the worker's
                                         // reconnect + re-Hello revive the
-                                        // rank.
+                                        // rank. Repeated codec failures
+                                        // trip the rank's breaker, which
+                                        // then refuses the re-Hello until
+                                        // its cooldown passes.
+                                        rank_breakers[rank].record_failure(Instant::now());
                                         Self::close_conn(
                                             &mut conns,
                                             id,
@@ -293,6 +317,13 @@ impl NetServer {
                                         continue;
                                     }
                                 };
+                                if rank_breakers[rank].state(Instant::now()) != BreakerState::Closed
+                                {
+                                    // The half-open probe's first frame
+                                    // decoded cleanly: close the breaker
+                                    // and reset its cooldown ladder.
+                                    rank_breakers[rank].record_success();
+                                }
                                 let decode = t0.elapsed().as_secs_f64();
                                 stats.serialize_seconds += decode;
                                 if let Some(h) = &hook {
@@ -423,5 +454,83 @@ impl NetServer {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use crate::worker::NetWorker;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Frames correctly (valid CRC) but fails the `u32` payload codec.
+    fn garbage_request(seq: u64) -> Frame {
+        Frame::new(FrameKind::Request, seq, vec![1, 2, 3])
+    }
+
+    fn valid_request(seq: u64, x: u32) -> Frame {
+        Frame::new(FrameKind::Request, seq, x.encoded())
+    }
+
+    #[test]
+    fn codec_failures_trip_the_rank_breaker_until_cooldown() {
+        let mut cfg = NetConfig::fast();
+        cfg.breaker = BreakerConfig {
+            failure_threshold: 2,
+            window: Duration::from_secs(5),
+            cooldown: Duration::from_millis(500),
+            cooldown_cap: Duration::from_millis(500),
+        };
+        let server = NetServer::bind("127.0.0.1:0", 2, cfg.clone()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let done = &done;
+            // A healthy rank 1 keeps the run alive while rank 0 abuses
+            // the codec from raw sockets.
+            scope.spawn(move || {
+                let mut link = NetWorker::connect(addr, 1, cfg).unwrap();
+                while !done.load(Ordering::SeqCst) {
+                    let _: u32 = link.request(&5u32).unwrap();
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                link.finish().unwrap();
+            });
+            scope.spawn(move || {
+                // Two codec failures (threshold 2) trip rank 0's breaker;
+                // each one costs the connection.
+                for seq in 0..2u64 {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+                    write_frame(&mut s, &Frame::hello(0)).unwrap();
+                    write_frame(&mut s, &garbage_request(seq)).unwrap();
+                    assert!(read_frame(&mut s).is_err(), "codec failure must drop the link");
+                }
+                // During the cooldown even a clean redial is refused: the
+                // Hello is answered with a hangup, so the valid request
+                // after it never sees a reply.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+                write_frame(&mut s, &Frame::hello(0)).unwrap();
+                let _ = write_frame(&mut s, &valid_request(10, 7));
+                assert!(read_frame(&mut s).is_err(), "open breaker must refuse the redial");
+                // Past the cooldown the half-open probe is admitted, and
+                // its first clean frame closes the breaker again.
+                std::thread::sleep(Duration::from_millis(700));
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+                write_frame(&mut s, &Frame::hello(0)).unwrap();
+                write_frame(&mut s, &valid_request(11, 7)).unwrap();
+                let (reply, _) = read_frame(&mut s).unwrap();
+                assert_eq!(reply.kind, FrameKind::Reply);
+                assert_eq!(u32::decoded(&reply.payload).unwrap(), 14);
+                write_frame(&mut s, &Frame::new(FrameKind::Goodbye, 12, Vec::new())).unwrap();
+                done.store(true, Ordering::SeqCst);
+            });
+            server.serve(|_w, x: u32, ctx: &mut ServerCtx<u32>| ctx.reply(x * 2)).unwrap();
+        });
     }
 }

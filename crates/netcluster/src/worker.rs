@@ -16,6 +16,7 @@
 //!   without it looks like a crash to the server, which is exactly what
 //!   the fault-injection tests rely on.
 
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::NetConfig;
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
 use lcasgd_simcluster::{ClusterError, FaultHooks, TraceHook, TransportStats, WireMsg, WorkerLink};
@@ -73,6 +74,10 @@ pub struct NetWorker {
     stats: TransportStats,
     finished: bool,
     trace_hook: Option<Arc<dyn TraceHook>>,
+    /// Gates reconnect storms: repeated transport failures open the
+    /// breaker and further dial attempts fail fast until the cooldown
+    /// admits a half-open probe.
+    breaker: CircuitBreaker,
 }
 
 impl NetWorker {
@@ -83,6 +88,7 @@ impl NetWorker {
         rank: usize,
         cfg: NetConfig,
     ) -> Result<NetWorker, ClusterError> {
+        let breaker = CircuitBreaker::new(cfg.breaker.clone());
         let mut worker = NetWorker {
             rank,
             addr,
@@ -92,6 +98,7 @@ impl NetWorker {
             stats: TransportStats::default(),
             finished: false,
             trace_hook: None,
+            breaker,
         };
         worker.reconnect()?;
         Ok(worker)
@@ -116,9 +123,14 @@ impl NetWorker {
     }
 
     /// Tears down any existing connection, then dials the server again
-    /// with bounded exponential backoff and re-sends the `Hello`.
+    /// with bounded exponential backoff and re-sends the `Hello`. An
+    /// open circuit breaker fails fast instead of dialing at all; a
+    /// successful dial closes it.
     fn reconnect(&mut self) -> Result<(), ClusterError> {
         self.teardown();
+        if !self.breaker.allow(Instant::now()) {
+            return Err(ClusterError::Disconnected);
+        }
         let mut backoff = self.cfg.connect_backoff;
         let mut last_err = ClusterError::Disconnected;
         for attempt in 0..self.cfg.connect_attempts.max(1) {
@@ -170,9 +182,16 @@ impl NetWorker {
                 })
             };
             self.conn = Some(Conn { read: stream, write, hb_stop, hb: Some(hb) });
+            self.breaker.record_success();
             return Ok(());
         }
+        self.breaker.record_failure(Instant::now());
         Err(last_err)
+    }
+
+    /// The reconnect circuit breaker's current state.
+    pub fn breaker_state(&mut self) -> BreakerState {
+        self.breaker.state(Instant::now())
     }
 
     fn teardown(&mut self) {
@@ -225,6 +244,7 @@ impl NetWorker {
                     // Timeouts and disconnects both leave the stream in
                     // an unknown framing state; drop the connection so
                     // the next operation starts clean.
+                    self.breaker.record_failure(Instant::now());
                     self.teardown();
                     return Err(e);
                 }
@@ -386,5 +406,50 @@ impl<Req: WireMsg, Resp: WireMsg> WorkerLink<Req, Resp> for NetWorker {
 
     fn send(&mut self, req: Req) -> Result<(), ClusterError> {
         NetWorker::send(self, &req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn breaker_opens_after_repeated_reconnect_failures_and_fails_fast() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut cfg = NetConfig::fast();
+        cfg.connect_attempts = 1;
+        cfg.request_timeout = Duration::from_millis(100);
+        cfg.breaker = crate::breaker::BreakerConfig {
+            failure_threshold: 2,
+            window: Duration::from_secs(5),
+            cooldown: Duration::from_secs(5), // long: stays Open for the test
+            cooldown_cap: Duration::from_secs(5),
+        };
+        let accepted = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            stream
+        });
+        let mut w = NetWorker::connect(addr, 0, cfg).unwrap();
+        assert_eq!(w.breaker_state(), BreakerState::Closed);
+        // Server side (and the listener) go away entirely.
+        drop(accepted.join().unwrap());
+        // Failures accumulate — the dead read, then a refused redial —
+        // until the breaker trips.
+        for _ in 0..4 {
+            if w.request::<u32, u32>(&1).is_ok() {
+                panic!("no server to answer");
+            }
+            if w.breaker_state() == BreakerState::Open {
+                break;
+            }
+        }
+        assert_eq!(w.breaker_state(), BreakerState::Open);
+        // Open breaker: the next request fails fast, without dialing.
+        let t0 = Instant::now();
+        assert!(w.request::<u32, u32>(&1).is_err());
+        assert!(t0.elapsed() < Duration::from_millis(50), "open breaker must not dial");
+        w.finished = true; // skip the Drop-path Goodbye on a dead socket
     }
 }

@@ -197,6 +197,18 @@ pub trait WireMsg: Sized {
     fn encode(&self, buf: &mut Vec<u8>);
     fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError>;
 
+    /// In-place *valid-CRC* payload corruption: deterministically mutate
+    /// this message's value payload (seeded by `seed`) so the result still
+    /// frames, checksums and decodes cleanly — garbage that only a
+    /// semantic sentinel can catch. With `nan` the mutation poisons floats
+    /// to NaN instead of flipping bits. Returns `false` when the message
+    /// carries no corruptible payload (the default); such messages pass
+    /// through unchanged.
+    fn corrupt_payload(&mut self, seed: u64, nan: bool) -> bool {
+        let _ = (seed, nan);
+        false
+    }
+
     fn encoded(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.encode(&mut buf);

@@ -77,6 +77,17 @@ pub enum FaultKind {
     SlowLink { delay_ms: u32 },
     /// The link is partitioned; the op stalls until it heals.
     Partition { heal_ms: u32 },
+    /// The message's float payload is poisoned to NaN *before* framing, so
+    /// it passes every checksum and decodes cleanly — only a semantic
+    /// sentinel (NaN detection at the server) can catch it.
+    NanGrad,
+    /// Valid-CRC payload corruption: deterministic bit flips in the value
+    /// payload before framing. The frame CRC and codec both pass; the
+    /// values are garbage.
+    CorruptPayload,
+    /// A sustained straggler: every op for the next `ops` ops (this one
+    /// included) is delayed by `delay_ms` before executing.
+    Straggle { delay_ms: u32, ops: u32 },
 }
 
 impl fmt::Display for FaultKind {
@@ -89,6 +100,11 @@ impl fmt::Display for FaultKind {
             FaultKind::Corrupt => write!(f, "corrupt"),
             FaultKind::SlowLink { delay_ms } => write!(f, "slow({delay_ms}ms)"),
             FaultKind::Partition { heal_ms } => write!(f, "partition({heal_ms}ms)"),
+            FaultKind::NanGrad => write!(f, "nan-grad"),
+            FaultKind::CorruptPayload => write!(f, "corrupt-payload"),
+            FaultKind::Straggle { delay_ms, ops } => {
+                write!(f, "straggle({delay_ms}ms x {ops} ops)")
+            }
         }
     }
 }
@@ -270,6 +286,14 @@ impl FaultPlan {
                 FaultKind::Partition { heal_ms } => {
                     format!("partition worker={} at-op={} heal-ms={heal_ms}\n", e.worker, e.at_op)
                 }
+                FaultKind::NanGrad => format!("nan worker={} at-op={}\n", e.worker, e.at_op),
+                FaultKind::CorruptPayload => {
+                    format!("corrupt-payload worker={} at-op={}\n", e.worker, e.at_op)
+                }
+                FaultKind::Straggle { delay_ms, ops } => format!(
+                    "straggle worker={} at-op={} delay-ms={delay_ms} ops={ops}\n",
+                    e.worker, e.at_op
+                ),
             };
             out.push_str(&line);
         }
@@ -294,6 +318,7 @@ impl FaultPlan {
             let mut at_op: Option<u64> = None;
             let mut at_update: Option<u64> = None;
             let mut ms: Option<u32> = None;
+            let mut op_count: Option<u32> = None;
             for tok in toks {
                 let (key, val) = tok.split_once('=').ok_or_else(|| {
                     format!("line {}: expected key=value, got `{tok}`", lineno + 1)
@@ -304,6 +329,7 @@ impl FaultPlan {
                     "at-op" => at_op = Some(val.parse().map_err(bad)?),
                     "at-update" => at_update = Some(val.parse().map_err(bad)?),
                     "restart-ms" | "delay-ms" | "heal-ms" => ms = Some(val.parse().map_err(bad)?),
+                    "ops" => op_count = Some(val.parse().map_err(bad)?),
                     other => {
                         return Err(format!("line {}: unknown field `{other}`", lineno + 1));
                     }
@@ -331,6 +357,14 @@ impl FaultPlan {
                 "partition" => FaultKind::Partition {
                     heal_ms: ms
                         .ok_or_else(|| format!("line {}: partition needs heal-ms=N", lineno + 1))?,
+                },
+                "nan" => FaultKind::NanGrad,
+                "corrupt-payload" => FaultKind::CorruptPayload,
+                "straggle" => FaultKind::Straggle {
+                    delay_ms: ms
+                        .ok_or_else(|| format!("line {}: straggle needs delay-ms=N", lineno + 1))?,
+                    ops: op_count
+                        .ok_or_else(|| format!("line {}: straggle needs ops=N", lineno + 1))?,
                 },
                 other => return Err(format!("line {}: unknown fault `{other}`", lineno + 1)),
             };
@@ -367,6 +401,13 @@ enum Verdict {
     DropOneway,
     DupOneway,
     CorruptOneway,
+    /// Mutate the payload in place (valid-CRC corruption) before sending;
+    /// `nan` poisons floats to NaN, otherwise deterministic bit flips
+    /// seeded by `seed`.
+    Poison {
+        nan: bool,
+        seed: u64,
+    },
 }
 
 /// A [`WorkerLink`] wrapper that interprets a worker's slice of a
@@ -383,6 +424,9 @@ pub struct FaultyLink<L> {
     cursor: usize,
     /// Set when a crash fired: `Some(restart)` until handled.
     crashed: Option<Option<u32>>,
+    /// Sustained-straggle state: every op with index below `.0` is delayed
+    /// by `.1` milliseconds.
+    straggle: Option<(u64, u32)>,
     log: FaultLog,
 }
 
@@ -396,6 +440,7 @@ impl<L> FaultyLink<L> {
             schedule: plan.schedule_for(worker),
             cursor: 0,
             crashed: None,
+            straggle: None,
             log: plan.log(),
         }
     }
@@ -461,9 +506,35 @@ impl<L: FaultHooks> FaultyLink<L> {
                     return self.crash(Some(0));
                 }
                 FaultKind::Duplicate => {} // requests are never duplicated
+                // Valid-CRC corruption mutates the payload and lets the
+                // message through — on requests as well as oneways, since
+                // the frame still decodes on the far side. The seed mixes
+                // worker and op so each poisoned message is distinct but
+                // replays identically.
+                FaultKind::NanGrad => {
+                    verdict = Verdict::Poison { nan: true, seed: self.poison_seed(op) };
+                }
+                FaultKind::CorruptPayload => {
+                    verdict = Verdict::Poison { nan: false, seed: self.poison_seed(op) };
+                }
+                FaultKind::Straggle { delay_ms, ops } => {
+                    self.straggle = Some((op + u64::from(ops), delay_ms));
+                }
+            }
+        }
+        if let Some((until, delay_ms)) = self.straggle {
+            if op < until {
+                self.inner.fault_delay(delay_ms);
+            } else {
+                self.straggle = None;
             }
         }
         verdict
+    }
+
+    /// Deterministic, never-zero corruption seed mixing worker and op.
+    fn poison_seed(&self, op: u64) -> u64 {
+        0x9E37_79B9_7F4A_7C15 ^ ((self.worker as u64) << 32) ^ op
     }
 
     fn crash(&mut self, restart_after_ms: Option<u32>) -> Verdict {
@@ -486,6 +557,11 @@ where
     fn request(&mut self, req: Req) -> Result<Resp, ClusterError> {
         match self.pre_op(false) {
             Verdict::Crash => Err(ClusterError::Disconnected),
+            Verdict::Poison { nan, seed } => {
+                let mut req = req;
+                req.corrupt_payload(seed, nan);
+                self.inner.request(req)
+            }
             _ => self.inner.request(req),
         }
     }
@@ -503,6 +579,11 @@ where
                 let copy = Req::decoded(&req.encoded())?;
                 self.inner.send(req)?;
                 self.inner.send(copy)
+            }
+            Verdict::Poison { nan, seed } => {
+                let mut req = req;
+                req.corrupt_payload(seed, nan);
+                self.inner.send(req)
             }
             Verdict::Proceed => self.inner.send(req),
         }
@@ -614,6 +695,95 @@ mod tests {
         assert_eq!(link.crashed_restart_ms(), None);
     }
 
+    /// A message with a corruptible payload, for exercising the
+    /// valid-CRC poison path.
+    #[derive(Debug, PartialEq)]
+    struct Blob {
+        vals: Vec<f32>,
+    }
+
+    impl WireMsg for Blob {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            crate::backend::wire::put_vec_f32(buf, &self.vals);
+        }
+        fn decode(r: &mut crate::backend::WireReader<'_>) -> Result<Self, ClusterError> {
+            Ok(Blob { vals: r.vec_f32()? })
+        }
+        fn corrupt_payload(&mut self, seed: u64, nan: bool) -> bool {
+            for (i, v) in self.vals.iter_mut().enumerate() {
+                if nan {
+                    *v = f32::NAN;
+                } else {
+                    *v = f32::from_bits(v.to_bits() ^ (seed as u32).rotate_left(i as u32));
+                }
+            }
+            true
+        }
+    }
+
+    #[derive(Default)]
+    struct BlobProbe {
+        sent: Vec<Blob>,
+        delays: Vec<u32>,
+    }
+
+    impl WorkerLink<Blob, u32> for BlobProbe {
+        fn worker(&self) -> usize {
+            0
+        }
+        fn request(&mut self, _req: Blob) -> Result<u32, ClusterError> {
+            Ok(0)
+        }
+        fn send(&mut self, req: Blob) -> Result<(), ClusterError> {
+            self.sent.push(req);
+            Ok(())
+        }
+    }
+
+    impl FaultHooks for BlobProbe {
+        fn fault_delay(&mut self, delay_ms: u32) {
+            self.delays.push(delay_ms);
+        }
+    }
+
+    #[test]
+    fn nan_poison_passes_through_with_nan_payload() {
+        let plan = FaultPlan::new().with_event(0, 1, FaultKind::NanGrad);
+        let mut link = FaultyLink::new(BlobProbe::default(), 0, &plan);
+        link.send(Blob { vals: vec![1.0, 2.0] }).unwrap(); // op 0: clean
+        link.send(Blob { vals: vec![3.0, 4.0] }).unwrap(); // op 1: poisoned
+        link.send(Blob { vals: vec![5.0] }).unwrap(); // op 2: clean again
+        let probe = link.into_inner();
+        assert_eq!(probe.sent.len(), 3, "poisoned messages are delivered, not dropped");
+        assert_eq!(probe.sent[0].vals, vec![1.0, 2.0]);
+        assert!(probe.sent[1].vals.iter().all(|v| v.is_nan()));
+        assert_eq!(probe.sent[2].vals, vec![5.0]);
+    }
+
+    #[test]
+    fn payload_corruption_is_deterministic_and_non_nan() {
+        let plan = FaultPlan::new().with_event(0, 0, FaultKind::CorruptPayload);
+        let run = || {
+            let mut link = FaultyLink::new(BlobProbe::default(), 0, &plan);
+            link.send(Blob { vals: vec![1.0, -2.0, 3.5] }).unwrap();
+            link.into_inner().sent
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same plan, same corruption");
+        assert_ne!(a[0].vals, vec![1.0, -2.0, 3.5], "values were mutated");
+    }
+
+    #[test]
+    fn straggle_delays_a_window_of_ops() {
+        let plan = FaultPlan::new().with_event(0, 1, FaultKind::Straggle { delay_ms: 9, ops: 3 });
+        let mut link = FaultyLink::new(BlobProbe::default(), 0, &plan);
+        for _ in 0..6 {
+            link.send(Blob { vals: vec![0.0] }).unwrap();
+        }
+        // Ops 1, 2, 3 are delayed; ops 0, 4, 5 are not.
+        assert_eq!(link.into_inner().delays, vec![9, 9, 9]);
+    }
+
     #[test]
     fn text_format_round_trips() {
         let plan = FaultPlan::new()
@@ -624,6 +794,9 @@ mod tests {
             .with_event(3, 15, FaultKind::Corrupt)
             .with_event(1, 20, FaultKind::SlowLink { delay_ms: 30 })
             .with_event(2, 25, FaultKind::Partition { heal_ms: 80 })
+            .with_event(0, 30, FaultKind::NanGrad)
+            .with_event(1, 33, FaultKind::CorruptPayload)
+            .with_event(3, 35, FaultKind::Straggle { delay_ms: 12, ops: 6 })
             .with_server_restart(40);
         let text = plan.to_text();
         let back = FaultPlan::parse(&text).unwrap();
@@ -638,6 +811,8 @@ mod tests {
         assert!(FaultPlan::parse("explode worker=0 at-op=1").is_err());
         assert!(FaultPlan::parse("crash worker=0").is_err());
         assert!(FaultPlan::parse("slow worker=0 at-op=1").is_err());
+        assert!(FaultPlan::parse("straggle worker=0 at-op=1 delay-ms=3").is_err());
+        assert!(FaultPlan::parse("straggle worker=0 at-op=1 ops=3").is_err());
         assert!(FaultPlan::parse("crash worker=x at-op=1").is_err());
         assert!(FaultPlan::parse("server-restart").is_err());
     }

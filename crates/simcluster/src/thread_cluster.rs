@@ -18,8 +18,10 @@ use crate::backend::{
     ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
 };
 use crate::faults::{FaultHooks, FaultPlan, FaultyLink};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// A worker's handle to the server. Fallible: a vanished server surfaces
 /// as [`ClusterError::Disconnected`] rather than a panic, exactly like a
@@ -32,8 +34,52 @@ pub struct WorkerHandle<Req, Resp> {
 
 struct Envelope<Req> {
     worker: usize,
-    req: Req,
-    expects_reply: bool,
+    msg: EnvMsg<Req>,
+}
+
+enum EnvMsg<Req> {
+    /// A protocol message (`expects_reply` selects request vs oneway).
+    Payload { req: Req, expects_reply: bool },
+    /// Control: the worker entered a crash-restart sleep of `delay_ms`.
+    Sleeping { delay_ms: u32 },
+    /// Control: the worker woke from its restart sleep and resumed.
+    Woke,
+    /// Control: the worker's thread is about to exit (finished or dead
+    /// for good). Only the fault-plan path emits control messages.
+    Hangup,
+}
+
+/// Interruptible sleep used for crash-restart delays, so the server can
+/// abort pending restarts at shutdown instead of waiting them out.
+#[derive(Default)]
+struct StopSignal {
+    stopped: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn stop(&self) {
+        *self.stopped.lock().expect("stop signal poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps up to `timeout`; returns `true` if the signal fired first.
+    fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stopped = self.stopped.lock().expect("stop signal poisoned");
+        loop {
+            if *stopped {
+                return true;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _timeout) =
+                self.cv.wait_timeout(stopped, left).expect("stop signal poisoned");
+            stopped = guard;
+        }
+    }
 }
 
 impl<Req: Send, Resp: Send> WorkerHandle<Req, Resp> {
@@ -41,7 +87,10 @@ impl<Req: Send, Resp: Send> WorkerHandle<Req, Resp> {
     /// push state and await ℓ_delay, …).
     pub fn request(&self, req: Req) -> Result<Resp, ClusterError> {
         self.tx
-            .send(Envelope { worker: self.worker, req, expects_reply: true })
+            .send(Envelope {
+                worker: self.worker,
+                msg: EnvMsg::Payload { req, expects_reply: true },
+            })
             .map_err(|_| ClusterError::Disconnected)?;
         self.reply_rx.recv().map_err(|_| ClusterError::Disconnected)
     }
@@ -49,7 +98,10 @@ impl<Req: Send, Resp: Send> WorkerHandle<Req, Resp> {
     /// Fire-and-forget send (push gradients).
     pub fn send(&self, req: Req) -> Result<(), ClusterError> {
         self.tx
-            .send(Envelope { worker: self.worker, req, expects_reply: false })
+            .send(Envelope {
+                worker: self.worker,
+                msg: EnvMsg::Payload { req, expects_reply: false },
+            })
             .map_err(|_| ClusterError::Disconnected)
     }
 
@@ -83,12 +135,13 @@ impl<Req: Send, Resp: Send> FaultHooks for WorkerHandle<Req, Resp> {}
 pub struct ThreadCluster {
     workers: usize,
     fault_plan: Option<FaultPlan>,
+    shutdown_deadline: Duration,
 }
 
 impl ThreadCluster {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        ThreadCluster { workers, fault_plan: None }
+        ThreadCluster { workers, fault_plan: None, shutdown_deadline: Duration::from_secs(30) }
     }
 
     /// Attaches a fault schedule: each worker's link is wrapped in a
@@ -96,6 +149,17 @@ impl ThreadCluster {
     /// delay.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Caps how long `run` waits on crash-restart sleeps once every
+    /// remaining worker is asleep. When the longest pending restart
+    /// exceeds the deadline, the pending restarts are aborted (the
+    /// sleeping threads wake immediately and exit) and the run returns —
+    /// worker threads are always *joined*, never detached, so a plan with
+    /// a pathological restart delay cannot leak threads past the run.
+    pub fn with_shutdown_deadline(mut self, deadline: Duration) -> Self {
+        self.shutdown_deadline = deadline;
         self
     }
 }
@@ -118,6 +182,7 @@ impl ClusterBackend for ThreadCluster {
     {
         let m = self.workers;
         let plan = self.fault_plan;
+        let deadline = self.shutdown_deadline;
         let (tx, rx): (Sender<Envelope<Req>>, Receiver<Envelope<Req>>) = unbounded();
         // Persistent per-worker reply channels: capacity 1 suffices since a
         // worker has at most one outstanding blocking request.
@@ -132,6 +197,7 @@ impl ClusterBackend for ThreadCluster {
         let mut stats = TransportStats::default();
         let mut awaiting = vec![false; m];
         let mut result = Ok(());
+        let stop = StopSignal::default();
 
         thread::scope(|scope| {
             for (w, slot) in reply_rxs.iter_mut().enumerate() {
@@ -142,6 +208,8 @@ impl ClusterBackend for ThreadCluster {
                 };
                 let worker_fn = &worker_fn;
                 let plan = plan.clone();
+                let ctl = tx.clone();
+                let stop = &stop;
                 scope.spawn(move || match plan {
                     None => worker_fn(w, &mut handle),
                     Some(plan) => {
@@ -151,45 +219,108 @@ impl ClusterBackend for ThreadCluster {
                             let Some(delay_ms) = link.crashed_restart_ms() else {
                                 break; // finished, or dead for good
                             };
-                            thread::sleep(std::time::Duration::from_millis(u64::from(delay_ms)));
+                            // Announce the sleep so the serve loop can
+                            // distinguish "everyone mid-restart" from
+                            // "messages in flight", then sleep
+                            // interruptibly: a shutdown abort wakes the
+                            // thread immediately and ends it.
+                            let _ = ctl
+                                .send(Envelope { worker: w, msg: EnvMsg::Sleeping { delay_ms } });
+                            if stop.wait(Duration::from_millis(u64::from(delay_ms))) {
+                                break; // restart aborted at shutdown
+                            }
                             link.resume();
+                            let _ = ctl.send(Envelope { worker: w, msg: EnvMsg::Woke });
                         }
+                        let _ = ctl.send(Envelope { worker: w, msg: EnvMsg::Hangup });
                     }
                 });
             }
             // Drop the original sender so the loop ends when workers do.
             drop(tx);
 
-            'serve: while let Ok(env) = rx.recv() {
-                let w = env.worker;
-                if env.expects_reply {
-                    awaiting[w] = true;
-                    stats.requests += 1;
-                } else {
-                    stats.oneways += 1;
+            // How long each recv waits before re-checking worker status.
+            let tick = deadline.min(Duration::from_millis(20)).max(Duration::from_millis(1));
+            let mut done = vec![false; m];
+            let mut wake_at: Vec<Option<Instant>> = vec![None; m];
+
+            'serve: loop {
+                let env = match rx.recv_timeout(tick) {
+                    Ok(env) => Some(env),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break 'serve,
+                };
+                if let Some(env) = env {
+                    let w = env.worker;
+                    match env.msg {
+                        EnvMsg::Sleeping { delay_ms } => {
+                            wake_at[w] =
+                                Some(Instant::now() + Duration::from_millis(u64::from(delay_ms)));
+                            continue;
+                        }
+                        EnvMsg::Woke => {
+                            wake_at[w] = None;
+                            continue;
+                        }
+                        EnvMsg::Hangup => {
+                            done[w] = true;
+                            wake_at[w] = None;
+                            if done.iter().all(|&d| d) {
+                                break 'serve;
+                            }
+                            continue;
+                        }
+                        EnvMsg::Payload { req, expects_reply } => {
+                            if expects_reply {
+                                awaiting[w] = true;
+                                stats.requests += 1;
+                            } else {
+                                stats.oneways += 1;
+                            }
+                            let mut ctx = ServerCtx::new(w, expects_reply);
+                            server_fn(w, req, &mut ctx);
+                            for (target, resp) in ctx.take_replies() {
+                                if target >= m || !awaiting[target] {
+                                    result = Err(ClusterError::Protocol(format!(
+                                        "reply to worker {target}, which has no pending request"
+                                    )));
+                                    // Unblock everyone: dropping the reply
+                                    // senders turns their pending recv()s
+                                    // into Disconnected errors.
+                                    reply_txs.iter_mut().for_each(|t| *t = None);
+                                    break 'serve;
+                                }
+                                awaiting[target] = false;
+                                let sender =
+                                    reply_txs[target].as_ref().expect("reply sender present");
+                                // The worker may have panicked; a closed
+                                // channel here is its problem, not a
+                                // server error.
+                                let _ = sender.send(resp);
+                            }
+                        }
+                    }
                 }
-                let mut ctx = ServerCtx::new(w, env.expects_reply);
-                server_fn(w, env.req, &mut ctx);
-                for (target, resp) in ctx.take_replies() {
-                    if target >= m || !awaiting[target] {
-                        result = Err(ClusterError::Protocol(format!(
-                            "reply to worker {target}, which has no pending request"
-                        )));
-                        // Unblock everyone: dropping the reply senders turns
-                        // their pending recv()s into Disconnected errors.
-                        reply_txs.iter_mut().for_each(|t| *t = None);
+
+                // Shutdown deadline: every remaining worker is asleep in a
+                // crash-restart delay, and the longest pending sleep
+                // overruns the deadline — abort the restarts so the run
+                // (and the thread join below) can't stall arbitrarily.
+                let now = Instant::now();
+                let all_parked = done.iter().zip(&wake_at).all(|(&d, wake)| d || wake.is_some());
+                if all_parked {
+                    let worst =
+                        wake_at.iter().flatten().map(|t| t.saturating_duration_since(now)).max();
+                    if worst.is_some_and(|left| left > deadline) {
                         break 'serve;
                     }
-                    awaiting[target] = false;
-                    let sender = reply_txs[target].as_ref().expect("reply sender present");
-                    // The worker may have panicked; a closed channel here
-                    // is its problem, not a server error.
-                    let _ = sender.send(resp);
                 }
             }
-            // Drain remaining messages so late fire-and-forget sends never
-            // block a sender (unbounded channel: nothing blocks, but the
-            // workers' own hangup ends the loop above).
+
+            // Wake any threads still parked in restart sleeps; the scope
+            // then joins every worker within one sleep-wakeup, never
+            // detaching them.
+            stop.stop();
         });
 
         result.map(|()| stats)
@@ -324,6 +455,75 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, ClusterError::Protocol(_)));
+    }
+
+    #[test]
+    fn shutdown_deadline_aborts_pathological_restarts() {
+        use crate::faults::{FaultKind, FaultPlan, FaultRecord};
+        // Worker 0 crashes with a 60 s restart delay it will never serve
+        // out: once worker 1 finishes, the serve loop sees everyone parked
+        // past the 50 ms deadline, aborts the restart, and joins the
+        // sleeping thread instead of waiting the minute (or detaching it).
+        let plan =
+            FaultPlan::new().with_event(0, 2, FaultKind::Crash { restart_after_ms: Some(60_000) });
+        let t0 = Instant::now();
+        ThreadCluster::new(2)
+            .with_fault_plan(plan.clone())
+            .with_shutdown_deadline(Duration::from_millis(50))
+            .run(
+                |_w, req: u32, ctx: &mut ServerCtx<u32>| {
+                    if ctx.expects_reply() {
+                        ctx.reply(req);
+                    }
+                },
+                |_w, h| {
+                    for i in 0..5u32 {
+                        if h.request(i).is_err() {
+                            return;
+                        }
+                    }
+                },
+            )
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(10), "deadline must abort the 60s restart");
+        assert_eq!(
+            plan.records()
+                .iter()
+                .filter(|r| matches!(r, FaultRecord::WorkerRestarted { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn short_restarts_still_complete_under_the_deadline() {
+        use crate::faults::{FaultKind, FaultPlan, FaultRecord};
+        let plan =
+            FaultPlan::new().with_event(0, 1, FaultKind::Crash { restart_after_ms: Some(5) });
+        let completed = AtomicUsize::new(0);
+        ThreadCluster::new(2)
+            .with_fault_plan(plan.clone())
+            .with_shutdown_deadline(Duration::from_secs(30))
+            .run(
+                |_w, req: u32, ctx: &mut ServerCtx<u32>| {
+                    if ctx.expects_reply() {
+                        ctx.reply(req);
+                    }
+                },
+                |_w, h| {
+                    for i in 0..3u32 {
+                        if h.request(i).is_err() {
+                            return;
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .unwrap();
+        // Worker 0's first incarnation dies at op 1, restarts after 5 ms,
+        // and the fresh invocation completes all three requests.
+        assert_eq!(completed.load(Ordering::SeqCst), 2);
+        assert!(plan.records().iter().any(|r| matches!(r, FaultRecord::WorkerRestarted { .. })));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!                [--checkpoint PATH] [--checkpoint-every N]
 //!                [--fault-plan PATH] [--resume PATH]
 //!                [--trace PATH] [--trace-format chrome|prometheus|summary]
+//!                [--staleness-bound N] [--admission reject|clip|requeue]
+//!                [--fallback auto|off] [--health-log PATH]
 //! lcasgd staleness [--workers N] [--seed N] [--stragglers]
 //! lcasgd help
 //! ```
@@ -29,6 +31,13 @@
 //! `prometheus` (text exposition of phase totals, staleness histogram,
 //! and transport counters), or `summary` (a per-epoch phase breakdown
 //! table).
+//!
+//! The supervisor flags arm the self-healing training supervisor:
+//! `--staleness-bound N` caps the accepted staleness at `N` under the
+//! `--admission` policy, `--fallback auto|off` enables or freezes the
+//! graded LC-ASGD → DC-ASGD → ASGD fallback ladder (default: auto), and
+//! `--health-log PATH` writes the run's health event log to `PATH`.
+//! Any supervisor flag also routes the run through the thread cluster.
 
 use lc_asgd::core::config::DataPartition;
 use lc_asgd::nn::resnet::ResNetConfig;
@@ -61,7 +70,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
+        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
     );
     exit(2)
 }
@@ -75,6 +84,46 @@ fn main() {
         "staleness" => staleness(&args),
         _ => usage(),
     }
+}
+
+/// Builds the supervisor configuration when any supervisor flag is
+/// present; `None` leaves the run unsupervised. `--health-log` alone is
+/// enough to arm the supervisor with its defaults.
+fn supervisor_config(args: &Args, health_log: bool) -> Option<SupervisorConfig> {
+    let bound = args.value("--staleness-bound").map(|v| {
+        v.parse::<u32>().unwrap_or_else(|_| {
+            eprintln!("invalid value for --staleness-bound: {v}");
+            exit(2)
+        })
+    });
+    let admission = args.value("--admission").map(|v| match v {
+        "reject" => AdmissionPolicy::Reject,
+        "clip" => AdmissionPolicy::Clip,
+        "requeue" => AdmissionPolicy::Requeue,
+        other => {
+            eprintln!("unknown admission policy: {other} (want reject|clip|requeue)");
+            exit(2)
+        }
+    });
+    let fallback = args.value("--fallback").map(|v| match v {
+        "auto" => true,
+        "off" => false,
+        other => {
+            eprintln!("unknown fallback mode: {other} (want auto|off)");
+            exit(2)
+        }
+    });
+    if bound.is_none() && admission.is_none() && fallback.is_none() && !health_log {
+        return None;
+    }
+    let mut cfg = SupervisorConfig { staleness_bound: bound, ..SupervisorConfig::default() };
+    if let Some(policy) = admission {
+        cfg.admission = policy;
+    }
+    if let Some(enabled) = fallback {
+        cfg.fallback = enabled;
+    }
+    Some(cfg)
 }
 
 fn train(args: &Args) {
@@ -168,15 +217,22 @@ fn train(args: &Args) {
     let checkpoint_path = args.value("--checkpoint").map(PathBuf::from);
     let trace_path = args.value("--trace").map(PathBuf::from);
     let trace_format: TraceFormat = args.parse("--trace-format", TraceFormat::Chrome);
+    let health_log = args.value("--health-log").map(PathBuf::from);
+    let supervisor = supervisor_config(args, health_log.is_some());
     // Any robustness or observability flag routes the run through the
     // real-thread cluster backend; the default path stays the
     // co-simulated experiment driver.
     let cluster_run = fault_plan.is_some()
         || resume.is_some()
         || checkpoint_path.is_some()
-        || trace_path.is_some();
+        || trace_path.is_some()
+        || supervisor.is_some();
     if fault_plan.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("--fault-plan requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
+        exit(2);
+    }
+    if supervisor.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
+        eprintln!("the supervisor requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
     }
 
@@ -197,6 +253,7 @@ fn train(args: &Args) {
             checkpoint_every: args.parse("--checkpoint-every", 0),
             resume,
             trace: trace_path.is_some(),
+            supervisor,
         };
         run_cluster_with(backend, &cfg, &build, &train_set, &test_set, opts).unwrap_or_else(|e| {
             eprintln!("cluster run failed: {e}");
@@ -251,6 +308,28 @@ fn train(args: &Args) {
         }
         if f.server_halted {
             println!("server halted at the planned restart point; rerun with --resume to continue");
+        }
+    }
+    if let Some(h) = &result.health {
+        println!(
+            "supervisor: {} quarantines, {} rollbacks, {} demotions, {} promotions, {} rejected, {} reshards",
+            h.quarantines(),
+            h.rollbacks(),
+            h.demotions(),
+            h.promotions(),
+            h.rejected(),
+            h.reshards()
+        );
+        if let Some(path) = &health_log {
+            let mut text = h.to_text();
+            if text.is_empty() {
+                text.push_str("healthy: no supervisor events\n");
+            }
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write health log to {}: {e}", path.display());
+                exit(1);
+            }
+            println!("health log written to {}", path.display());
         }
     }
     if let Some(path) = &checkpoint_path {
@@ -336,5 +415,21 @@ mod tests {
     fn value_at_end_without_payload_is_none() {
         let a = args(&["--checkpoint"]);
         assert_eq!(a.value("--checkpoint"), None);
+    }
+
+    #[test]
+    fn supervisor_flags_build_a_config() {
+        use lc_asgd::prelude::AdmissionPolicy;
+        let a = args(&["--staleness-bound", "6", "--admission", "clip", "--fallback", "off"]);
+        let sc = super::supervisor_config(&a, false).expect("flags arm the supervisor");
+        assert_eq!(sc.staleness_bound, Some(6));
+        assert!(matches!(sc.admission, AdmissionPolicy::Clip));
+        assert!(!sc.fallback);
+        // No supervisor flags and no health log: unsupervised run.
+        assert!(super::supervisor_config(&args(&[]), false).is_none());
+        // A health log alone arms the defaults.
+        let sc = super::supervisor_config(&args(&[]), true).expect("health log arms defaults");
+        assert_eq!(sc.staleness_bound, None);
+        assert!(sc.fallback);
     }
 }

@@ -34,6 +34,9 @@ pub mod prelude {
     pub use lcasgd_core::compensation::CompensationMode;
     pub use lcasgd_core::config::{ExperimentConfig, NetTuning, Scale};
     pub use lcasgd_core::metrics::{FaultReport, RunResult};
+    pub use lcasgd_core::supervisor::{
+        AdmissionPolicy, AlgoMode, HealthEvent, HealthReport, SupervisorConfig,
+    };
     pub use lcasgd_core::trace::{ClockDomain, TraceFormat, TraceLog, TraceSink};
     pub use lcasgd_core::trainer::{run_cluster, run_cluster_with, run_experiment, RunOptions};
     pub use lcasgd_data::{Dataset, SyntheticImageSpec};

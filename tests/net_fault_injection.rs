@@ -57,7 +57,7 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                 let mut pushed = 0usize;
                 while let Ok(resp) = link.request::<_, ClusterResp>(&ClusterReq::Pull) {
                     let (flat, version) = match resp {
-                        ClusterResp::Weights { flat, version } => (flat, version),
+                        ClusterResp::Weights { flat, version, .. } => (flat, version),
                         _ => break,
                     };
                     let (loss, grads, _stats) = node.compute_gradient(&flat, train);
@@ -92,6 +92,7 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                         ctx.reply(ClusterResp::Weights {
                             flat: server.weights.clone(),
                             version: server.version,
+                            directive: None,
                         });
                     }
                 }

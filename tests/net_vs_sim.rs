@@ -170,9 +170,9 @@ proptest! {
         flat in prop::collection::vec(-3.0f32..3.0, 0..64),
         version in any::<u64>(),
     ) {
-        let msg = ClusterResp::Weights { flat: flat.clone(), version };
+        let msg = ClusterResp::Weights { flat: flat.clone(), version, directive: None };
         match ClusterResp::decoded(&msg.encoded()).unwrap() {
-            ClusterResp::Weights { flat: f, version: v } => {
+            ClusterResp::Weights { flat: f, version: v, directive: None } => {
                 prop_assert_eq!(f, flat);
                 prop_assert_eq!(v, version);
             }

@@ -31,6 +31,14 @@ timeout 300 cargo test -q --release --test supervisor_chaos
 timeout 120 cargo test -q --release -p lcasgd-core supervisor
 timeout 120 cargo test -q --release -p lcasgd-netcluster breaker
 
+# Failover chaos: a primary kill mid-run must promote the hot standby on
+# all three backends (bit-reproducibly on the simulator), epoch fencing
+# must hold at-most-once apply, and the standby's lag must stay bounded.
+echo "==> failover chaos suite (hard 300s timeout)"
+timeout 300 cargo test -q --release --test failover_chaos
+timeout 120 cargo test -q --release -p lcasgd-core replication
+timeout 120 cargo test -q --release -p lcasgd-netcluster config
+
 # Observability contract: traced LC-ASGD on all three backends must tile
 # each worker's timeline (per-phase totals within 5% of elapsed time in
 # the run's clock domain) and the TCP byte counters must be frame-exact.
@@ -75,6 +83,19 @@ timeout 120 ./target/release/lcasgd train --algorithm lc-asgd --workers 2 \
 [ -s "$HEALTH_OUT" ] || { echo "health log is empty"; exit 1; }
 grep -q 'nan-gradient' "$HEALTH_OUT" || { echo "health log misses the NaN sentinel"; exit 1; }
 rm -f "$PLAN_FILE" "$HEALTH_OUT"
+
+# CLI smoke: a hot-standby run with a planned primary kill must exit 0
+# and report exactly one promotion in the replication summary.
+echo "==> lcasgd train --standby failover smoke"
+KILL_PLAN=$(mktemp /tmp/lcasgd_ci_kill.XXXXXX.txt)
+REPL_OUT=$(mktemp /tmp/lcasgd_ci_repl.XXXXXX.log)
+printf 'primary-kill at-update=10\n' > "$KILL_PLAN"
+timeout 120 ./target/release/lcasgd train --algorithm asgd --workers 2 \
+    --scale tiny --epochs 2 --standby --flush-every 4 --lease-ms 200 \
+    --fault-plan "$KILL_PLAN" > "$REPL_OUT"
+grep -q 'replication:' "$REPL_OUT" || { echo "no replication summary"; exit 1; }
+grep -q 'failovers 1' "$REPL_OUT" || { echo "failover did not happen"; exit 1; }
+rm -f "$KILL_PLAN" "$REPL_OUT"
 
 echo "==> cargo fmt --check (touched crates)"
 cargo fmt --check "${TOUCHED[@]}"

@@ -18,9 +18,11 @@
 //! structural parse) and [`TrainingCheckpoint::load`] returns an error
 //! instead of resuming from garbage.
 //!
-//! [`TrainingCheckpoint::save`] is atomic: the bytes are written to a
-//! `<path>.tmp` sibling and `rename(2)`d into place, so a crash mid-write
-//! leaves the previous checkpoint intact.
+//! [`TrainingCheckpoint::save`] is atomic and durable: the bytes are
+//! written to a `<path>.tmp` sibling, fsynced, `rename(2)`d into place,
+//! and the parent directory fsynced — a crash mid-write leaves the
+//! previous checkpoint intact, and a crash after `save` returns cannot
+//! leave a truncated "committed" file.
 
 use crate::metrics::EpochRecord;
 use crate::predictor::{LossPredictorSnapshot, StepPredictorSnapshot};
@@ -31,13 +33,14 @@ use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LCTRCK01";
+const MAGIC: &[u8; 8] = b"LCTRCK02";
 /// Arrival-history sentinel for "no arrival yet" (`Option::None`).
 const NO_ARRIVAL: u64 = u64::MAX;
 
 /// CRC-32 (IEEE), bitwise. Kept local: core must not depend on the
-/// network crate for an integrity primitive.
-fn crc32(data: &[u8]) -> u32 {
+/// network crate for an integrity primitive. Also digests replication
+/// log deltas (`crate::replication`).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= u32::from(b);
@@ -82,6 +85,13 @@ pub struct TrainingCheckpoint {
     /// gradient was already applied — at-least-once semantics, which SGD
     /// tolerates (one extra sample of an example is noise).
     pub worker_batches: Vec<(u64, u64)>,
+    /// Fencing epoch of the server that wrote this checkpoint (0 when the
+    /// run has no standby). A standby bootstrapped from this snapshot
+    /// promotes with `server_epoch + 1`.
+    pub server_epoch: u64,
+    /// Highest applied push sequence number per worker (0 = none yet),
+    /// the at-most-once dedup state replayed into a promoted standby.
+    pub push_seqs: Vec<u64>,
 }
 
 // ------------------------------------------------------------- primitives
@@ -253,6 +263,11 @@ impl TrainingCheckpoint {
             put_u64(w, reshuffles)?;
             put_u64(w, pos)?;
         }
+        put_u64(w, self.server_epoch)?;
+        put_u64(w, self.push_seqs.len() as u64)?;
+        for &s in &self.push_seqs {
+            put_u64(w, s)?;
+        }
         Ok(())
     }
 
@@ -348,6 +363,12 @@ impl TrainingCheckpoint {
         for _ in 0..n {
             worker_batches.push((get_u64(r)?, get_u64(r)?));
         }
+        let server_epoch = get_u64(r)?;
+        let n = get_len(r, "push sequence")?;
+        let mut push_seqs = Vec::with_capacity(n);
+        for _ in 0..n {
+            push_seqs.push(get_u64(r)?);
+        }
         Ok(TrainingCheckpoint {
             weights,
             bn,
@@ -361,6 +382,8 @@ impl TrainingCheckpoint {
             loss_pred,
             step_pred,
             worker_batches,
+            server_epoch,
+            push_seqs,
         })
     }
 
@@ -397,16 +420,26 @@ impl TrainingCheckpoint {
         Ok(ck)
     }
 
-    /// Atomically saves to `path`: writes `<path>.tmp`, then renames over
-    /// the destination, so a crash mid-save never destroys the previous
-    /// checkpoint.
+    /// Atomically and durably saves to `path`: writes `<path>.tmp`, fsyncs
+    /// it, renames over the destination, then fsyncs the parent directory.
+    /// A crash mid-save never destroys the previous checkpoint, and a host
+    /// crash right after `save` returns cannot leave a zero-length or
+    /// truncated "committed" file — the data is on disk before the rename,
+    /// and the rename is on disk before we return.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let path = path.as_ref();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        fs::write(&tmp, self.to_bytes())?;
-        fs::rename(&tmp, path)
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(())
     }
 
     /// Loads and integrity-checks a checkpoint file.
@@ -461,6 +494,8 @@ mod tests {
                 train_steps: 77,
             }),
             worker_batches: vec![(1, 7), (2, 0), (1, 11)],
+            server_epoch: 2,
+            push_seqs: vec![(1 << 32) | 9, 0, 17],
         }
     }
 
@@ -481,6 +516,8 @@ mod tests {
         assert_eq!(a.loss_pred, b.loss_pred);
         assert_eq!(a.step_pred, b.step_pred);
         assert_eq!(a.worker_batches, b.worker_batches);
+        assert_eq!(a.server_epoch, b.server_epoch);
+        assert_eq!(a.push_seqs, b.push_seqs);
     }
 
     #[test]
@@ -511,6 +548,25 @@ mod tests {
         let back = TrainingCheckpoint::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_same(&ck, &back);
+    }
+
+    #[test]
+    fn load_rejects_truncated_at_rename_file() {
+        // The failure an unsynced rename can leave behind: the name is
+        // committed but the data blocks never hit the disk, so the file
+        // reads back short (or empty). Load must reject it, not resume.
+        let ck = sample();
+        let path = std::env::temp_dir().join("lcasgd_train_ckpt_trunc_test.bin");
+        ck.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                TrainingCheckpoint::load(&path).is_err(),
+                "a checkpoint truncated to {cut} bytes must not load"
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

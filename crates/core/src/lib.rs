@@ -38,6 +38,7 @@ pub mod config;
 pub mod metrics;
 pub mod predictor;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod supervisor;
 pub mod trace;
@@ -52,6 +53,10 @@ pub use compensation::CompensationMode;
 pub use config::{CostModel, ExperimentConfig, NetTuning, Scale};
 pub use metrics::{EpochRecord, FaultReport, OverheadStats, PredictorTrace, RunResult};
 pub use protocol::{ClusterReq, ClusterResp};
+pub use replication::{
+    EpochFence, Lease, LogRecord, PushVerdict, ReplicaPayload, ReplicationReport, StandbyConfig,
+    StandbyReplica,
+};
 pub use supervisor::{
     AdmissionPolicy, AlgoMode, HealthEvent, HealthReport, Supervisor, SupervisorConfig,
 };

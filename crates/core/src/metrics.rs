@@ -162,6 +162,10 @@ pub struct RunResult {
     /// Health transitions recorded by the training supervisor
     /// ([`crate::supervisor`]); `None` when no supervisor was attached.
     pub health: Option<HealthReport>,
+    /// Hot-standby replication accounting
+    /// ([`crate::replication::ReplicationReport`]); `None` when the run
+    /// had no standby attached.
+    pub replication: Option<crate::replication::ReplicationReport>,
 }
 
 impl RunResult {

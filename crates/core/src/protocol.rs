@@ -12,6 +12,7 @@
 //! [`RunResult`](crate::metrics::RunResult) then show the real ratio.
 
 use crate::comm::CompressedGrad;
+use crate::replication::ReplicaPayload;
 use crate::supervisor::AlgoMode;
 use lcasgd_autograd::ops::norm::BnBatchStats;
 use lcasgd_nn::network::BnState;
@@ -20,21 +21,39 @@ use lcasgd_simcluster::{ClusterError, WireMsg, WireReader};
 use lcasgd_tensor::Tensor;
 
 /// Worker → server messages (Algorithm 1's uplink).
+///
+/// Every request the server's fence gates (`Pull`/`State`/`Grad`)
+/// carries the sender's view of the server **epoch**; a fenced server
+/// rejects requests addressed to a dead epoch (see
+/// [`crate::replication::EpochFence`]). Runs without a standby leave the
+/// epoch at 0 everywhere.
 pub enum ClusterReq {
     /// Request the latest weights (Algorithm 1 line 1).
-    Pull,
+    Pull { epoch: u64 },
     /// LC-ASGD only: forward results pushed to the server, answered with
     /// the compensation inputs (Algorithm 1 line 8, Algorithm 2 lines
     /// 2–7). `t_comm`/`t_comp` are the worker's measured communication
     /// and compute seconds — the step predictor's input features.
-    State { loss: f32, running: BnState, batch_stats: Vec<BnBatchStats>, t_comm: f32, t_comp: f32 },
-    /// Gradient push (Algorithm 1 line 12). Fire-and-forget.
+    State {
+        loss: f32,
+        running: BnState,
+        batch_stats: Vec<BnBatchStats>,
+        t_comm: f32,
+        t_comp: f32,
+        epoch: u64,
+    },
+    /// Gradient push (Algorithm 1 line 12). Fire-and-forget. `push_seq`
+    /// is the worker's monotonic push sequence number
+    /// (`(incarnation << 32) | counter`; 0 when fencing is off) — the
+    /// at-most-once dedup key.
     Grad {
         grads: CompressedGrad,
         pull_version: u64,
         loss: f32,
         batch_stats: Vec<BnBatchStats>,
         running: BnState,
+        epoch: u64,
+        push_seq: u64,
     },
     /// A crashed worker rejoining after a restart (fire-and-forget).
     /// `incarnation` counts the worker's restarts (1 = first rejoin). The
@@ -42,6 +61,10 @@ pub enum ClusterReq {
     /// and step-predictor stream — so the fresh process's `k_m` accounting
     /// starts from scratch (Algorithm 2's per-worker state).
     Join { incarnation: u32 },
+    /// Primary → standby replication traffic: a snapshot or a flushed
+    /// batch of update-log records, answered with
+    /// [`ClusterResp::ReplicaAck`].
+    Replicate(ReplicaPayload),
 }
 
 /// Supervisor instructions piggybacked on a pull reply: which rung of
@@ -60,13 +83,21 @@ pub struct PullDirective {
 pub enum ClusterResp {
     /// Current weights and their version (staleness is measured against
     /// it when the gradient comes back). `directive` is present only when
-    /// a supervisor is active.
-    Weights { flat: Vec<f32>, version: u64, directive: Option<PullDirective> },
+    /// a supervisor is active. `epoch` is the server's fencing epoch —
+    /// how workers learn about a promotion.
+    Weights { flat: Vec<f32>, version: u64, directive: Option<PullDirective>, epoch: u64 },
     /// Reply to `State`: everything the worker needs to build the
     /// compensated loss seed (Formula 5) locally.
     Compensation { l_delay: f32, one_step: f32, km: u32 },
     /// Training target reached; the worker should hang up.
     Stop,
+    /// The request carried a dead epoch: the primary it was addressed to
+    /// was fenced off and `epoch` is current. The worker re-pulls against
+    /// the promoted server.
+    Fenced { epoch: u64 },
+    /// Standby → primary: records through log sequence `seq` (or the
+    /// snapshot that precedes it) are durably applied on the replica.
+    ReplicaAck { seq: u64 },
 }
 
 // ------------------------------------------------------- field helpers
@@ -97,7 +128,7 @@ fn read_tensor(r: &mut WireReader<'_>) -> Result<Tensor, ClusterError> {
     Ok(Tensor::from_vec(data, &dims))
 }
 
-fn put_bn_state(buf: &mut Vec<u8>, s: &BnState) {
+pub(crate) fn put_bn_state(buf: &mut Vec<u8>, s: &BnState) {
     wire::put_u64(buf, s.means.len() as u64);
     for t in &s.means {
         put_tensor(buf, t);
@@ -108,7 +139,7 @@ fn put_bn_state(buf: &mut Vec<u8>, s: &BnState) {
     }
 }
 
-fn read_bn_state(r: &mut WireReader<'_>) -> Result<BnState, ClusterError> {
+pub(crate) fn read_bn_state(r: &mut WireReader<'_>) -> Result<BnState, ClusterError> {
     let n = r.len(1)?;
     let means = (0..n).map(|_| read_tensor(r)).collect::<Result<_, _>>()?;
     let n = r.len(1)?;
@@ -169,39 +200,58 @@ impl WireMsg for ClusterReq {
 
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ClusterReq::Pull => wire::put_u8(buf, 0),
-            ClusterReq::State { loss, running, batch_stats, t_comm, t_comp } => {
+            ClusterReq::Pull { epoch } => {
+                wire::put_u8(buf, 0);
+                wire::put_u64(buf, *epoch);
+            }
+            ClusterReq::State { loss, running, batch_stats, t_comm, t_comp, epoch } => {
                 wire::put_u8(buf, 1);
                 wire::put_f32(buf, *loss);
                 put_bn_state(buf, running);
                 put_batch_stats(buf, batch_stats);
                 wire::put_f32(buf, *t_comm);
                 wire::put_f32(buf, *t_comp);
+                wire::put_u64(buf, *epoch);
             }
-            ClusterReq::Grad { grads, pull_version, loss, batch_stats, running } => {
+            ClusterReq::Grad {
+                grads,
+                pull_version,
+                loss,
+                batch_stats,
+                running,
+                epoch,
+                push_seq,
+            } => {
                 wire::put_u8(buf, 2);
                 grads.encode(buf);
                 wire::put_u64(buf, *pull_version);
                 wire::put_f32(buf, *loss);
                 put_batch_stats(buf, batch_stats);
                 put_bn_state(buf, running);
+                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, *push_seq);
             }
             ClusterReq::Join { incarnation } => {
                 wire::put_u8(buf, 3);
                 wire::put_u32(buf, *incarnation);
+            }
+            ClusterReq::Replicate(payload) => {
+                wire::put_u8(buf, 4);
+                payload.encode(buf);
             }
         }
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
         match r.u8()? {
-            0 => Ok(ClusterReq::Pull),
+            0 => Ok(ClusterReq::Pull { epoch: r.u64()? }),
             1 => Ok(ClusterReq::State {
                 loss: r.f32()?,
                 running: read_bn_state(r)?,
                 batch_stats: read_batch_stats(r)?,
                 t_comm: r.f32()?,
                 t_comp: r.f32()?,
+                epoch: r.u64()?,
             }),
             2 => Ok(ClusterReq::Grad {
                 grads: CompressedGrad::decode(r)?,
@@ -209,8 +259,11 @@ impl WireMsg for ClusterReq {
                 loss: r.f32()?,
                 batch_stats: read_batch_stats(r)?,
                 running: read_bn_state(r)?,
+                epoch: r.u64()?,
+                push_seq: r.u64()?,
             }),
             3 => Ok(ClusterReq::Join { incarnation: r.u32()? }),
+            4 => Ok(ClusterReq::Replicate(ReplicaPayload::decode(r)?)),
             tag => Err(ClusterError::Protocol(format!("unknown ClusterReq tag {tag}"))),
         }
     }
@@ -219,10 +272,11 @@ impl WireMsg for ClusterReq {
 impl WireMsg for ClusterResp {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ClusterResp::Weights { flat, version, directive } => {
+            ClusterResp::Weights { flat, version, directive, epoch } => {
                 wire::put_u8(buf, 0);
                 wire::put_vec_f32(buf, flat);
                 wire::put_u64(buf, *version);
+                wire::put_u64(buf, *epoch);
                 match directive {
                     None => wire::put_u8(buf, 0),
                     Some(d) => {
@@ -248,6 +302,14 @@ impl WireMsg for ClusterResp {
                 wire::put_u32(buf, *km);
             }
             ClusterResp::Stop => wire::put_u8(buf, 2),
+            ClusterResp::Fenced { epoch } => {
+                wire::put_u8(buf, 3);
+                wire::put_u64(buf, *epoch);
+            }
+            ClusterResp::ReplicaAck { seq } => {
+                wire::put_u8(buf, 4);
+                wire::put_u64(buf, *seq);
+            }
         }
     }
 
@@ -256,6 +318,7 @@ impl WireMsg for ClusterResp {
             0 => {
                 let flat = r.vec_f32()?;
                 let version = r.u64()?;
+                let epoch = r.u64()?;
                 let directive = match r.u8()? {
                     0 => None,
                     1 => {
@@ -283,7 +346,7 @@ impl WireMsg for ClusterResp {
                         )))
                     }
                 };
-                Ok(ClusterResp::Weights { flat, version, directive })
+                Ok(ClusterResp::Weights { flat, version, directive, epoch })
             }
             1 => Ok(ClusterResp::Compensation {
                 l_delay: r.f32()?,
@@ -291,6 +354,8 @@ impl WireMsg for ClusterResp {
                 km: r.u32()?,
             }),
             2 => Ok(ClusterResp::Stop),
+            3 => Ok(ClusterResp::Fenced { epoch: r.u64()? }),
+            4 => Ok(ClusterResp::ReplicaAck { seq: r.u64()? }),
             tag => Err(ClusterError::Protocol(format!("unknown ClusterResp tag {tag}"))),
         }
     }
@@ -317,13 +382,14 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         let reqs = [
-            ClusterReq::Pull,
+            ClusterReq::Pull { epoch: 5 },
             ClusterReq::State {
                 loss: 2.5,
                 running: bn_state(),
                 batch_stats: batch_stats(),
                 t_comm: 0.01,
                 t_comp: 0.2,
+                epoch: 9,
             },
             ClusterReq::Grad {
                 grads: CompressedGrad::Sparse { len: 4, entries: vec![(1, -3.0), (3, 0.5)] },
@@ -331,12 +397,16 @@ mod tests {
                 loss: 1.25,
                 batch_stats: Vec::new(),
                 running: BnState::default(),
+                epoch: 1,
+                push_seq: (2u64 << 32) | 7,
             },
         ];
         for req in reqs {
             let back = ClusterReq::decoded(&req.encoded()).unwrap();
             match (&req, &back) {
-                (ClusterReq::Pull, ClusterReq::Pull) => {}
+                (ClusterReq::Pull { epoch: a }, ClusterReq::Pull { epoch: b }) => {
+                    assert_eq!(a, b);
+                }
                 (
                     ClusterReq::State {
                         loss: a,
@@ -344,6 +414,7 @@ mod tests {
                         t_comp: ca,
                         running: ra,
                         batch_stats: ba,
+                        epoch: ea,
                     },
                     ClusterReq::State {
                         loss: b,
@@ -351,21 +422,38 @@ mod tests {
                         t_comp: cb,
                         running: rb,
                         batch_stats: bb,
+                        epoch: eb,
                     },
                 ) => {
                     assert_eq!(a, b);
                     assert_eq!(ta, tb);
                     assert_eq!(ca, cb);
+                    assert_eq!(ea, eb);
                     assert_eq!(ra.means.len(), rb.means.len());
                     assert_eq!(ba.len(), bb.len());
                     assert_eq!(ba[0].mean.data(), bb[0].mean.data());
                 }
                 (
-                    ClusterReq::Grad { grads: ga, pull_version: va, loss: la, .. },
-                    ClusterReq::Grad { grads: gb, pull_version: vb, loss: lb, .. },
+                    ClusterReq::Grad {
+                        grads: ga,
+                        pull_version: va,
+                        loss: la,
+                        epoch: ea,
+                        push_seq: sa,
+                        ..
+                    },
+                    ClusterReq::Grad {
+                        grads: gb,
+                        pull_version: vb,
+                        loss: lb,
+                        epoch: eb,
+                        push_seq: sb,
+                        ..
+                    },
                 ) => {
                     assert_eq!(va, vb);
                     assert_eq!(la, lb);
+                    assert_eq!((ea, sa), (eb, sb));
                     assert_eq!(ga.decompress(), gb.decompress());
                 }
                 _ => panic!("variant changed across the wire"),
@@ -384,12 +472,18 @@ mod tests {
 
     #[test]
     fn responses_roundtrip() {
-        let w = ClusterResp::Weights { flat: vec![1.0, -2.0, 3.5], version: 7, directive: None };
+        let w = ClusterResp::Weights {
+            flat: vec![1.0, -2.0, 3.5],
+            version: 7,
+            directive: None,
+            epoch: 2,
+        };
         match ClusterResp::decoded(&w.encoded()).unwrap() {
-            ClusterResp::Weights { flat, version, directive } => {
+            ClusterResp::Weights { flat, version, directive, epoch } => {
                 assert_eq!(flat, vec![1.0, -2.0, 3.5]);
                 assert_eq!(version, 7);
                 assert_eq!(directive, None);
+                assert_eq!(epoch, 2);
             }
             _ => panic!("variant changed"),
         }
@@ -404,6 +498,14 @@ mod tests {
             ClusterResp::decoded(&ClusterResp::Stop.encoded()),
             Ok(ClusterResp::Stop)
         ));
+        assert!(matches!(
+            ClusterResp::decoded(&ClusterResp::Fenced { epoch: 9 }.encoded()),
+            Ok(ClusterResp::Fenced { epoch: 9 })
+        ));
+        assert!(matches!(
+            ClusterResp::decoded(&ClusterResp::ReplicaAck { seq: 1234 }.encoded()),
+            Ok(ClusterResp::ReplicaAck { seq: 1234 })
+        ));
     }
 
     #[test]
@@ -412,8 +514,12 @@ mod tests {
             Some(PullDirective { mode: AlgoMode::Dc, shard: None }),
             Some(PullDirective { mode: AlgoMode::Asgd, shard: Some(vec![3, 1, 4, 15]) }),
         ] {
-            let w =
-                ClusterResp::Weights { flat: vec![0.5], version: 99, directive: directive.clone() };
+            let w = ClusterResp::Weights {
+                flat: vec![0.5],
+                version: 99,
+                directive: directive.clone(),
+                epoch: 0,
+            };
             match ClusterResp::decoded(&w.encoded()).unwrap() {
                 ClusterResp::Weights { directive: back, .. } => assert_eq!(back, directive),
                 _ => panic!("variant changed"),
@@ -429,6 +535,8 @@ mod tests {
             loss: 0.5,
             batch_stats: Vec::new(),
             running: BnState::default(),
+            epoch: 0,
+            push_seq: 0,
         };
         assert!(req.corrupt_payload(7, true));
         match req {
@@ -449,6 +557,8 @@ mod tests {
             loss: 0.5,
             batch_stats: Vec::new(),
             running: BnState::default(),
+            epoch: 0,
+            push_seq: 0,
         };
         assert!(req.corrupt_payload(0xDEAD_BEEF, false));
         match req {
@@ -466,8 +576,103 @@ mod tests {
             _ => panic!("variant changed"),
         }
         // Pulls and joins carry nothing corruptible.
-        assert!(!ClusterReq::Pull.corrupt_payload(1, true));
+        assert!(!ClusterReq::Pull { epoch: 0 }.corrupt_payload(1, true));
         assert!(!ClusterReq::Join { incarnation: 1 }.corrupt_payload(1, false));
+    }
+
+    #[test]
+    fn replicate_roundtrips() {
+        let rec = crate::replication::LogRecord {
+            seq: 3,
+            epoch: 1,
+            worker: 2,
+            push_seq: (1u64 << 32) | 5,
+            version: 17,
+            staleness: 4,
+            loss: 0.75,
+            delta: vec![0.5, -0.25],
+            digest: crate::replication::LogRecord::digest_of(&[0.5, -0.25]),
+            arrival: Some(17),
+            bn: Some(bn_state()),
+        };
+        let req = ClusterReq::Replicate(ReplicaPayload::Records(vec![rec.clone()]));
+        match ClusterReq::decoded(&req.encoded()).unwrap() {
+            ClusterReq::Replicate(ReplicaPayload::Records(back)) => {
+                assert_eq!(back, vec![rec]);
+            }
+            _ => panic!("variant changed"),
+        }
+        let snap =
+            ClusterReq::Replicate(ReplicaPayload::Snapshot { next_seq: 8, blob: vec![9, 8, 7] });
+        match ClusterReq::decoded(&snap.encoded()).unwrap() {
+            ClusterReq::Replicate(ReplicaPayload::Snapshot { next_seq, blob }) => {
+                assert_eq!((next_seq, blob), (8, vec![9, 8, 7]));
+            }
+            _ => panic!("variant changed"),
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Epoch-fenced requests round-trip for arbitrary epoch and
+        /// push-sequence values (including the `(incarnation << 32)`
+        /// high bits).
+        #[test]
+        fn fenced_variants_roundtrip(epoch in proptest::prelude::any::<u64>(),
+                                     push_seq in proptest::prelude::any::<u64>(),
+                                     seq in proptest::prelude::any::<u64>()) {
+            match ClusterReq::decoded(&ClusterReq::Pull { epoch }.encoded()).unwrap() {
+                ClusterReq::Pull { epoch: back } => proptest::prop_assert_eq!(back, epoch),
+                _ => return Err(proptest::test_runner::TestCaseError::fail("variant changed")),
+            }
+            let grad = ClusterReq::Grad {
+                grads: CompressedGrad::Dense(vec![1.0, -1.0]),
+                pull_version: 3,
+                loss: 0.1,
+                batch_stats: Vec::new(),
+                running: BnState::default(),
+                epoch,
+                push_seq,
+            };
+            match ClusterReq::decoded(&grad.encoded()).unwrap() {
+                ClusterReq::Grad { epoch: e, push_seq: s, .. } => {
+                    proptest::prop_assert_eq!((e, s), (epoch, push_seq));
+                }
+                _ => return Err(proptest::test_runner::TestCaseError::fail("variant changed")),
+            }
+            match ClusterResp::decoded(&ClusterResp::Fenced { epoch }.encoded()).unwrap() {
+                ClusterResp::Fenced { epoch: back } => proptest::prop_assert_eq!(back, epoch),
+                _ => return Err(proptest::test_runner::TestCaseError::fail("variant changed")),
+            }
+            match ClusterResp::decoded(&ClusterResp::ReplicaAck { seq }.encoded()).unwrap() {
+                ClusterResp::ReplicaAck { seq: back } => proptest::prop_assert_eq!(back, seq),
+                _ => return Err(proptest::test_runner::TestCaseError::fail("variant changed")),
+            }
+        }
+
+        /// Truncating an encoded Replicate message anywhere must fail the
+        /// decode, never panic or mis-parse.
+        #[test]
+        fn truncated_replicate_is_rejected(cut_pick in proptest::prelude::any::<u32>()) {
+            let delta = vec![1.0f32, -2.0, 0.5];
+            let rec = crate::replication::LogRecord {
+                seq: 1,
+                epoch: 0,
+                worker: 0,
+                push_seq: 1,
+                version: 1,
+                staleness: 0,
+                loss: 0.2,
+                digest: crate::replication::LogRecord::digest_of(&delta),
+                delta,
+                arrival: None,
+                bn: None,
+            };
+            let bytes = ClusterReq::Replicate(ReplicaPayload::Records(vec![rec])).encoded();
+            let cut = cut_pick as usize % bytes.len();
+            proptest::prop_assert!(ClusterReq::decoded(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,772 @@
+//! Hot-standby parameter-server replication with fenced, deterministic
+//! failover.
+//!
+//! The parameter server of Algorithm 2 is the single point of failure in
+//! an LC-ASGD cluster: workers are expendable (crash/restart is already
+//! modeled by the fault plan), but losing the server loses the run. This
+//! module makes the server replaceable:
+//!
+//! * every applied push becomes a sequenced [`LogRecord`] — a write-ahead
+//!   update log carrying the weight delta, its CRC-32 digest, and the
+//!   apply's side effects (arrival-log entry, BN absorption, per-worker
+//!   push sequence number);
+//! * a [`StandbyReplica`] is bootstrapped from a
+//!   [`TrainingCheckpoint`] snapshot and kept hot by streaming log
+//!   deltas over a [`ReplicaDuplex`] — in-process channels on the
+//!   simulator and thread backends, CRC-framed loopback TCP on the
+//!   network backend;
+//! * an [`EpochFence`] enforces at-most-once apply across a failover:
+//!   workers carry the server epoch on every Pull/State/Grad, a killed
+//!   primary's epoch is fenced off, the standby promotes with `epoch+1`,
+//!   and per-worker push sequence numbers (replayed from the log) reject
+//!   any delayed duplicate of an already-applied push;
+//! * a [`Lease`] ties the primary's right to apply writes to recent
+//!   standby acknowledgment: a primary whose lease is revoked (the kill)
+//!   or expired (wall-clock backends, standby unresponsive) stops
+//!   accepting writes until the standby re-acks.
+//!
+//! ## Determinism
+//!
+//! Replication is *batched synchronous*: the primary buffers records and
+//! flushes every [`StandbyConfig::flush_every`] records as one
+//! `Replicate` message, blocking for the `ReplicaAck`. The standby
+//! therefore lags the primary by at most `flush_every - 1` applied
+//! updates, and the lost tail at a kill is a pure function of the
+//! applied-update count — independent of thread timing — so a fault plan
+//! that kills the primary at update *k* promotes bit-identical standby
+//! state on every run of the deterministic simulator.
+//!
+//! ## What the log does not carry
+//!
+//! State-path side effects (LC-ASGD's predictor observations and
+//! `log_arrival` calls in the `State` handler) are not logged; they reach
+//! the standby only at snapshot refreshes. After a failover the promoted
+//! server's predictors therefore resume from the last snapshot and
+//! re-adapt online — the same recovery contract as a checkpoint resume.
+//!
+//! [`ReplicaDuplex`]: lcasgd_simcluster::ReplicaDuplex
+//! [`TrainingCheckpoint`]: crate::checkpoint::TrainingCheckpoint
+
+use crate::checkpoint::{crc32, TrainingCheckpoint};
+use crate::protocol::{ClusterReq, ClusterResp};
+use lcasgd_nn::network::BnState;
+use lcasgd_simcluster::backend::wire;
+use lcasgd_simcluster::{ClusterError, ReplicaDuplex, WireMsg, WireReader};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// --------------------------------------------------------------- config
+
+/// Standby attachment options, set via `RunOptions::standby`.
+#[derive(Clone, Debug)]
+pub struct StandbyConfig {
+    /// Log records per synchronous replication flush. The standby lags
+    /// the primary by at most `flush_every - 1` applied updates, and a
+    /// kill loses at most that many. 1 = fully synchronous.
+    pub flush_every: u64,
+    /// Lease duration: on wall-clock backends the primary refuses to
+    /// apply a write unless the standby acknowledged within this window
+    /// (forcing a heartbeat flush first when it has not).
+    pub lease: Duration,
+}
+
+impl Default for StandbyConfig {
+    fn default() -> Self {
+        StandbyConfig { flush_every: 4, lease: Duration::from_millis(500) }
+    }
+}
+
+// ------------------------------------------------------------ log record
+
+/// One entry of the write-ahead update log: an applied push and its
+/// server-side effects, sufficient for a replica to replay the apply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRecord {
+    /// Global log sequence number (1-based, gap-free).
+    pub seq: u64,
+    /// Fencing epoch the primary held when it applied this update.
+    pub epoch: u64,
+    /// Worker whose push was applied.
+    pub worker: u32,
+    /// The push's dedup sequence number (`(incarnation << 32) | counter`;
+    /// 0 for runs without fencing).
+    pub push_seq: u64,
+    /// Server version *after* the apply.
+    pub version: u64,
+    /// Staleness of the applied gradient.
+    pub staleness: u32,
+    /// Training loss reported with the push.
+    pub loss: f32,
+    /// Weight delta of the apply (`w_after - w_before`).
+    pub delta: Vec<f32>,
+    /// CRC-32 over `delta`'s little-endian bytes; verified on the
+    /// standby before the delta is applied.
+    pub digest: u32,
+    /// Arrival-log side effect: `Some(v)` when the apply recorded the
+    /// worker's arrival at server version `v` (ASGD/DC paths).
+    pub arrival: Option<u64>,
+    /// BN side effect: the server's running statistics after absorbing
+    /// this push's batch stats, when absorption happened.
+    pub bn: Option<BnState>,
+}
+
+impl LogRecord {
+    /// The digest [`LogRecord::verify`] checks: CRC-32 over the delta's
+    /// little-endian bytes.
+    pub fn digest_of(delta: &[f32]) -> u32 {
+        let mut bytes = Vec::with_capacity(delta.len() * 4);
+        for &v in delta {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        crc32(&bytes)
+    }
+
+    /// True when the stored digest matches the delta.
+    pub fn verify(&self) -> bool {
+        Self::digest_of(&self.delta) == self.digest
+    }
+}
+
+impl WireMsg for LogRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_u64(buf, self.seq);
+        wire::put_u64(buf, self.epoch);
+        wire::put_u32(buf, self.worker);
+        wire::put_u64(buf, self.push_seq);
+        wire::put_u64(buf, self.version);
+        wire::put_u32(buf, self.staleness);
+        wire::put_f32(buf, self.loss);
+        wire::put_vec_f32(buf, &self.delta);
+        wire::put_u32(buf, self.digest);
+        match self.arrival {
+            None => wire::put_u8(buf, 0),
+            Some(v) => {
+                wire::put_u8(buf, 1);
+                wire::put_u64(buf, v);
+            }
+        }
+        match &self.bn {
+            None => wire::put_u8(buf, 0),
+            Some(bn) => {
+                wire::put_u8(buf, 1);
+                crate::protocol::put_bn_state(buf, bn);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
+        let seq = r.u64()?;
+        let epoch = r.u64()?;
+        let worker = r.u32()?;
+        let push_seq = r.u64()?;
+        let version = r.u64()?;
+        let staleness = r.u32()?;
+        let loss = r.f32()?;
+        let delta = r.vec_f32()?;
+        let digest = r.u32()?;
+        let arrival = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            b => return Err(ClusterError::Protocol(format!("bad arrival presence byte {b}"))),
+        };
+        let bn = match r.u8()? {
+            0 => None,
+            1 => Some(crate::protocol::read_bn_state(r)?),
+            b => return Err(ClusterError::Protocol(format!("bad bn presence byte {b}"))),
+        };
+        Ok(LogRecord {
+            seq,
+            epoch,
+            worker,
+            push_seq,
+            version,
+            staleness,
+            loss,
+            delta,
+            digest,
+            arrival,
+            bn,
+        })
+    }
+}
+
+/// Payload of `ClusterReq::Replicate`: what the primary streams to its
+/// standby over the replica duplex.
+pub enum ReplicaPayload {
+    /// Full-state bootstrap (and periodic refresh): a
+    /// [`TrainingCheckpoint`] blob (self-checking — magic + CRC) plus
+    /// the log sequence number the record stream continues from.
+    Snapshot { next_seq: u64, blob: Vec<u8> },
+    /// A flushed batch of log records, contiguous in `seq`.
+    Records(Vec<LogRecord>),
+}
+
+impl WireMsg for ReplicaPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ReplicaPayload::Snapshot { next_seq, blob } => {
+                wire::put_u8(buf, 0);
+                wire::put_u64(buf, *next_seq);
+                wire::put_u64(buf, blob.len() as u64);
+                buf.extend_from_slice(blob);
+            }
+            ReplicaPayload::Records(recs) => {
+                wire::put_u8(buf, 1);
+                wire::put_u64(buf, recs.len() as u64);
+                for rec in recs {
+                    rec.encode(buf);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
+        match r.u8()? {
+            0 => {
+                let next_seq = r.u64()?;
+                let n = r.len(1)?;
+                let mut blob = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blob.push(r.u8()?);
+                }
+                Ok(ReplicaPayload::Snapshot { next_seq, blob })
+            }
+            1 => {
+                // Records are variable-size; guard the count against the
+                // minimum encoded record size instead of a fixed stride.
+                let n = r.len(45)?;
+                let recs = (0..n).map(|_| LogRecord::decode(r)).collect::<Result<_, _>>()?;
+                Ok(ReplicaPayload::Records(recs))
+            }
+            tag => Err(ClusterError::Protocol(format!("unknown ReplicaPayload tag {tag}"))),
+        }
+    }
+}
+
+// -------------------------------------------------------------- standby
+
+/// The hot standby's mirror of the parameter-server state: a snapshot
+/// advanced record-by-record. Fields the log does not carry (predictor
+/// state, worker batch positions) stay at their snapshot values.
+pub struct StandbyReplica {
+    state: TrainingCheckpoint,
+    next_seq: u64,
+    updates_per_epoch: u64,
+}
+
+impl StandbyReplica {
+    /// Bootstraps (or refreshes) the replica from a snapshot; the record
+    /// stream continues at `next_seq`.
+    pub fn from_snapshot(state: TrainingCheckpoint, next_seq: u64, updates_per_epoch: u64) -> Self {
+        StandbyReplica { state, next_seq, updates_per_epoch: updates_per_epoch.max(1) }
+    }
+
+    /// Applies one log record: verifies sequence continuity and the
+    /// delta digest, then replays the weight update and its side
+    /// effects.
+    pub fn apply(&mut self, rec: &LogRecord) -> Result<(), String> {
+        if rec.seq != self.next_seq {
+            return Err(format!("log gap: expected seq {}, got {}", self.next_seq, rec.seq));
+        }
+        if !rec.verify() {
+            return Err(format!("log record {} digest mismatch", rec.seq));
+        }
+        if rec.delta.len() != self.state.weights.len() {
+            return Err(format!(
+                "log record {} delta length {} != weight length {}",
+                rec.seq,
+                rec.delta.len(),
+                self.state.weights.len()
+            ));
+        }
+        for (w, d) in self.state.weights.iter_mut().zip(&rec.delta) {
+            *w += d;
+        }
+        self.state.version = rec.version;
+        self.state.applied += 1;
+        self.state.server_epoch = rec.epoch;
+        let w = rec.worker as usize;
+        if rec.push_seq != 0 {
+            if self.state.push_seqs.len() <= w {
+                self.state.push_seqs.resize(w + 1, 0);
+            }
+            self.state.push_seqs[w] = rec.push_seq;
+        }
+        if let Some(v) = rec.arrival {
+            if self.state.arrival.len() <= w {
+                self.state.arrival.resize(w + 1, None);
+            }
+            self.state.arrival[w] = Some(v);
+            self.state.iter.push(w);
+        }
+        if let Some(bn) = &rec.bn {
+            self.state.bn = bn.clone();
+        }
+        self.state.staleness.push(rec.staleness);
+        self.state.epoch_losses.push(rec.loss);
+        if self.state.applied.is_multiple_of(self.updates_per_epoch) {
+            // Epoch boundary: the primary computes an epoch record and
+            // clears its in-progress losses; mirror the clear so a
+            // promotion adopts the right in-progress window.
+            self.state.epoch_losses.clear();
+        }
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Applied-update count of the mirrored state.
+    pub fn applied(&self) -> u64 {
+        self.state.applied
+    }
+
+    /// Highest applied log sequence number (0 = snapshot only).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Read access to the mirrored state.
+    pub fn state(&self) -> &TrainingCheckpoint {
+        &self.state
+    }
+
+    /// Consumes the replica; the promotion takes this state over.
+    pub fn into_state(self) -> TrainingCheckpoint {
+        self.state
+    }
+}
+
+// ---------------------------------------------------------------- fence
+
+/// What the fence decided about an incoming push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushVerdict {
+    /// Current epoch, fresh sequence number: apply it.
+    Admit,
+    /// Carried a dead epoch (sent to/by a fenced primary): reject.
+    StaleEpoch,
+    /// Already applied (delayed duplicate): reject.
+    Duplicate,
+}
+
+/// Epoch fencing + per-worker dedup: the at-most-once apply gate.
+///
+/// Inactive fences (runs without a standby) admit everything and keep
+/// the wire fields at their zero defaults.
+pub struct EpochFence {
+    epoch: u64,
+    push_seqs: Vec<u64>,
+    active: bool,
+    /// Pull/State requests rejected for carrying a dead epoch.
+    pub fenced_reads: u64,
+    /// Pushes rejected for carrying a dead epoch.
+    pub fenced_pushes: u64,
+    /// Pushes rejected as already-applied duplicates.
+    pub duplicate_pushes: u64,
+}
+
+impl EpochFence {
+    pub fn new(workers: usize, active: bool) -> Self {
+        EpochFence {
+            epoch: 0,
+            push_seqs: vec![0; workers],
+            active,
+            fenced_reads: 0,
+            fenced_pushes: 0,
+            duplicate_pushes: 0,
+        }
+    }
+
+    /// The current server epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Highest applied push sequence number per worker.
+    pub fn push_seqs(&self) -> &[u64] {
+        &self.push_seqs
+    }
+
+    /// Gate for read-path requests (Pull/State): true when the request's
+    /// epoch is current (or the fence is inactive).
+    pub fn admit_read(&mut self, epoch: u64) -> bool {
+        if !self.active || epoch == self.epoch {
+            true
+        } else {
+            self.fenced_reads += 1;
+            false
+        }
+    }
+
+    /// Gate for pushes: epoch check, then per-worker dedup. `push_seq` 0
+    /// is the "no sequencing" sentinel and is never deduplicated.
+    pub fn check_push(&mut self, worker: usize, epoch: u64, push_seq: u64) -> PushVerdict {
+        if !self.active {
+            return PushVerdict::Admit;
+        }
+        if epoch != self.epoch {
+            self.fenced_pushes += 1;
+            return PushVerdict::StaleEpoch;
+        }
+        if push_seq != 0 && worker < self.push_seqs.len() && push_seq <= self.push_seqs[worker] {
+            self.duplicate_pushes += 1;
+            return PushVerdict::Duplicate;
+        }
+        PushVerdict::Admit
+    }
+
+    /// Records an applied push so its duplicates are rejected from now
+    /// on. Only *applied* pushes advance the dedup state — a push the
+    /// supervisor rejected may legitimately be retried.
+    pub fn commit_push(&mut self, worker: usize, push_seq: u64) {
+        if self.active && push_seq != 0 && worker < self.push_seqs.len() {
+            self.push_seqs[worker] = push_seq;
+        }
+    }
+
+    /// Failover: bump the epoch (fencing off everything addressed to the
+    /// dead primary) and adopt the dedup state replayed from the log.
+    /// Returns the new epoch.
+    pub fn promote(&mut self, push_seqs: Vec<u64>) -> u64 {
+        self.epoch += 1;
+        self.push_seqs = push_seqs;
+        self.epoch
+    }
+
+    /// Adopts the fencing state a checkpoint recorded (resume path).
+    pub fn restore(&mut self, epoch: u64, push_seqs: Vec<u64>) {
+        self.epoch = epoch;
+        if !push_seqs.is_empty() {
+            self.push_seqs = push_seqs;
+        }
+    }
+}
+
+// --------------------------------------------------------- standby loop
+
+/// The standby's serve loop, run on its own thread: receive
+/// [`ClusterReq::Replicate`] frames off the duplex, apply them to the
+/// shared replica slot, acknowledge each with
+/// [`ClusterResp::ReplicaAck`]. Returns when the primary hangs up
+/// (duplex disconnect) or on the first protocol/apply error — the
+/// primary's next flush then fails its blocking ack wait, surfacing the
+/// fault instead of silently diverging.
+///
+/// [`ClusterReq::Replicate`]: crate::protocol::ClusterReq::Replicate
+/// [`ClusterResp::ReplicaAck`]: crate::protocol::ClusterResp::ReplicaAck
+pub fn serve_standby(
+    mut duplex: Box<dyn ReplicaDuplex>,
+    slot: Arc<Mutex<Option<StandbyReplica>>>,
+    updates_per_epoch: u64,
+) {
+    loop {
+        let bytes = match duplex.recv() {
+            Ok(b) => b,
+            Err(_) => return, // primary hung up: clean shutdown
+        };
+        let payload = match ClusterReq::decoded(&bytes) {
+            Ok(ClusterReq::Replicate(p)) => p,
+            _ => return,
+        };
+        let acked = match payload {
+            ReplicaPayload::Snapshot { next_seq, blob } => {
+                let Ok(state) = TrainingCheckpoint::from_bytes(&blob) else { return };
+                *slot.lock() =
+                    Some(StandbyReplica::from_snapshot(state, next_seq, updates_per_epoch));
+                next_seq.saturating_sub(1)
+            }
+            ReplicaPayload::Records(recs) => {
+                let mut guard = slot.lock();
+                let Some(rep) = guard.as_mut() else { return };
+                for rec in &recs {
+                    if let Err(e) = rep.apply(rec) {
+                        eprintln!("standby: {e}");
+                        return;
+                    }
+                }
+                rep.last_seq()
+            }
+        };
+        let ack = ClusterResp::ReplicaAck { seq: acked };
+        if duplex.send(&ack.encoded()).is_err() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lease
+
+/// The primary's write lease: the right to apply updates, contingent on
+/// recent standby acknowledgment. Revocation is permanent (the fenced
+/// primary never writes again); expiry merely forces a heartbeat
+/// round-trip before the next write.
+pub struct Lease {
+    timeout: Duration,
+    expires: Option<Instant>,
+    revoked: bool,
+}
+
+impl Lease {
+    pub fn new(timeout: Duration) -> Self {
+        Lease { timeout, expires: None, revoked: false }
+    }
+
+    /// Extends the lease from now; called on every standby ack. No-op
+    /// once revoked.
+    pub fn renew(&mut self) {
+        if !self.revoked {
+            self.expires = Some(Instant::now() + self.timeout);
+        }
+    }
+
+    /// Permanently fences this primary.
+    pub fn revoke(&mut self) {
+        self.revoked = true;
+        self.expires = None;
+    }
+
+    pub fn is_revoked(&self) -> bool {
+        self.revoked
+    }
+
+    /// True while the lease is neither revoked nor expired. A lease that
+    /// was never renewed is held (the standby has not spoken yet).
+    pub fn held(&self) -> bool {
+        !self.revoked && self.expires.is_none_or(|e| Instant::now() <= e)
+    }
+}
+
+// --------------------------------------------------------------- report
+
+/// What replication did during a run; `RunResult::replication` when a
+/// standby was attached.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplicationReport {
+    /// Log records streamed to the standby.
+    pub log_records: u64,
+    /// Synchronous flush round-trips (including heartbeats).
+    pub flushes: u64,
+    /// Full-state snapshots shipped (bootstrap + refreshes).
+    pub snapshots: u64,
+    /// Primary kills / standby promotions.
+    pub failovers: u64,
+    /// Server epoch at the end of the run.
+    pub final_epoch: u64,
+    /// Pull/State requests rejected for carrying a dead epoch.
+    pub fenced_reads: u64,
+    /// Pushes rejected for carrying a dead epoch.
+    pub fenced_pushes: u64,
+    /// Pushes rejected as already-applied duplicates.
+    pub duplicate_pushes: u64,
+    /// Applied-but-unreplicated updates discarded across all failovers.
+    pub lost_updates: u64,
+    /// Largest primary-to-standby lag observed at a flush boundary, in
+    /// log records (bounded by `flush_every - 1` plus the flush batch).
+    pub max_lag: u64,
+}
+
+impl ReplicationReport {
+    /// One-line human summary for CLI output.
+    pub fn to_text(&self) -> String {
+        format!(
+            "replication: {} records / {} flushes / {} snapshots, \
+             failovers {}, final epoch {}, lost {}, \
+             fenced {} reads + {} pushes, {} duplicates, max lag {}",
+            self.log_records,
+            self.flushes,
+            self.snapshots,
+            self.failovers,
+            self.final_epoch,
+            self.lost_updates,
+            self.fenced_reads,
+            self.fenced_pushes,
+            self.duplicate_pushes,
+            self.max_lag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, delta: Vec<f32>) -> LogRecord {
+        let digest = LogRecord::digest_of(&delta);
+        LogRecord {
+            seq,
+            epoch: 0,
+            worker: (seq % 3) as u32,
+            push_seq: (1 << 32) | seq,
+            version: seq,
+            staleness: 1,
+            loss: 0.5,
+            delta,
+            digest,
+            arrival: Some(seq),
+            bn: None,
+        }
+    }
+
+    fn snapshot(weights: Vec<f32>) -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            weights,
+            bn: BnState::default(),
+            version: 0,
+            applied: 0,
+            arrival: vec![None; 3],
+            iter: Vec::new(),
+            staleness: Vec::new(),
+            epoch_losses: Vec::new(),
+            epochs: Vec::new(),
+            loss_pred: None,
+            step_pred: None,
+            worker_batches: vec![(0, 0); 3],
+            server_epoch: 0,
+            push_seqs: vec![0; 3],
+        }
+    }
+
+    #[test]
+    fn log_record_roundtrips_with_and_without_side_effects() {
+        let mut rec = record(7, vec![0.25, -1.0, 3.5]);
+        rec.bn = Some(BnState {
+            means: vec![lcasgd_tensor::Tensor::from_vec(vec![0.5, 1.5], &[2])],
+            vars: vec![lcasgd_tensor::Tensor::from_vec(vec![1.0, 2.0], &[2])],
+        });
+        let back = LogRecord::decoded(&rec.encoded()).unwrap();
+        assert_eq!(back, rec);
+        let bare = LogRecord { arrival: None, bn: None, ..record(8, vec![1.0]) };
+        assert_eq!(LogRecord::decoded(&bare.encoded()).unwrap(), bare);
+    }
+
+    #[test]
+    fn digest_catches_delta_corruption() {
+        let mut rec = record(1, vec![1.0, 2.0]);
+        assert!(rec.verify());
+        rec.delta[1] = 2.0000002;
+        assert!(!rec.verify());
+    }
+
+    #[test]
+    fn replica_applies_a_contiguous_stream() {
+        let mut rep = StandbyReplica::from_snapshot(snapshot(vec![1.0, 1.0]), 1, 100);
+        rep.apply(&record(1, vec![0.5, -0.5])).unwrap();
+        rep.apply(&record(2, vec![0.25, 0.25])).unwrap();
+        assert_eq!(rep.state().weights, vec![1.75, 0.75]);
+        assert_eq!(rep.applied(), 2);
+        assert_eq!(rep.last_seq(), 2);
+        assert_eq!(rep.state().version, 2);
+        assert_eq!(rep.state().iter, vec![1, 2]);
+        assert_eq!(rep.state().staleness, vec![1, 1]);
+        assert_eq!(rep.state().push_seqs[1], (1 << 32) | 1);
+        assert_eq!(rep.state().arrival[2], Some(2));
+    }
+
+    #[test]
+    fn replica_rejects_gaps_and_bad_digests() {
+        let mut rep = StandbyReplica::from_snapshot(snapshot(vec![0.0]), 1, 100);
+        assert!(rep.apply(&record(3, vec![1.0])).unwrap_err().contains("log gap"));
+        let mut bad = record(1, vec![1.0]);
+        bad.digest ^= 1;
+        assert!(rep.apply(&bad).unwrap_err().contains("digest"));
+        let wrong_len = record(1, vec![1.0, 2.0]);
+        assert!(rep.apply(&wrong_len).unwrap_err().contains("length"));
+        // Nothing was applied.
+        assert_eq!(rep.applied(), 0);
+        assert_eq!(rep.state().weights, vec![0.0]);
+    }
+
+    #[test]
+    fn replica_clears_losses_at_epoch_boundaries() {
+        let mut rep = StandbyReplica::from_snapshot(snapshot(vec![0.0]), 1, 2);
+        rep.apply(&record(1, vec![0.1])).unwrap();
+        assert_eq!(rep.state().epoch_losses.len(), 1);
+        rep.apply(&record(2, vec![0.1])).unwrap();
+        assert!(rep.state().epoch_losses.is_empty(), "boundary clears the window");
+        rep.apply(&record(3, vec![0.1])).unwrap();
+        assert_eq!(rep.state().epoch_losses.len(), 1);
+    }
+
+    #[test]
+    fn replica_payload_roundtrips() {
+        let snap = ReplicaPayload::Snapshot { next_seq: 42, blob: vec![1, 2, 3, 250] };
+        match ReplicaPayload::decoded(&snap.encoded()).unwrap() {
+            ReplicaPayload::Snapshot { next_seq, blob } => {
+                assert_eq!(next_seq, 42);
+                assert_eq!(blob, vec![1, 2, 3, 250]);
+            }
+            _ => panic!("variant changed"),
+        }
+        let recs = ReplicaPayload::Records(vec![record(1, vec![1.0]), record(2, vec![-1.0])]);
+        match ReplicaPayload::decoded(&recs.encoded()).unwrap() {
+            ReplicaPayload::Records(back) => {
+                assert_eq!(back.len(), 2);
+                assert_eq!(back[0], record(1, vec![1.0]));
+            }
+            _ => panic!("variant changed"),
+        }
+        assert!(ReplicaPayload::decoded(&[9]).is_err());
+    }
+
+    #[test]
+    fn inactive_fence_admits_everything() {
+        let mut fence = EpochFence::new(2, false);
+        assert!(fence.admit_read(99));
+        assert_eq!(fence.check_push(0, 99, 5), PushVerdict::Admit);
+        assert_eq!(fence.check_push(0, 99, 5), PushVerdict::Admit);
+        assert_eq!(fence.fenced_pushes + fence.fenced_reads + fence.duplicate_pushes, 0);
+    }
+
+    #[test]
+    fn fence_rejects_stale_epochs_and_duplicates() {
+        let mut fence = EpochFence::new(2, true);
+        assert!(fence.admit_read(0));
+        assert_eq!(fence.check_push(0, 0, 1), PushVerdict::Admit);
+        fence.commit_push(0, 1);
+        // The same push delayed and re-delivered: duplicate.
+        assert_eq!(fence.check_push(0, 0, 1), PushVerdict::Duplicate);
+        // A fresh push from the same worker is fine.
+        assert_eq!(fence.check_push(0, 0, 2), PushVerdict::Admit);
+        // Promotion fences off the old epoch entirely.
+        let new_epoch = fence.promote(vec![1, 0]);
+        assert_eq!(new_epoch, 1);
+        assert!(!fence.admit_read(0));
+        assert_eq!(fence.check_push(0, 0, 2), PushVerdict::StaleEpoch);
+        assert_eq!(fence.check_push(0, 1, 2), PushVerdict::Admit);
+        // Dedup state survived the promotion: seq 1 is still applied.
+        assert_eq!(fence.check_push(0, 1, 1), PushVerdict::Duplicate);
+        assert_eq!(fence.fenced_reads, 1);
+        assert_eq!(fence.fenced_pushes, 1);
+        assert_eq!(fence.duplicate_pushes, 2);
+    }
+
+    #[test]
+    fn fence_never_dedups_the_zero_sentinel() {
+        let mut fence = EpochFence::new(1, true);
+        fence.commit_push(0, 0);
+        assert_eq!(fence.check_push(0, 0, 0), PushVerdict::Admit);
+        assert_eq!(fence.check_push(0, 0, 0), PushVerdict::Admit);
+    }
+
+    #[test]
+    fn lease_lifecycle() {
+        let mut lease = Lease::new(Duration::from_secs(3600));
+        assert!(lease.held(), "an unrenewed lease is held until the standby speaks");
+        lease.renew();
+        assert!(lease.held());
+        lease.revoke();
+        assert!(!lease.held());
+        assert!(lease.is_revoked());
+        lease.renew();
+        assert!(!lease.held(), "revocation is permanent");
+        let mut expired = Lease::new(Duration::from_secs(0));
+        expired.renew();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!expired.held(), "a zero-duration lease expires immediately");
+        assert!(!expired.is_revoked());
+    }
+}

@@ -215,6 +215,9 @@ pub enum HealthEvent {
     Promoted { worker: usize, from: AlgoMode, to: AlgoMode },
     /// A straggler donated `moved` shard examples to worker `to`.
     StragglerResharded { worker: usize, to: usize, moved: usize },
+    /// The primary parameter server was killed and its hot standby
+    /// promoted, discarding `lost_updates` unreplicated updates.
+    Failover { from_epoch: u64, to_epoch: u64, lost_updates: u64 },
 }
 
 impl HealthEvent {
@@ -232,7 +235,9 @@ impl HealthEvent {
             | HealthEvent::Demoted { worker, .. }
             | HealthEvent::Promoted { worker, .. }
             | HealthEvent::StragglerResharded { worker, .. } => Some(*worker),
-            HealthEvent::LossExplosion { .. } | HealthEvent::RolledBack { .. } => None,
+            HealthEvent::LossExplosion { .. }
+            | HealthEvent::RolledBack { .. }
+            | HealthEvent::Failover { .. } => None,
         }
     }
 }
@@ -271,6 +276,13 @@ impl fmt::Display for HealthEvent {
             }
             HealthEvent::StragglerResharded { worker, to, moved } => {
                 write!(f, "straggler-resharded worker={worker} to={to} moved={moved}")
+            }
+            HealthEvent::Failover { from_epoch, to_epoch, lost_updates } => {
+                write!(
+                    f,
+                    "failover from-epoch={from_epoch} to-epoch={to_epoch} \
+                     lost-updates={lost_updates}"
+                )
             }
         }
     }
@@ -319,6 +331,11 @@ impl HealthReport {
     /// Shard reassignments.
     pub fn reshards(&self) -> usize {
         self.count(|e| matches!(e, HealthEvent::StragglerResharded { .. }))
+    }
+
+    /// Primary kills / standby promotions.
+    pub fn failovers(&self) -> usize {
+        self.count(|e| matches!(e, HealthEvent::Failover { .. }))
     }
 
     /// One line per event: `at-update=N <event>` — the `--health-log`
@@ -433,6 +450,19 @@ impl Supervisor {
     /// Consumes the supervisor, yielding the run's health report.
     pub fn into_report(self) -> HealthReport {
         self.report
+    }
+
+    /// Records a primary-kill failover on the health timeline (the
+    /// trainer calls this at promotion; the supervisor itself has no
+    /// visibility into replication).
+    pub fn record_failover(
+        &mut self,
+        applied: u64,
+        from_epoch: u64,
+        to_epoch: u64,
+        lost_updates: u64,
+    ) {
+        self.event(applied, HealthEvent::Failover { from_epoch, to_epoch, lost_updates });
     }
 
     fn event(&mut self, applied: u64, ev: HealthEvent) {

@@ -19,6 +19,10 @@ use crate::predictor::{
     LossPredictor, LossPredictorSnapshot, StepPredictor, StepPredictorSnapshot,
 };
 use crate::protocol::{ClusterReq, ClusterResp, PullDirective};
+use crate::replication::{
+    serve_standby, EpochFence, Lease, LogRecord, PushVerdict, ReplicaPayload, StandbyConfig,
+    StandbyReplica,
+};
 use crate::server::ParameterServer;
 use crate::supervisor::{AlgoMode, Supervisor, SupervisorConfig};
 use crate::trace::{phase, ClockDomain, TraceSink};
@@ -29,13 +33,13 @@ use lcasgd_nn::metrics::evaluate;
 use lcasgd_nn::network::BnState;
 use lcasgd_nn::Network;
 use lcasgd_simcluster::{
-    ClusterBackend, ClusterError, ClusterSim, FaultPlan, FaultRecord, ServerCtx, ThreadCluster,
-    WorkerLink,
+    ClusterBackend, ClusterError, ClusterSim, FaultPlan, FaultRecord, ReplicaDuplex, ServerCtx,
+    ThreadCluster, WireMsg, WorkerLink,
 };
 use lcasgd_tensor::{Rng, Tensor};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A model factory: must be deterministic in the RNG it is given so every
 /// algorithm starts "based on the same randomly initialized model" (§5).
@@ -161,6 +165,7 @@ fn run_sequential(
         faults: None,
         timeline: None,
         health: None,
+        replication: None,
     }
 }
 
@@ -250,6 +255,7 @@ fn run_ssgd(
         faults: None,
         timeline: None,
         health: None,
+        replication: None,
     }
 }
 
@@ -489,6 +495,7 @@ fn run_async(
         faults: None,
         timeline: None,
         health: None,
+        replication: None,
     }
 }
 
@@ -576,6 +583,126 @@ pub struct RunOptions {
     ///
     /// [`HealthReport`]: crate::supervisor::HealthReport
     pub supervisor: Option<SupervisorConfig>,
+    /// Attach a hot-standby replica ([`crate::replication`]): every
+    /// applied push is streamed to a warm mirror as a write-ahead log
+    /// record, epoch fencing guards at-most-once apply, and a fault plan
+    /// with `primary_kill_at_update` set promotes the standby in place of
+    /// the killed primary. Asynchronous algorithms only.
+    pub standby: Option<StandbyConfig>,
+}
+
+/// The primary side of the replication stream: buffers [`LogRecord`]s and
+/// flushes them to the standby thread as synchronous, acknowledged
+/// `Replicate` batches. The blocking ack is what makes the standby's lag
+/// (and therefore the lost tail at a kill) a pure function of the
+/// applied-update count.
+struct ReplicationStream {
+    duplex: Box<dyn ReplicaDuplex>,
+    buffer: Vec<LogRecord>,
+    next_seq: u64,
+    flush_every: u64,
+    lease: Lease,
+    lease_timeout: Duration,
+    report: crate::replication::ReplicationReport,
+}
+
+impl ReplicationStream {
+    fn new(duplex: Box<dyn ReplicaDuplex>, cfg: &StandbyConfig) -> Self {
+        ReplicationStream {
+            duplex,
+            buffer: Vec::new(),
+            next_seq: 1,
+            flush_every: cfg.flush_every.max(1),
+            lease: Lease::new(cfg.lease),
+            lease_timeout: cfg.lease,
+            report: crate::replication::ReplicationReport::default(),
+        }
+    }
+
+    /// Appends an applied push to the log; auto-flushes a full batch.
+    fn log(&mut self, mut rec: LogRecord) {
+        rec.seq = self.next_seq;
+        self.next_seq += 1;
+        self.report.log_records += 1;
+        self.buffer.push(rec);
+        if self.buffer.len() as u64 >= self.flush_every {
+            self.flush();
+        }
+    }
+
+    /// Synchronous flush of the buffered batch (possibly empty — a lease
+    /// heartbeat). Blocks for the standby's ack.
+    fn flush(&mut self) {
+        let lag = self.buffer.len() as u64;
+        self.report.max_lag = self.report.max_lag.max(lag);
+        let recs = std::mem::take(&mut self.buffer);
+        self.send_acked(ReplicaPayload::Records(recs));
+        self.report.flushes += 1;
+    }
+
+    /// Ships a full-state snapshot, superseding (and discarding) any
+    /// buffered records — the snapshot already contains their effects.
+    fn snapshot(&mut self, state: &crate::checkpoint::TrainingCheckpoint) {
+        self.buffer.clear();
+        self.send_acked(ReplicaPayload::Snapshot {
+            next_seq: self.next_seq,
+            blob: state.to_bytes(),
+        });
+        self.report.snapshots += 1;
+    }
+
+    /// Wall-clock lease enforcement: an expired (but unrevoked) lease
+    /// forces a heartbeat round-trip — proof the standby is still
+    /// acknowledging — before the caller applies its next write.
+    fn ensure_lease(&mut self) {
+        if !self.lease.is_revoked() && !self.lease.held() {
+            self.flush();
+        }
+    }
+
+    fn send_acked(&mut self, payload: ReplicaPayload) {
+        let expect = self.next_seq - 1;
+        let msg = ClusterReq::Replicate(payload);
+        self.duplex.send(&msg.encoded()).expect("standby duplex closed");
+        let ack = self.duplex.recv().ok().and_then(|b| ClusterResp::decoded(&b).ok());
+        match ack {
+            Some(ClusterResp::ReplicaAck { seq }) if seq == expect => self.lease.renew(),
+            _ => panic!("standby failed to acknowledge replication batch ending at seq {expect}"),
+        }
+    }
+}
+
+/// A full-state snapshot of the running server, as shipped to the standby
+/// (bootstrap, epoch-boundary refresh, post-promotion re-arm).
+#[allow(clippy::too_many_arguments)]
+fn state_snapshot(
+    server: &ParameterServer,
+    applied: u64,
+    staleness: &[u32],
+    losses: &[f32],
+    records: &[EpochRecord],
+    is_lc: bool,
+    loss_pred: &LossPredictor,
+    step_pred: &StepPredictor,
+    worker_batches: Vec<(u64, u64)>,
+    fence: &EpochFence,
+) -> TrainingCheckpoint {
+    TrainingCheckpoint {
+        weights: server.weights.clone(),
+        bn: server.bn.clone(),
+        version: server.version,
+        applied,
+        arrival: server.arrival_state(),
+        iter: server.iter.clone(),
+        staleness: staleness.to_vec(),
+        epoch_losses: losses.to_vec(),
+        epochs: records.to_vec(),
+        loss_pred: is_lc.then(|| loss_pred.snapshot()),
+        step_pred: is_lc.then(|| step_pred.snapshot()),
+        worker_batches,
+        server_epoch: fence.epoch(),
+        push_seqs: fence.push_seqs().to_vec(),
+    }
 }
 
 /// [`run_cluster`] plus the robustness machinery of [`RunOptions`]:
@@ -600,6 +727,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
         resume,
         trace: want_trace,
         supervisor,
+        standby,
     } = opts;
     let m = backend.workers();
     let is_lc = cfg.algorithm == Algorithm::LcAsgd;
@@ -744,6 +872,57 @@ pub fn run_cluster_with<B: ClusterBackend>(
     let ckpt_every = if checkpoint_every == 0 { updates_per_epoch } else { checkpoint_every };
     let mut halted = false;
 
+    // ---- replication --------------------------------------------------
+    // The SSGD barrier replies with fresh weights from inside the Grad
+    // arm; fencing its blocking push would deadlock the round. Like the
+    // supervisor and fault plans, the standby targets the async protocols.
+    assert!(
+        !(is_ssgd && standby.is_some()),
+        "hot-standby replication targets the asynchronous protocols; SSGD has no standby support"
+    );
+    // A planned primary kill: at this applied-update count the primary's
+    // lease is revoked, its unreplicated tail is discarded, and the
+    // standby promotes with a bumped fencing epoch.
+    let kill_at = fault_plan
+        .as_ref()
+        .and_then(|p| p.primary_kill_at_update)
+        .filter(|&k| k > resumed_at && k < target as u64);
+    assert!(
+        kill_at.is_none() || standby.is_some(),
+        "a primary-kill fault plan requires a standby (RunOptions::standby)"
+    );
+    let mut kill_pending = kill_at;
+    let mut fence = EpochFence::new(m, standby.is_some());
+    if let Some(ck) = &resume {
+        fence.restore(ck.server_epoch, ck.push_seqs.clone());
+    }
+    let standby_slot: Option<Arc<Mutex<Option<StandbyReplica>>>> =
+        standby.as_ref().map(|_| Arc::new(Mutex::new(None)));
+    let mut standby_handle = None;
+    let mut repl: Option<ReplicationStream> = None;
+    if let Some(sc) = &standby {
+        let (primary_end, standby_end) = backend.replica_duplex()?;
+        let slot = standby_slot.clone().expect("slot exists when standby configured");
+        let upe = updates_per_epoch as u64;
+        standby_handle = Some(std::thread::spawn(move || serve_standby(standby_end, slot, upe)));
+        let mut rs = ReplicationStream::new(primary_end, sc);
+        // Bootstrap: the standby starts from a full snapshot of the
+        // (possibly resumed) initial server state.
+        rs.snapshot(&state_snapshot(
+            &server,
+            applied as u64,
+            &staleness,
+            &losses,
+            &records,
+            is_lc,
+            &loss_pred,
+            &step_pred,
+            batch_pos.lock().clone(),
+            &fence,
+        ));
+        repl = Some(rs);
+    }
+
     // ---- observability ------------------------------------------------
     // The sink observes; it never feeds back into scheduling, so a traced
     // run applies bit-identical updates to an untraced one. The backend
@@ -786,8 +965,16 @@ pub fn run_cluster_with<B: ClusterBackend>(
             prev_step_pred[w] = None;
             backups[w] = Vec::new();
         }
-        ClusterReq::Pull => {
-            if !is_ssgd && (applied >= target || halted) {
+        // `Replicate` frames travel the dedicated replica duplex, not the
+        // worker links; one arriving here is a protocol violation and is
+        // ignored.
+        ClusterReq::Replicate(_) => {}
+        ClusterReq::Pull { epoch } => {
+            if !fence.admit_read(epoch) {
+                // Addressed to a fenced (dead) primary: tell the worker
+                // the current epoch so its retry carries it.
+                ctx.reply(ClusterResp::Fenced { epoch: fence.epoch() });
+            } else if !is_ssgd && (applied >= target || halted) {
                 ctx.reply(ClusterResp::Stop);
             } else {
                 // The directive pins the rung (and any reassigned shard)
@@ -811,10 +998,18 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     flat: server.weights.clone(),
                     version: server.version,
                     directive,
+                    epoch: fence.epoch(),
                 });
             }
         }
-        ClusterReq::State { loss, running, batch_stats, t_comm, t_comp } => {
+        ClusterReq::State { loss, running, batch_stats, t_comm, t_comp, epoch } => 'state: {
+            if !fence.admit_read(epoch) {
+                // LC forward state addressed to a fenced primary: the
+                // worker must abandon the exchange and re-pull from the
+                // promoted server.
+                ctx.reply(ClusterResp::Fenced { epoch: fence.epoch() });
+                break 'state;
+            }
             // Algorithm 2 lines 2–7, on real measured timings.
             let actual_step = server.log_arrival(w) as f32;
             let t_sp = Instant::now();
@@ -855,7 +1050,23 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 km: km_int as u32,
             });
         }
-        ClusterReq::Grad { grads, pull_version, loss, batch_stats, running } => {
+        ClusterReq::Grad {
+            grads,
+            pull_version,
+            loss,
+            batch_stats,
+            running,
+            epoch,
+            push_seq,
+        } => 'grad: {
+            match fence.check_push(w, epoch, push_seq) {
+                PushVerdict::Admit => {}
+                // Addressed to a dead epoch, or a delayed duplicate of a
+                // push already applied: dropped on the floor. Gradient
+                // pushes are oneway sends in the async protocols, so no
+                // reply is owed. (SSGD never runs with an active fence.)
+                PushVerdict::StaleEpoch | PushVerdict::Duplicate => break 'grad,
+            }
             if is_ssgd {
                 // Formula 1's barrier: park until all M contributions are
                 // in, then average-apply and release everyone at once.
@@ -899,6 +1110,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                                     flat: server.weights.clone(),
                                     version: server.version,
                                     directive: None,
+                                    epoch: fence.epoch(),
                                 }
                             },
                         );
@@ -922,9 +1134,20 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     None => (Some(g), 1.0, false),
                 };
                 if let Some(g) = g {
+                    // Lease enforcement (wall-clock backends): an expired
+                    // write lease forces a heartbeat ack from the standby
+                    // before this write may apply.
+                    if clock == ClockDomain::Wall {
+                        if let Some(rs) = repl.as_mut() {
+                            rs.ensure_lease();
+                        }
+                    }
                     staleness.push(stale);
                     sink.note_staleness(stale);
                     let lr = cfg.lr.at_epoch(applied / updates_per_epoch) * lr_scale;
+                    // The write-ahead log ships the apply as a delta, so
+                    // snapshot the weights it is taken against.
+                    let w_before = repl.as_ref().map(|_| server.weights.clone());
                     let t_apply = Instant::now();
                     // A rejoined worker's backup was cleared at Join; until
                     // its next pull re-snapshots, fall back to the plain
@@ -934,9 +1157,13 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     } else {
                         server.apply_grad(&g, lr);
                     }
+                    let mut arrival = None;
+                    let mut bn_absorbed = false;
                     if pulled_mode[w] != AlgoMode::Lc {
                         server.log_arrival(w);
+                        arrival = Some(server.version);
                         server.absorb_bn(&running, &batch_stats);
+                        bn_absorbed = true;
                     }
                     sink.wall_span_at(
                         Some(w),
@@ -947,6 +1174,26 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     sink.note_version(server.version);
                     losses.push(loss);
                     applied += 1;
+                    fence.commit_push(w, push_seq);
+                    if let Some(rs) = repl.as_mut() {
+                        let before = w_before.expect("delta base captured while replicating");
+                        let delta: Vec<f32> =
+                            server.weights.iter().zip(&before).map(|(a, b)| a - b).collect();
+                        let digest = LogRecord::digest_of(&delta);
+                        rs.log(LogRecord {
+                            seq: 0, // assigned by the stream
+                            epoch: fence.epoch(),
+                            worker: w as u32,
+                            push_seq,
+                            version: server.version,
+                            staleness: stale,
+                            loss,
+                            delta,
+                            digest,
+                            arrival,
+                            bn: bn_absorbed.then(|| server.bn.clone()),
+                        });
+                    }
                     if applied.is_multiple_of(updates_per_epoch) {
                         let epoch = applied / updates_per_epoch;
                         records.push(epoch_record(
@@ -957,6 +1204,23 @@ pub fn run_cluster_with<B: ClusterBackend>(
                             &mut losses,
                             lr,
                         ));
+                        // Epoch-boundary snapshot refresh: fields the log
+                        // does not carry (predictor state, batch
+                        // positions, epoch records) catch up here.
+                        if let Some(rs) = repl.as_mut() {
+                            rs.snapshot(&state_snapshot(
+                                &server,
+                                applied as u64,
+                                &staleness,
+                                &losses,
+                                &records,
+                                is_lc,
+                                &loss_pred,
+                                &step_pred,
+                                batch_pos.lock().clone(),
+                                &fence,
+                            ));
+                        }
                     }
                     let halt_now = halt_at.is_some_and(|h| applied as u64 >= h);
                     if halt_now {
@@ -980,6 +1244,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                                 loss_pred: is_lc.then(|| loss_pred.snapshot()),
                                 step_pred: is_lc.then(|| step_pred.snapshot()),
                                 worker_batches: batch_pos.lock().clone(),
+                                server_epoch: fence.epoch(),
+                                push_seqs: fence.push_seqs().to_vec(),
                             };
                             let t_ck = Instant::now();
                             match ck.save(path) {
@@ -1014,6 +1280,89 @@ pub fn run_cluster_with<B: ClusterBackend>(
                                     }
                                 }
                             }
+                        }
+                    }
+                    // ---- planned primary kill: fenced failover --------
+                    // Deterministic on the simulator: the trigger is the
+                    // applied-update count, the standby's content is fixed
+                    // by the synchronous flush cadence, and the promoted
+                    // state is a pure function of both.
+                    if kill_pending.is_some_and(|k| applied as u64 >= k) {
+                        let killed_at = kill_pending.take().expect("trigger checked");
+                        let rs = repl.as_mut().expect("primary kill requires a standby");
+                        let slot = standby_slot.as_ref().expect("standby slot exists");
+                        // Fence the dead primary: its lease never renews
+                        // again, and its unflushed tail is discarded.
+                        rs.lease.revoke();
+                        let replica = slot
+                            .lock()
+                            .take()
+                            .expect("standby replica bootstrapped before the kill");
+                        let ck = replica.into_state();
+                        let lost = applied as u64 - ck.applied;
+                        let from_epoch = fence.epoch();
+                        // Adopt the standby's mirrored state wholesale.
+                        server.weights = ck.weights.clone();
+                        server.bn = ck.bn.clone();
+                        server.version = ck.version;
+                        server.iter = ck.iter.clone();
+                        server.restore_arrival_state(&ck.arrival);
+                        applied = ck.applied as usize;
+                        staleness = ck.staleness.clone();
+                        losses = ck.epoch_losses.clone();
+                        while records.len() > applied / updates_per_epoch {
+                            // Epoch records computed from discarded
+                            // updates: recomputed when the boundary is
+                            // crossed again.
+                            records.pop();
+                        }
+                        if let Some(lp) = &ck.loss_pred {
+                            loss_pred.restore(lp);
+                        }
+                        if let Some(sp) = &ck.step_pred {
+                            step_pred.restore(sp);
+                        }
+                        // DC backups reference pulls from the dead primary.
+                        for b in backups.iter_mut() {
+                            b.clear();
+                        }
+                        let to_epoch = fence.promote(ck.push_seqs.clone());
+                        rs.report.failovers += 1;
+                        rs.report.lost_updates += lost;
+                        rs.lease = Lease::new(rs.lease_timeout);
+                        // Re-arm: the promoted server is the new primary;
+                        // re-bootstrap the (now empty) standby slot.
+                        rs.snapshot(&state_snapshot(
+                            &server,
+                            applied as u64,
+                            &staleness,
+                            &losses,
+                            &records,
+                            is_lc,
+                            &loss_pred,
+                            &step_pred,
+                            batch_pos.lock().clone(),
+                            &fence,
+                        ));
+                        if let Some(s) = sup.as_mut() {
+                            s.record_failover(applied as u64, from_epoch, to_epoch, lost);
+                        }
+                        sink.wall_instant(
+                            None,
+                            phase::HEALTH,
+                            Instant::now(),
+                            format!(
+                                "at-update={applied} failover from-epoch={from_epoch} \
+                                 to-epoch={to_epoch} lost-updates={lost}"
+                            ),
+                        );
+                        if let Some(log) = &fault_log {
+                            log.push(FaultRecord::FailedOver {
+                                at_update: killed_at,
+                                from_epoch,
+                                to_epoch,
+                                lost_updates: lost,
+                            });
                         }
                     }
                 }
@@ -1074,7 +1423,9 @@ pub fn run_cluster_with<B: ClusterBackend>(
             let mut residual = Vec::new();
             if is_ssgd {
                 let pull_start = Instant::now();
-                let mut resp = match link.request(ClusterReq::Pull) {
+                // SSGD never runs fenced (no standby support): epoch 0,
+                // push_seq 0 (the "no sequencing" sentinel).
+                let mut resp = match link.request(ClusterReq::Pull { epoch: 0 }) {
                     Ok(r) => r,
                     Err(_) => break 'run,
                 };
@@ -1083,7 +1434,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let (flat, version) = match resp {
                         ClusterResp::Stop => break,
                         ClusterResp::Weights { flat, version, .. } => (flat, version),
-                        ClusterResp::Compensation { .. } => break,
+                        _ => break,
                     };
                     let compute_start = Instant::now();
                     let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
@@ -1099,6 +1450,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         loss,
                         batch_stats,
                         running,
+                        epoch: 0,
+                        push_seq: 0,
                     }) {
                         Ok(r) => r,
                         Err(_) => break,
@@ -1108,9 +1461,16 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 break 'run;
             }
             let mut last_t_comp = 0.0f32;
+            // Failover routing state: the server epoch this worker last
+            // saw (carried on every request), its per-push dedup sequence,
+            // and a bounded count of consecutive fenced retries.
+            let mut srv_epoch = 0u64;
+            let seq_base = u64::from(incarnation) << 32;
+            let mut push_counter = 0u64;
+            let mut fenced_retries = 0u32;
             loop {
                 let pull_start = Instant::now();
-                let resp = match link.request(ClusterReq::Pull) {
+                let resp = match link.request(ClusterReq::Pull { epoch: srv_epoch }) {
                     Ok(r) => r,
                     Err(_) => break,
                 };
@@ -1118,9 +1478,27 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 let t_comm = pull_start.elapsed().as_secs_f32();
                 let (flat, version, directive) = match resp {
                     ClusterResp::Stop => break,
-                    ClusterResp::Weights { flat, version, directive } => (flat, version, directive),
-                    ClusterResp::Compensation { .. } => break,
+                    ClusterResp::Weights { flat, version, directive, epoch } => {
+                        srv_epoch = epoch;
+                        (flat, version, directive)
+                    }
+                    ClusterResp::Fenced { epoch } => {
+                        // The primary this request addressed is dead:
+                        // adopt the promoted server's epoch and retry
+                        // with bounded backoff.
+                        srv_epoch = epoch;
+                        fenced_retries += 1;
+                        if fenced_retries > 64 {
+                            break;
+                        }
+                        if clock == ClockDomain::Wall {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        continue;
+                    }
+                    _ => break,
                 };
+                fenced_retries = 0;
                 // Supervisor directives: a reassigned data shard takes
                 // effect now, and the ladder rung decides whether this
                 // iteration runs the LC two-phase exchange or a plain
@@ -1142,11 +1520,22 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         batch_stats,
                         t_comm,
                         t_comp: last_t_comp,
+                        epoch: srv_epoch,
                     };
                     let state_start = Instant::now();
                     let (l_delay, one_step, km) = match link.request(state) {
                         Ok(ClusterResp::Compensation { l_delay, one_step, km }) => {
                             (l_delay, one_step, km)
+                        }
+                        Ok(ClusterResp::Fenced { epoch }) => {
+                            // Failover landed mid-exchange: the forward
+                            // pass is abandoned and the iteration restarts
+                            // against the promoted server.
+                            srv_epoch = epoch;
+                            if clock == ClockDomain::Wall {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            continue;
                         }
                         _ => break,
                     };
@@ -1158,12 +1547,15 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     wspan(w, phase::COMPUTE, backward_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
                     let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    push_counter += 1;
                     let push = ClusterReq::Grad {
                         grads,
                         pull_version: version,
                         loss,
                         batch_stats: Vec::new(),
                         running: BnState::default(),
+                        epoch: srv_epoch,
+                        push_seq: seq_base | push_counter,
                     };
                     let push_start = Instant::now();
                     if link.send(push).is_err() {
@@ -1177,6 +1569,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let grads = wire_grads(&cfg.compression, grads, &mut residual);
                     let running = node.bn_running();
                     let push_start = Instant::now();
+                    push_counter += 1;
                     if link
                         .send(ClusterReq::Grad {
                             grads,
@@ -1184,6 +1577,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                             loss,
                             batch_stats,
                             running,
+                            epoch: srv_epoch,
+                            push_seq: seq_base | push_counter,
                         })
                         .is_err()
                     {
@@ -1203,6 +1598,23 @@ pub fn run_cluster_with<B: ClusterBackend>(
     };
 
     let transport = backend.run(server_fn, worker_fn)?;
+
+    // ---- replication teardown -----------------------------------------
+    // Dropping the stream hangs up the duplex; the standby thread's recv
+    // fails and it exits cleanly.
+    let replication = if standby.is_some() {
+        let mut rep = repl.take().map(|rs| rs.report).unwrap_or_default();
+        if let Some(h) = standby_handle.take() {
+            let _ = h.join();
+        }
+        rep.final_epoch = fence.epoch();
+        rep.fenced_reads = fence.fenced_reads;
+        rep.fenced_pushes = fence.fenced_pushes;
+        rep.duplicate_pushes = fence.duplicate_pushes;
+        Some(rep)
+    } else {
+        None
+    };
 
     // Replay every observed fault/recovery onto the trace timeline as an
     // instant event, at the wall instant the log stamped it with.
@@ -1253,6 +1665,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
         faults,
         timeline: want_trace.then(|| sink.finish()),
         health: sup.map(Supervisor::into_report),
+        replication,
     })
 }
 

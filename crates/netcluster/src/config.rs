@@ -30,6 +30,10 @@ pub struct NetConfig {
     pub connect_backoff: Duration,
     /// Ceiling on the exponential backoff.
     pub connect_backoff_cap: Duration,
+    /// How long a primary holds the replication lease without a standby
+    /// acknowledgement before it must stop serving writes and force a
+    /// confirmation round trip (see `lcasgd-core`'s failover design).
+    pub lease_timeout: Duration,
     /// Per-connection circuit breaker thresholds: the worker gates its
     /// redial storms and the server gates codec-failing ranks through
     /// the same error-rate window → open → half-open probe machine.
@@ -46,6 +50,7 @@ impl Default for NetConfig {
             connect_attempts: 5,
             connect_backoff: Duration::from_millis(25),
             connect_backoff_cap: Duration::from_secs(1),
+            lease_timeout: Duration::from_millis(500),
             breaker: BreakerConfig::default(),
         }
     }
@@ -63,7 +68,140 @@ impl NetConfig {
             connect_attempts: 5,
             connect_backoff: Duration::from_millis(5),
             connect_backoff_cap: Duration::from_millis(100),
+            lease_timeout: Duration::from_millis(100),
             breaker: BreakerConfig::fast(),
         }
+    }
+
+    /// Invariants the *server* relies on, checked at
+    /// [`crate::NetServer::bind`]. Only the server's own reaping windows
+    /// are validated here — a worker may legitimately run a different
+    /// heartbeat cadence (the reconnect tests do exactly that), so the
+    /// interval/timeout relation is a per-process property, not a
+    /// cluster-wide one.
+    pub fn validate_server(&self) -> Result<(), String> {
+        if self.heartbeat_timeout <= self.heartbeat_interval {
+            return Err(format!(
+                "heartbeat_timeout ({:?}) must exceed heartbeat_interval ({:?}): a \
+                 healthy-but-idle worker beats once per interval, so a timeout at or \
+                 below it reaps every connection it is meant to protect",
+                self.heartbeat_timeout, self.heartbeat_interval
+            ));
+        }
+        if self.hello_timeout.is_zero() {
+            return Err("hello_timeout must be non-zero: a zero window writes every rank off \
+                 before its Hello can arrive"
+                .to_string());
+        }
+        if self.lease_timeout.is_zero() {
+            return Err("lease_timeout must be non-zero: a zero lease forces a standby \
+                 confirmation round trip before every write"
+                .to_string());
+        }
+        Ok(())
+    }
+
+    /// Invariants the *worker* relies on, checked at
+    /// [`crate::NetWorker::connect`]. Deliberately does not compare
+    /// `heartbeat_interval` against `heartbeat_timeout`: the timeout is
+    /// enforced by the server against the server's own config.
+    pub fn validate_worker(&self) -> Result<(), String> {
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat_interval must be non-zero: a zero interval spins the \
+                 heartbeat thread flat out and floods the connection"
+                .to_string());
+        }
+        if self.request_timeout.is_zero() {
+            return Err("request_timeout must be non-zero: a zero deadline times every \
+                 request out before the reply can arrive"
+                .to_string());
+        }
+        if self.connect_attempts == 0 {
+            return Err(
+                "connect_attempts must be non-zero: zero attempts can never dial".to_string()
+            );
+        }
+        if self.connect_backoff.is_zero() {
+            return Err("connect_backoff must be non-zero: a zero backoff redials in a \
+                 busy loop and never escapes a refusing server"
+                .to_string());
+        }
+        if self.connect_backoff_cap < self.connect_backoff {
+            return Err(format!(
+                "connect_backoff_cap ({:?}) must be at least connect_backoff ({:?}): \
+                 the cap bounds the doubling schedule from above",
+                self.connect_backoff_cap, self.connect_backoff
+            ));
+        }
+        if self.lease_timeout.is_zero() {
+            return Err("lease_timeout must be non-zero: a zero lease forces a standby \
+                 confirmation round trip before every write"
+                .to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_fast_pass_both_validators() {
+        for cfg in [NetConfig::default(), NetConfig::fast()] {
+            cfg.validate_server().unwrap();
+            cfg.validate_worker().unwrap();
+        }
+    }
+
+    #[test]
+    fn server_rejects_timeout_at_or_below_interval() {
+        let base = NetConfig::default();
+        let cfg = NetConfig { heartbeat_timeout: base.heartbeat_interval, ..base.clone() };
+        let err = cfg.validate_server().unwrap_err();
+        assert!(err.contains("heartbeat_timeout"), "unhelpful error: {err}");
+        let cfg = NetConfig { heartbeat_timeout: base.heartbeat_interval / 2, ..base };
+        cfg.validate_server().unwrap_err();
+        // The same config is a legal *worker* config: the worker never
+        // enforces the server's reaping window.
+        cfg.validate_worker().unwrap();
+    }
+
+    #[test]
+    fn server_rejects_zero_hello_and_lease_windows() {
+        let cfg = NetConfig { hello_timeout: Duration::ZERO, ..NetConfig::default() };
+        assert!(cfg.validate_server().unwrap_err().contains("hello_timeout"));
+        let cfg = NetConfig { lease_timeout: Duration::ZERO, ..NetConfig::default() };
+        assert!(cfg.validate_server().unwrap_err().contains("lease_timeout"));
+    }
+
+    #[test]
+    fn worker_rejects_zero_retry_machinery() {
+        let cfg = NetConfig { request_timeout: Duration::ZERO, ..NetConfig::default() };
+        assert!(cfg.validate_worker().unwrap_err().contains("request_timeout"));
+
+        let cfg = NetConfig { connect_attempts: 0, ..NetConfig::default() };
+        assert!(cfg.validate_worker().unwrap_err().contains("connect_attempts"));
+
+        let cfg = NetConfig { connect_backoff: Duration::ZERO, ..NetConfig::default() };
+        assert!(cfg.validate_worker().unwrap_err().contains("connect_backoff"));
+
+        let base = NetConfig::default();
+        let cfg = NetConfig { connect_backoff_cap: base.connect_backoff / 2, ..base };
+        assert!(cfg.validate_worker().unwrap_err().contains("connect_backoff_cap"));
+
+        let cfg = NetConfig { lease_timeout: Duration::ZERO, ..NetConfig::default() };
+        assert!(cfg.validate_worker().unwrap_err().contains("lease_timeout"));
+
+        let cfg = NetConfig { heartbeat_interval: Duration::ZERO, ..NetConfig::default() };
+        assert!(cfg.validate_worker().unwrap_err().contains("heartbeat_interval"));
+    }
+
+    #[test]
+    fn slow_worker_heartbeat_is_legal_worker_side() {
+        // The reconnect tests run a worker whose interval exceeds the
+        // server's timeout on purpose; that asymmetry must validate.
+        let cfg = NetConfig { heartbeat_interval: Duration::from_secs(30), ..NetConfig::fast() };
+        cfg.validate_worker().unwrap();
     }
 }

@@ -37,13 +37,52 @@ pub use config::NetConfig;
 pub use server::NetServer;
 pub use worker::NetWorker;
 
+use frame::{read_frame, write_frame, Frame, FrameKind};
 use lcasgd_simcluster::{
-    ClusterBackend, ClusterError, FaultPlan, FaultyLink, ServerCtx, TraceHook, TransportStats,
-    WireMsg, WorkerLink,
+    ClusterBackend, ClusterError, FaultPlan, FaultyLink, ReplicaDuplex, ReplicaDuplexPair,
+    ServerCtx, TraceHook, TransportStats, WireMsg, WorkerLink,
 };
 use parking_lot::Mutex;
-use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+
+/// [`ReplicaDuplex`] endpoint over a loopback TCP stream: every
+/// replication payload rides one CRC-checked [`Frame`], so the
+/// primary→standby stream exercises the same wire format (magic, version,
+/// sequence, checksum) as worker traffic. The primary's frames are
+/// `Request`s, the standby's acknowledgements `Reply`s.
+struct TcpReplicaDuplex {
+    stream: TcpStream,
+    kind: FrameKind,
+    seq: u64,
+}
+
+impl ReplicaDuplex for TcpReplicaDuplex {
+    fn send(&mut self, payload: &[u8]) -> Result<(), ClusterError> {
+        self.seq += 1;
+        write_frame(&mut self.stream, &Frame::new(self.kind, self.seq, payload.to_vec()))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ClusterError> {
+        let (frame, _wire) = read_frame(&mut self.stream)?;
+        Ok(frame.payload)
+    }
+}
+
+/// Builds a connected CRC-framed loopback pair: `(primary_end,
+/// standby_end)`.
+fn tcp_replica_pair() -> Result<(TcpReplicaDuplex, TcpReplicaDuplex), ClusterError> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let dial = TcpStream::connect(listener.local_addr()?)?;
+    let (accepted, _peer) = listener.accept()?;
+    dial.set_nodelay(true)?;
+    accepted.set_nodelay(true)?;
+    Ok((
+        TcpReplicaDuplex { stream: dial, kind: FrameKind::Request, seq: 0 },
+        TcpReplicaDuplex { stream: accepted, kind: FrameKind::Reply, seq: 0 },
+    ))
+}
 
 /// TCP instantiation of [`ClusterBackend`]: one `NetServer` and M
 /// `NetWorker` threads over loopback by default.
@@ -98,6 +137,11 @@ impl ClusterBackend for NetCluster {
 
     fn attach_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
         self.trace_hook = Some(hook);
+    }
+
+    fn replica_duplex(&mut self) -> Result<ReplicaDuplexPair, ClusterError> {
+        let (primary, standby) = tcp_replica_pair()?;
+        Ok((Box::new(primary), Box::new(standby)))
     }
 
     fn run<Req, Resp, S, W>(
@@ -313,6 +357,56 @@ mod tests {
             assert!(stats.requests >= 41);
         });
         assert_eq!(finished.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn replica_duplex_roundtrips_crc_frames_over_loopback() {
+        let (mut primary, mut standby) =
+            NetCluster::new(2).replica_duplex().expect("loopback pair");
+        let standby_thread = std::thread::spawn(move || {
+            // Echo each payload back reversed until the primary hangs up.
+            let mut served = 0u32;
+            while let Ok(mut bytes) = standby.recv() {
+                bytes.reverse();
+                standby.send(&bytes).unwrap();
+                served += 1;
+            }
+            served
+        });
+        for i in 0..8u8 {
+            let payload = vec![i, i + 1, i + 2];
+            primary.send(&payload).unwrap();
+            let mut back = primary.recv().unwrap();
+            back.reverse();
+            assert_eq!(back, payload);
+        }
+        drop(primary); // EOF → the standby's recv errors out
+        assert_eq!(standby_thread.join().unwrap(), 8);
+    }
+
+    #[test]
+    fn bind_and_connect_reject_invalid_configs() {
+        let mut bad = NetConfig::fast();
+        bad.heartbeat_timeout = Duration::from_millis(5); // below the 20ms interval
+        let err = match NetServer::bind("127.0.0.1:0", 1, bad) {
+            Err(e) => e,
+            Ok(_) => panic!("inverted heartbeat windows must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("heartbeat_timeout"), "unhelpful error: {err}");
+
+        let server = NetServer::bind("127.0.0.1:0", 1, NetConfig::fast()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut bad = NetConfig::fast();
+        bad.request_timeout = Duration::ZERO;
+        let err = match NetWorker::connect(addr, 0, bad) {
+            Err(e) => e,
+            Ok(_) => panic!("zero request_timeout must be rejected"),
+        };
+        assert!(
+            matches!(&err, ClusterError::Protocol(why) if why.contains("request_timeout")),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl NetServer {
     /// for; pass `127.0.0.1:0` as `addr` to let the OS pick a free port.
     pub fn bind(addr: impl ToSocketAddrs, workers: usize, cfg: NetConfig) -> io::Result<NetServer> {
         assert!(workers > 0, "need at least one worker");
+        cfg.validate_server().map_err(|why| io::Error::new(io::ErrorKind::InvalidInput, why))?;
         Ok(NetServer { listener: TcpListener::bind(addr)?, workers, cfg, trace_hook: None })
     }
 

@@ -88,6 +88,8 @@ impl NetWorker {
         rank: usize,
         cfg: NetConfig,
     ) -> Result<NetWorker, ClusterError> {
+        cfg.validate_worker()
+            .map_err(|why| ClusterError::Protocol(format!("invalid NetConfig: {why}")))?;
         let breaker = CircuitBreaker::new(cfg.breaker.clone());
         let mut worker = NetWorker {
             rank,

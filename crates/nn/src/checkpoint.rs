@@ -107,11 +107,25 @@ impl Checkpoint {
         Ok(Checkpoint { params, bn })
     }
 
-    /// Saves to a file.
+    /// Atomically and durably saves to a file: writes a `<path>.tmp`
+    /// sibling, fsyncs it, renames over the destination, and fsyncs the
+    /// parent directory so a host crash cannot leave a truncated
+    /// "committed" checkpoint.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut w = BufWriter::new(File::create(&tmp)?);
         self.write_to(&mut w)?;
-        w.flush()
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        drop(w);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(())
     }
 
     /// Loads from a file.

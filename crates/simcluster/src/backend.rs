@@ -428,6 +428,52 @@ pub trait TraceHook: Send + Sync {
     }
 }
 
+// ---------------------------------------------------------- replication
+
+/// Byte-level duplex between a primary parameter server and its hot
+/// standby. The replication stream is payload-agnostic at this layer —
+/// `core` encodes [`WireMsg`] replication records into the byte frames —
+/// so in-memory backends can carry it over channels while the TCP backend
+/// routes it through its CRC-checked frame codec.
+pub trait ReplicaDuplex: Send {
+    /// Delivers one replication frame to the peer.
+    fn send(&mut self, payload: &[u8]) -> Result<(), ClusterError>;
+
+    /// Blocks for the next replication frame from the peer.
+    /// `Disconnected` means the peer hung up (end of stream).
+    fn recv(&mut self) -> Result<Vec<u8>, ClusterError>;
+}
+
+/// In-process [`ReplicaDuplex`] over a pair of mpsc channels — the
+/// default transport for `ClusterSim` and `ThreadCluster`, where primary
+/// and standby share an address space.
+pub struct ChannelDuplex {
+    tx: std::sync::mpsc::Sender<Vec<u8>>,
+    rx: std::sync::mpsc::Receiver<Vec<u8>>,
+}
+
+impl ReplicaDuplex for ChannelDuplex {
+    fn send(&mut self, payload: &[u8]) -> Result<(), ClusterError> {
+        self.tx.send(payload.to_vec()).map_err(|_| ClusterError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ClusterError> {
+        self.rx.recv().map_err(|_| ClusterError::Disconnected)
+    }
+}
+
+/// A connected `(primary_end, standby_end)` duplex pair, as built by
+/// [`ClusterBackend::replica_duplex`].
+pub type ReplicaDuplexPair = (Box<dyn ReplicaDuplex>, Box<dyn ReplicaDuplex>);
+
+/// Builds a connected pair of in-process duplex endpoints: whatever one
+/// end sends, the other receives, in order.
+pub fn channel_duplex_pair() -> (ChannelDuplex, ChannelDuplex) {
+    let (atx, brx) = std::sync::mpsc::channel();
+    let (btx, arx) = std::sync::mpsc::channel();
+    (ChannelDuplex { tx: atx, rx: arx }, ChannelDuplex { tx: btx, rx: brx })
+}
+
 // -------------------------------------------------------------- contract
 
 /// The worker side of a backend: rank plus the two message primitives of
@@ -511,6 +557,16 @@ pub trait ClusterBackend {
     /// driver's own instrumentation is the only event source.
     fn attach_trace_hook(&mut self, hook: std::sync::Arc<dyn TraceHook>) {
         let _ = hook;
+    }
+
+    /// Builds the replication duplex between the primary server and a hot
+    /// standby: `(primary_end, standby_end)`. In-memory backends use
+    /// process-local channels (the default); the TCP backend overrides
+    /// this to route the stream through its CRC-framed loopback transport
+    /// so replication traffic exercises the same codec as worker traffic.
+    fn replica_duplex(&mut self) -> Result<ReplicaDuplexPair, ClusterError> {
+        let (p, s) = channel_duplex_pair();
+        Ok((Box::new(p), Box::new(s)))
     }
 
     /// Runs the round to completion and reports transport statistics.

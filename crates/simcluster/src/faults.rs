@@ -123,6 +123,11 @@ pub enum FaultRecord {
     /// A periodic checkpoint write failed (I/O error). The run continues;
     /// the failure is surfaced here instead of panicking the server.
     CheckpointFailed { at_update: u64, error: String },
+    /// The primary parameter server was killed and its hot standby
+    /// promoted. `at_update` is the primary's applied count at the kill;
+    /// `lost_updates` is how many applied-but-unreplicated updates the
+    /// promotion discarded.
+    FailedOver { at_update: u64, from_epoch: u64, to_epoch: u64, lost_updates: u64 },
 }
 
 impl fmt::Display for FaultRecord {
@@ -140,6 +145,13 @@ impl fmt::Display for FaultRecord {
             FaultRecord::Resumed { at_update } => write!(f, "resumed from update {at_update}"),
             FaultRecord::CheckpointFailed { at_update, error } => {
                 write!(f, "checkpoint failed at update {at_update}: {error}")
+            }
+            FaultRecord::FailedOver { at_update, from_epoch, to_epoch, lost_updates } => {
+                write!(
+                    f,
+                    "primary killed at update {at_update}: standby promoted \
+                     (epoch {from_epoch} -> {to_epoch}, {lost_updates} updates lost)"
+                )
             }
         }
     }
@@ -190,6 +202,11 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
     /// Halt-and-checkpoint the server once this many updates have applied.
     pub server_restart_at_update: Option<u64>,
+    /// Kill the primary parameter server (promote its hot standby) once
+    /// this many updates have applied. Requires the run to have a standby
+    /// attached; like the server restart, the trigger is the applied-update
+    /// count so it replays identically on every backend.
+    pub primary_kill_at_update: Option<u64>,
     log: FaultLog,
 }
 
@@ -211,6 +228,12 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the primary kill / standby promotion (builder style).
+    pub fn with_primary_kill(mut self, at_update: u64) -> Self {
+        self.primary_kill_at_update = Some(at_update);
+        self
+    }
+
     /// The shared log this plan's injections report into.
     pub fn log(&self) -> FaultLog {
         self.log.clone()
@@ -227,6 +250,7 @@ impl FaultPlan {
             FaultRecord::ServerHalted { at_update } => (2, 0, *at_update),
             FaultRecord::Resumed { at_update } => (3, 0, *at_update),
             FaultRecord::CheckpointFailed { at_update, .. } => (4, 0, *at_update),
+            FaultRecord::FailedOver { at_update, .. } => (5, 0, *at_update),
         });
         recs
     }
@@ -300,6 +324,9 @@ impl FaultPlan {
         if let Some(at) = self.server_restart_at_update {
             out.push_str(&format!("server-restart at-update={at}\n"));
         }
+        if let Some(at) = self.primary_kill_at_update {
+            out.push_str(&format!("primary-kill at-update={at}\n"));
+        }
         out
     }
 
@@ -338,6 +365,12 @@ impl FaultPlan {
             if verb == "server-restart" {
                 plan.server_restart_at_update = Some(at_update.ok_or_else(|| {
                     format!("line {}: server-restart needs at-update=N", lineno + 1)
+                })?);
+                continue;
+            }
+            if verb == "primary-kill" {
+                plan.primary_kill_at_update = Some(at_update.ok_or_else(|| {
+                    format!("line {}: primary-kill needs at-update=N", lineno + 1)
                 })?);
                 continue;
             }
@@ -797,11 +830,13 @@ mod tests {
             .with_event(0, 30, FaultKind::NanGrad)
             .with_event(1, 33, FaultKind::CorruptPayload)
             .with_event(3, 35, FaultKind::Straggle { delay_ms: 12, ops: 6 })
-            .with_server_restart(40);
+            .with_server_restart(40)
+            .with_primary_kill(23);
         let text = plan.to_text();
         let back = FaultPlan::parse(&text).unwrap();
         assert_eq!(back.events, plan.events);
         assert_eq!(back.server_restart_at_update, Some(40));
+        assert_eq!(back.primary_kill_at_update, Some(23));
     }
 
     #[test]
@@ -815,6 +850,11 @@ mod tests {
         assert!(FaultPlan::parse("straggle worker=0 at-op=1 ops=3").is_err());
         assert!(FaultPlan::parse("crash worker=x at-op=1").is_err());
         assert!(FaultPlan::parse("server-restart").is_err());
+        assert!(FaultPlan::parse("primary-kill").is_err());
+        assert_eq!(
+            FaultPlan::parse("primary-kill at-update=9").unwrap().primary_kill_at_update,
+            Some(9)
+        );
     }
 
     #[test]

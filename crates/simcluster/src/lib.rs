@@ -28,8 +28,9 @@ pub mod sim_backend;
 pub mod thread_cluster;
 
 pub use backend::{
-    ClockDomain, ClusterBackend, ClusterError, LatencyHistogram, ServerCtx, TraceHook,
-    TransportStats, WireMsg, WireReader, WorkerLink,
+    channel_duplex_pair, ChannelDuplex, ClockDomain, ClusterBackend, ClusterError,
+    LatencyHistogram, ReplicaDuplex, ReplicaDuplexPair, ServerCtx, TraceHook, TransportStats,
+    WireMsg, WireReader, WorkerLink,
 };
 pub use event::EventQueue;
 pub use faults::{FaultEvent, FaultHooks, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultyLink};

@@ -97,6 +97,12 @@ fn main() {
             FaultRecord::CheckpointFailed { at_update, error } => {
                 println!("  checkpoint write failed at update {at_update}: {error}")
             }
+            FaultRecord::FailedOver { at_update, from_epoch, to_epoch, lost_updates } => {
+                println!(
+                    "  primary killed at update {at_update}: standby promoted \
+                     (epoch {from_epoch}→{to_epoch}, {lost_updates} updates lost)"
+                )
+            }
         }
     }
     println!(

@@ -10,6 +10,7 @@
 //!                [--trace PATH] [--trace-format chrome|prometheus|summary]
 //!                [--staleness-bound N] [--admission reject|clip|requeue]
 //!                [--fallback auto|off] [--health-log PATH]
+//!                [--standby] [--flush-every N] [--lease-ms N]
 //! lcasgd staleness [--workers N] [--seed N] [--stragglers]
 //! lcasgd help
 //! ```
@@ -38,6 +39,14 @@
 //! graded LC-ASGD → DC-ASGD → ASGD fallback ladder (default: auto), and
 //! `--health-log PATH` writes the run's health event log to `PATH`.
 //! Any supervisor flag also routes the run through the thread cluster.
+//!
+//! `--standby` attaches a hot-standby replica of the parameter server:
+//! every applied update streams to a warm mirror as a write-ahead log
+//! record (flushed synchronously every `--flush-every` updates, default
+//! 4), the primary's write lease lasts `--lease-ms` milliseconds
+//! (default 500), and a fault plan with a `primary-kill at-update=N`
+//! line promotes the standby in place of the killed primary with a
+//! bumped fencing epoch. Asynchronous algorithms only.
 
 use lc_asgd::core::config::DataPartition;
 use lc_asgd::nn::resnet::ResNetConfig;
@@ -70,7 +79,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
+        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n               [--standby] [--flush-every N] [--lease-ms N]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
     );
     exit(2)
 }
@@ -219,6 +228,10 @@ fn train(args: &Args) {
     let trace_format: TraceFormat = args.parse("--trace-format", TraceFormat::Chrome);
     let health_log = args.value("--health-log").map(PathBuf::from);
     let supervisor = supervisor_config(args, health_log.is_some());
+    let standby = args.flag("--standby").then(|| StandbyConfig {
+        flush_every: args.parse("--flush-every", StandbyConfig::default().flush_every),
+        lease: std::time::Duration::from_millis(args.parse("--lease-ms", 500)),
+    });
     // Any robustness or observability flag routes the run through the
     // real-thread cluster backend; the default path stays the
     // co-simulated experiment driver.
@@ -226,13 +239,18 @@ fn train(args: &Args) {
         || resume.is_some()
         || checkpoint_path.is_some()
         || trace_path.is_some()
-        || supervisor.is_some();
+        || supervisor.is_some()
+        || standby.is_some();
     if fault_plan.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("--fault-plan requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
     }
     if supervisor.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("the supervisor requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
+        exit(2);
+    }
+    if standby.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
+        eprintln!("--standby requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
     }
 
@@ -254,6 +272,7 @@ fn train(args: &Args) {
             resume,
             trace: trace_path.is_some(),
             supervisor,
+            standby,
         };
         run_cluster_with(backend, &cfg, &build, &train_set, &test_set, opts).unwrap_or_else(|e| {
             eprintln!("cluster run failed: {e}");
@@ -309,6 +328,9 @@ fn train(args: &Args) {
         if f.server_halted {
             println!("server halted at the planned restart point; rerun with --resume to continue");
         }
+    }
+    if let Some(r) = &result.replication {
+        println!("{}", r.to_text());
     }
     if let Some(h) = &result.health {
         println!(

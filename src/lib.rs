@@ -34,6 +34,7 @@ pub mod prelude {
     pub use lcasgd_core::compensation::CompensationMode;
     pub use lcasgd_core::config::{ExperimentConfig, NetTuning, Scale};
     pub use lcasgd_core::metrics::{FaultReport, RunResult};
+    pub use lcasgd_core::replication::{ReplicationReport, StandbyConfig};
     pub use lcasgd_core::supervisor::{
         AdmissionPolicy, AlgoMode, HealthEvent, HealthReport, SupervisorConfig,
     };

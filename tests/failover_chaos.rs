@@ -1,0 +1,239 @@
+//! Failover chaos suite: a hot standby shadows the parameter server on
+//! every backend, the primary is killed mid-run, and the promoted standby
+//! must finish training — deterministically on the simulator, and with
+//! the fencing/at-most-once invariants holding everywhere. Extends the
+//! backend-equivalence guarantee from worker faults (`chaos_faults.rs`)
+//! to the server side.
+
+use lc_asgd::core::{EpochFence, PushVerdict};
+use lc_asgd::prelude::*;
+use lc_asgd::simcluster::{ClusterSim, FaultKind, SimPayload};
+
+fn task() -> (Dataset, Dataset) {
+    lc_asgd::data::synth::blobs_split(4, 6, 30, 12, 0.5, 33)
+}
+
+fn cfg(algo: Algorithm, workers: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(algo, workers, Scale::Tiny, 23);
+    cfg.epochs = 10;
+    cfg.batch_size = 10;
+    cfg.lr = lc_asgd::nn::optimizer::LrSchedule::constant(0.1);
+    cfg
+}
+
+fn build(rng: &mut Rng) -> lc_asgd::nn::Network {
+    lc_asgd::nn::mlp::mlp(&[6, 16, 4], false, rng)
+}
+
+fn standby() -> StandbyConfig {
+    StandbyConfig { flush_every: 4, lease: std::time::Duration::from_millis(500) }
+}
+
+fn opts(plan: &FaultPlan) -> RunOptions {
+    RunOptions { fault_plan: Some(plan.clone()), standby: Some(standby()), ..RunOptions::default() }
+}
+
+/// The run must reach the target update count through the promotion, the
+/// report must account one failover with a bounded lost tail, and the
+/// task must still be learned.
+fn assert_failed_over(name: &str, r: &RunResult, target: usize, kill_at: u64, baseline_err: f32) {
+    assert_eq!(r.iterations as usize, target, "{name}: promoted run must reach the target");
+    let rep = r.replication.as_ref().expect("standby runs carry a replication report");
+    assert_eq!(rep.failovers, 1, "{name}: exactly one promotion");
+    assert_eq!(rep.final_epoch, 1, "{name}: promotion bumps the fencing epoch once");
+    assert!(
+        rep.lost_updates < standby().flush_every,
+        "{name}: the lost tail is bounded by the un-flushed batch, got {}",
+        rep.lost_updates
+    );
+    assert!(
+        rep.fenced_reads + rep.fenced_pushes >= 1,
+        "{name}: survivors of the old epoch must have been fenced at least once"
+    );
+    assert!(rep.snapshots >= 2, "{name}: bootstrap plus post-promotion re-arm");
+    let faults = r.faults.as_ref().expect("fault plan must produce a report");
+    assert!(
+        faults.records.iter().any(|rec| matches!(
+            rec,
+            FaultRecord::FailedOver { at_update, from_epoch: 0, to_epoch: 1, .. }
+                if *at_update >= kill_at
+        )),
+        "{name}: the failover must be recorded at or after the planned kill"
+    );
+    assert!(
+        r.final_test_error() < baseline_err + 0.2,
+        "{name}: failover err {} vs fault-free {}",
+        r.final_test_error(),
+        baseline_err
+    );
+}
+
+#[test]
+fn primary_kill_completes_on_all_three_backends() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let kill_at = (target / 2) as u64;
+    let plan = FaultPlan::new().with_primary_kill(kill_at);
+    let baseline = run_cluster(ThreadCluster::new(4), &c, &build, &train, &test)
+        .expect("fault-free baseline failed");
+
+    let sim: ClusterSim<SimPayload> =
+        ClusterSim::new(c.cluster.clone()).with_fault_plan(plan.clone());
+    let runs: Vec<(&str, RunResult)> = vec![
+        (
+            "sim",
+            run_cluster_with(sim, &c, &build, &train, &test, opts(&plan))
+                .expect("sim failover run failed"),
+        ),
+        (
+            "threads",
+            run_cluster_with(
+                ThreadCluster::new(4).with_fault_plan(plan.clone()),
+                &c,
+                &build,
+                &train,
+                &test,
+                opts(&plan),
+            )
+            .expect("thread failover run failed"),
+        ),
+        (
+            "tcp",
+            run_cluster_with(
+                NetCluster::new(4).with_config(NetConfig::fast()).with_fault_plan(plan.clone()),
+                &c,
+                &build,
+                &train,
+                &test,
+                opts(&plan),
+            )
+            .expect("tcp failover run failed"),
+        ),
+    ];
+    for (name, r) in &runs {
+        assert_failed_over(name, r, target, kill_at, baseline.final_test_error());
+    }
+}
+
+#[test]
+fn lc_asgd_failover_restores_predictors_on_threads() {
+    // LC-ASGD exercises the widest promotion surface: the standby must
+    // hand back predictor weights, arrival history, and the two-phase
+    // State→Grad exchange must survive the epoch bump mid-protocol.
+    let (train, test) = task();
+    let c = cfg(Algorithm::LcAsgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let kill_at = (target / 2) as u64;
+    let plan = FaultPlan::new().with_primary_kill(kill_at);
+    let r = run_cluster_with(
+        ThreadCluster::new(4).with_fault_plan(plan.clone()),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions { supervisor: Some(SupervisorConfig::default()), ..opts(&plan) },
+    )
+    .expect("LC failover run failed");
+    assert_eq!(r.iterations as usize, target);
+    let rep = r.replication.as_ref().unwrap();
+    assert_eq!(rep.failovers, 1);
+    let health = r.health.as_ref().expect("a supervised run carries a health report");
+    assert_eq!(health.failovers(), 1, "the supervisor logs the promotion");
+    assert_eq!(r.epochs.len(), c.epochs, "all epochs complete through the promotion");
+    assert!(r.final_test_error() < 0.35, "err {}", r.final_test_error());
+}
+
+#[test]
+fn sim_failover_is_bit_reproducible() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let kill_at = (target / 2) as u64;
+    let run = || {
+        let plan = FaultPlan::new().with_primary_kill(kill_at);
+        let sim: ClusterSim<SimPayload> =
+            ClusterSim::new(c.cluster.clone()).with_fault_plan(plan.clone());
+        run_cluster_with(sim, &c, &build, &train, &test, opts(&plan))
+            .expect("sim failover run failed")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.staleness, b.staleness, "identical staleness stream through the failover");
+    assert_eq!(
+        a.final_test_error(),
+        b.final_test_error(),
+        "the simulated failover must be bit-reproducible"
+    );
+    let (ra, rb) = (a.replication.as_ref().unwrap(), b.replication.as_ref().unwrap());
+    assert_eq!(ra.lost_updates, rb.lost_updates, "the discarded tail is deterministic");
+    assert_eq!(ra.log_records, rb.log_records);
+    assert_eq!(
+        a.faults.as_ref().unwrap().records,
+        b.faults.as_ref().unwrap().records,
+        "identical fault records through the failover"
+    );
+}
+
+#[test]
+fn epoch_fencing_rejects_stale_pushes_without_double_apply() {
+    // Unit-level proof of at-most-once apply across a promotion: the
+    // fence admits a push exactly once, rejects its replay as a
+    // duplicate, and rejects anything from a dead epoch outright.
+    let mut fence = EpochFence::new(2, true);
+    assert_eq!(fence.epoch(), 0);
+    assert!(fence.admit_read(0));
+
+    let push = 1u64; // worker 0, first push of incarnation 0
+    assert!(matches!(fence.check_push(0, 0, push), PushVerdict::Admit));
+    fence.commit_push(0, push);
+    assert!(
+        matches!(fence.check_push(0, 0, push), PushVerdict::Duplicate),
+        "an applied push replayed on the same epoch must be deduplicated"
+    );
+
+    // The standby applied up to push 1 from worker 0; promote with that
+    // dedup state.
+    let new_epoch = fence.promote(fence.push_seqs().to_vec());
+    assert_eq!(new_epoch, 1);
+    assert!(!fence.admit_read(0), "reads carrying the dead epoch are fenced");
+    assert!(
+        matches!(fence.check_push(0, 0, 2), PushVerdict::StaleEpoch),
+        "even a fresh sequence number is rejected when its epoch is dead"
+    );
+    assert!(
+        matches!(fence.check_push(0, 1, push), PushVerdict::Duplicate),
+        "a replayed push on the new epoch is still a duplicate — no double apply"
+    );
+    assert!(matches!(fence.check_push(0, 1, 2), PushVerdict::Admit));
+    assert!(
+        matches!(fence.check_push(1, 1, u64::from(1u32) << 32 | 1), PushVerdict::Admit),
+        "a restarted worker's new incarnation starts a fresh sequence space"
+    );
+}
+
+#[test]
+fn standby_lag_stays_bounded_under_straggle() {
+    // A straggling worker stretches the run out; the synchronous flush
+    // protocol must still bound the primary-to-standby lag by the batch
+    // size, straggler or not.
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let plan = FaultPlan::new().with_event(2, 4, FaultKind::Straggle { delay_ms: 25, ops: 100 });
+    let sim: ClusterSim<SimPayload> =
+        ClusterSim::new(c.cluster.clone()).with_fault_plan(plan.clone());
+    let r = run_cluster_with(sim, &c, &build, &train, &test, opts(&plan))
+        .expect("straggle standby run failed");
+    assert_eq!(r.iterations as usize, target);
+    let rep = r.replication.as_ref().unwrap();
+    assert_eq!(rep.failovers, 0, "no kill was planned");
+    assert_eq!(rep.log_records, target as u64, "every applied push is logged");
+    assert!(
+        rep.max_lag <= standby().flush_every,
+        "lag {} exceeds the flush batch bound {}",
+        rep.max_lag,
+        standby().flush_every
+    );
+    assert!(rep.flushes >= rep.log_records / standby().flush_every);
+}

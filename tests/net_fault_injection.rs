@@ -55,7 +55,8 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                     Err(_) => return, // server already done
                 };
                 let mut pushed = 0usize;
-                while let Ok(resp) = link.request::<_, ClusterResp>(&ClusterReq::Pull) {
+                while let Ok(resp) = link.request::<_, ClusterResp>(&ClusterReq::Pull { epoch: 0 })
+                {
                     let (flat, version) = match resp {
                         ClusterResp::Weights { flat, version, .. } => (flat, version),
                         _ => break,
@@ -67,6 +68,8 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                         loss,
                         batch_stats: Vec::new(),
                         running: Default::default(),
+                        epoch: 0,
+                        push_seq: 0,
                     };
                     if link.send(&push).is_err() {
                         break;
@@ -85,7 +88,7 @@ fn hung_worker_is_dropped_and_survivors_finish() {
 
         net_server
             .serve(|w, req: ClusterReq, ctx: &mut ServerCtx<ClusterResp>| match req {
-                ClusterReq::Pull => {
+                ClusterReq::Pull { .. } => {
                     if applied >= target {
                         ctx.reply(ClusterResp::Stop);
                     } else {
@@ -93,6 +96,7 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                             flat: server.weights.clone(),
                             version: server.version,
                             directive: None,
+                            epoch: 0,
                         });
                     }
                 }

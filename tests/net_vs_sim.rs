@@ -146,6 +146,8 @@ proptest! {
         grads in prop::collection::vec(-5.0f32..5.0, 1..48),
         pull_version in any::<u64>(),
         loss in 0.0f32..20.0,
+        epoch in any::<u64>(),
+        push_seq in any::<u64>(),
     ) {
         let msg = ClusterReq::Grad {
             grads: CompressedGrad::Dense(grads.clone()),
@@ -153,12 +155,16 @@ proptest! {
             loss,
             batch_stats: Vec::new(),
             running: Default::default(),
+            epoch,
+            push_seq,
         };
         match ClusterReq::decoded(&msg.encoded()).unwrap() {
-            ClusterReq::Grad { grads: g, pull_version: v, loss: l, .. } => {
+            ClusterReq::Grad { grads: g, pull_version: v, loss: l, epoch: e, push_seq: s, .. } => {
                 prop_assert_eq!(g.decompress(), grads);
                 prop_assert_eq!(v, pull_version);
                 prop_assert_eq!(l, loss);
+                prop_assert_eq!(e, epoch);
+                prop_assert_eq!(s, push_seq);
             }
             _ => prop_assert!(false, "variant changed across the wire"),
         }
@@ -169,12 +175,14 @@ proptest! {
     fn weight_replies_survive_the_wire(
         flat in prop::collection::vec(-3.0f32..3.0, 0..64),
         version in any::<u64>(),
+        epoch in any::<u64>(),
     ) {
-        let msg = ClusterResp::Weights { flat: flat.clone(), version, directive: None };
+        let msg = ClusterResp::Weights { flat: flat.clone(), version, directive: None, epoch };
         match ClusterResp::decoded(&msg.encoded()).unwrap() {
-            ClusterResp::Weights { flat: f, version: v, directive: None } => {
+            ClusterResp::Weights { flat: f, version: v, directive: None, epoch: e } => {
                 prop_assert_eq!(f, flat);
                 prop_assert_eq!(v, version);
+                prop_assert_eq!(e, epoch);
             }
             _ => prop_assert!(false, "variant changed across the wire"),
         }

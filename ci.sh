@@ -39,6 +39,14 @@ timeout 300 cargo test -q --release --test failover_chaos
 timeout 120 cargo test -q --release -p lcasgd-core replication
 timeout 120 cargo test -q --release -p lcasgd-netcluster config
 
+# Shard equivalence: shards=1 must be bitwise identical to the unsharded
+# protocol on the simulator, shards∈{2,4} must complete and learn on all
+# three backends, and the 4-shard primary-kill failover must promote the
+# mirrored shard group everywhere.
+echo "==> shard equivalence suite (hard 300s timeout)"
+timeout 300 cargo test -q --release --test shard_equivalence
+timeout 120 cargo test -q --release -p lcasgd-core shard
+
 # Observability contract: traced LC-ASGD on all three backends must tile
 # each worker's timeline (per-phase totals within 5% of elapsed time in
 # the run's clock domain) and the TCP byte counters must be frame-exact.
@@ -96,6 +104,19 @@ timeout 120 ./target/release/lcasgd train --algorithm asgd --workers 2 \
 grep -q 'replication:' "$REPL_OUT" || { echo "no replication summary"; exit 1; }
 grep -q 'failovers 1' "$REPL_OUT" || { echo "failover did not happen"; exit 1; }
 rm -f "$KILL_PLAN" "$REPL_OUT"
+
+# CLI smoke: a 4-shard run must exit 0, report the shard count, and
+# still survive a planned primary kill with a standby attached.
+echo "==> lcasgd train --shards 4 smoke"
+KILL_PLAN=$(mktemp /tmp/lcasgd_ci_shards.XXXXXX.txt)
+SHARD_OUT=$(mktemp /tmp/lcasgd_ci_shards.XXXXXX.log)
+printf 'primary-kill at-update=10\n' > "$KILL_PLAN"
+timeout 120 ./target/release/lcasgd train --algorithm asgd --workers 2 \
+    --scale tiny --epochs 2 --shards 4 --standby --flush-every 4 \
+    --lease-ms 200 --fault-plan "$KILL_PLAN" > "$SHARD_OUT"
+grep -q 'sharded across 4 model shards' "$SHARD_OUT" || { echo "no shard summary"; exit 1; }
+grep -q 'failovers 1' "$SHARD_OUT" || { echo "sharded failover did not happen"; exit 1; }
+rm -f "$KILL_PLAN" "$SHARD_OUT"
 
 echo "==> cargo fmt --check (touched crates)"
 cargo fmt --check "${TOUCHED[@]}"

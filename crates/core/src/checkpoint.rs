@@ -55,7 +55,7 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
 /// The complete resumable state of a [`run_cluster`] training run.
 ///
 /// [`run_cluster`]: crate::trainer::run_cluster
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TrainingCheckpoint {
     /// Server's canonical flat weights `w_t`.
     pub weights: Vec<f32>,
@@ -92,6 +92,13 @@ pub struct TrainingCheckpoint {
     /// Highest applied push sequence number per worker (0 = none yet),
     /// the at-most-once dedup state replayed into a promoted standby.
     pub push_seqs: Vec<u64>,
+    /// Per-shard version counters of a sharded parameter server, in
+    /// shard order. Empty for unsharded (shards = 1) runs; the shard
+    /// layout is reconstructed as [`ShardSpec::even`] of the weight
+    /// length by this list's length.
+    ///
+    /// [`ShardSpec::even`]: crate::shard::ShardSpec::even
+    pub shard_versions: Vec<u64>,
 }
 
 // ------------------------------------------------------------- primitives
@@ -268,6 +275,10 @@ impl TrainingCheckpoint {
         for &s in &self.push_seqs {
             put_u64(w, s)?;
         }
+        put_u64(w, self.shard_versions.len() as u64)?;
+        for &v in &self.shard_versions {
+            put_u64(w, v)?;
+        }
         Ok(())
     }
 
@@ -369,6 +380,11 @@ impl TrainingCheckpoint {
         for _ in 0..n {
             push_seqs.push(get_u64(r)?);
         }
+        let n = get_len(r, "shard version")?;
+        let mut shard_versions = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_versions.push(get_u64(r)?);
+        }
         Ok(TrainingCheckpoint {
             weights,
             bn,
@@ -384,6 +400,7 @@ impl TrainingCheckpoint {
             worker_batches,
             server_epoch,
             push_seqs,
+            shard_versions,
         })
     }
 
@@ -496,6 +513,7 @@ mod tests {
             worker_batches: vec![(1, 7), (2, 0), (1, 11)],
             server_epoch: 2,
             push_seqs: vec![(1 << 32) | 9, 0, 17],
+            shard_versions: vec![321, 321, 321, 321],
         }
     }
 
@@ -518,6 +536,7 @@ mod tests {
         assert_eq!(a.worker_batches, b.worker_batches);
         assert_eq!(a.server_epoch, b.server_epoch);
         assert_eq!(a.push_seqs, b.push_seqs);
+        assert_eq!(a.shard_versions, b.shard_versions);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * [`server`] — the parameter server (Algorithm 2): weight updates
 //!   (Formula 8), the `iter` arrival log, and BN statistics accumulation
 //!   (Formulas 6–7 for Async-BN);
+//! * [`shard`] — the sharded parameter server: [`shard::ShardSpec`]
+//!   partitioning the flat weight vector into contiguous ranges and
+//!   [`shard::ShardGroup`] running one per-shard server instance behind
+//!   the serialized event loop, with merged (lead-shard) bookkeeping;
 //! * [`worker`] — the worker-side computation (Algorithm 1): pull, forward
 //!   with BN-stat recording, compensated backward (Formula 5), push;
 //! * [`algorithms`] — SGD / SSGD / ASGD / DC-ASGD / LC-ASGD selection;
@@ -40,6 +44,7 @@ pub mod predictor;
 pub mod protocol;
 pub mod replication;
 pub mod server;
+pub mod shard;
 pub mod supervisor;
 pub mod trace;
 pub mod trainer;
@@ -57,6 +62,7 @@ pub use replication::{
     EpochFence, Lease, LogRecord, PushVerdict, ReplicaPayload, ReplicationReport, StandbyConfig,
     StandbyReplica,
 };
+pub use shard::{ShardGroup, ShardSpec};
 pub use supervisor::{
     AdmissionPolicy, AlgoMode, HealthEvent, HealthReport, Supervisor, SupervisorConfig,
 };

@@ -166,6 +166,9 @@ pub struct RunResult {
     /// ([`crate::replication::ReplicationReport`]); `None` when the run
     /// had no standby attached.
     pub replication: Option<crate::replication::ReplicationReport>,
+    /// Parameter-server shard count the run used (0 for the co-simulated
+    /// drivers, which have no server process; backend runs report ≥ 1).
+    pub shards: usize,
 }
 
 impl RunResult {

@@ -28,8 +28,11 @@ use lcasgd_tensor::Tensor;
 /// [`crate::replication::EpochFence`]). Runs without a standby leave the
 /// epoch at 0 everywhere.
 pub enum ClusterReq {
-    /// Request the latest weights (Algorithm 1 line 1).
-    Pull { epoch: u64 },
+    /// Request the latest weights of one model shard (Algorithm 1
+    /// line 1). Unsharded runs always address shard 0. Shard 0 is the
+    /// *lead* pull of an iteration: it alone carries back the supervisor
+    /// directive and the stop signal.
+    Pull { epoch: u64, shard: u32 },
     /// LC-ASGD only: forward results pushed to the server, answered with
     /// the compensation inputs (Algorithm 1 line 8, Algorithm 2 lines
     /// 2–7). `t_comm`/`t_comp` are the worker's measured communication
@@ -45,7 +48,10 @@ pub enum ClusterReq {
     /// Gradient push (Algorithm 1 line 12). Fire-and-forget. `push_seq`
     /// is the worker's monotonic push sequence number
     /// (`(incarnation << 32) | counter`; 0 when fencing is off) — the
-    /// at-most-once dedup key.
+    /// at-most-once dedup key. Under sharding the push fans out as one
+    /// `Grad` per shard, all carrying the same `push_seq`; `grads` is the
+    /// addressed shard's slice, and the BN payloads ride only on the
+    /// shard-0 slice.
     Grad {
         grads: CompressedGrad,
         pull_version: u64,
@@ -54,6 +60,7 @@ pub enum ClusterReq {
         running: BnState,
         epoch: u64,
         push_seq: u64,
+        shard: u32,
     },
     /// A crashed worker rejoining after a restart (fire-and-forget).
     /// `incarnation` counts the worker's restarts (1 = first rejoin). The
@@ -200,9 +207,10 @@ impl WireMsg for ClusterReq {
 
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ClusterReq::Pull { epoch } => {
+            ClusterReq::Pull { epoch, shard } => {
                 wire::put_u8(buf, 0);
                 wire::put_u64(buf, *epoch);
+                wire::put_u32(buf, *shard);
             }
             ClusterReq::State { loss, running, batch_stats, t_comm, t_comp, epoch } => {
                 wire::put_u8(buf, 1);
@@ -221,6 +229,7 @@ impl WireMsg for ClusterReq {
                 running,
                 epoch,
                 push_seq,
+                shard,
             } => {
                 wire::put_u8(buf, 2);
                 grads.encode(buf);
@@ -230,6 +239,7 @@ impl WireMsg for ClusterReq {
                 put_bn_state(buf, running);
                 wire::put_u64(buf, *epoch);
                 wire::put_u64(buf, *push_seq);
+                wire::put_u32(buf, *shard);
             }
             ClusterReq::Join { incarnation } => {
                 wire::put_u8(buf, 3);
@@ -244,7 +254,7 @@ impl WireMsg for ClusterReq {
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
         match r.u8()? {
-            0 => Ok(ClusterReq::Pull { epoch: r.u64()? }),
+            0 => Ok(ClusterReq::Pull { epoch: r.u64()?, shard: r.u32()? }),
             1 => Ok(ClusterReq::State {
                 loss: r.f32()?,
                 running: read_bn_state(r)?,
@@ -261,6 +271,7 @@ impl WireMsg for ClusterReq {
                 running: read_bn_state(r)?,
                 epoch: r.u64()?,
                 push_seq: r.u64()?,
+                shard: r.u32()?,
             }),
             3 => Ok(ClusterReq::Join { incarnation: r.u32()? }),
             4 => Ok(ClusterReq::Replicate(ReplicaPayload::decode(r)?)),
@@ -382,7 +393,7 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         let reqs = [
-            ClusterReq::Pull { epoch: 5 },
+            ClusterReq::Pull { epoch: 5, shard: 3 },
             ClusterReq::State {
                 loss: 2.5,
                 running: bn_state(),
@@ -399,13 +410,17 @@ mod tests {
                 running: BnState::default(),
                 epoch: 1,
                 push_seq: (2u64 << 32) | 7,
+                shard: 2,
             },
         ];
         for req in reqs {
             let back = ClusterReq::decoded(&req.encoded()).unwrap();
             match (&req, &back) {
-                (ClusterReq::Pull { epoch: a }, ClusterReq::Pull { epoch: b }) => {
-                    assert_eq!(a, b);
+                (
+                    ClusterReq::Pull { epoch: a, shard: sa },
+                    ClusterReq::Pull { epoch: b, shard: sb },
+                ) => {
+                    assert_eq!((a, sa), (b, sb));
                 }
                 (
                     ClusterReq::State {
@@ -440,6 +455,7 @@ mod tests {
                         loss: la,
                         epoch: ea,
                         push_seq: sa,
+                        shard: ha,
                         ..
                     },
                     ClusterReq::Grad {
@@ -448,12 +464,13 @@ mod tests {
                         loss: lb,
                         epoch: eb,
                         push_seq: sb,
+                        shard: hb,
                         ..
                     },
                 ) => {
                     assert_eq!(va, vb);
                     assert_eq!(la, lb);
-                    assert_eq!((ea, sa), (eb, sb));
+                    assert_eq!((ea, sa, ha), (eb, sb, hb));
                     assert_eq!(ga.decompress(), gb.decompress());
                 }
                 _ => panic!("variant changed across the wire"),
@@ -537,6 +554,7 @@ mod tests {
             running: BnState::default(),
             epoch: 0,
             push_seq: 0,
+            shard: 0,
         };
         assert!(req.corrupt_payload(7, true));
         match req {
@@ -559,6 +577,7 @@ mod tests {
             running: BnState::default(),
             epoch: 0,
             push_seq: 0,
+            shard: 0,
         };
         assert!(req.corrupt_payload(0xDEAD_BEEF, false));
         match req {
@@ -576,7 +595,7 @@ mod tests {
             _ => panic!("variant changed"),
         }
         // Pulls and joins carry nothing corruptible.
-        assert!(!ClusterReq::Pull { epoch: 0 }.corrupt_payload(1, true));
+        assert!(!ClusterReq::Pull { epoch: 0, shard: 0 }.corrupt_payload(1, true));
         assert!(!ClusterReq::Join { incarnation: 1 }.corrupt_payload(1, false));
     }
 
@@ -594,6 +613,7 @@ mod tests {
             digest: crate::replication::LogRecord::digest_of(&[0.5, -0.25]),
             arrival: Some(17),
             bn: Some(bn_state()),
+            shard: 1,
         };
         let req = ClusterReq::Replicate(ReplicaPayload::Records(vec![rec.clone()]));
         match ClusterReq::decoded(&req.encoded()).unwrap() {
@@ -621,9 +641,12 @@ mod tests {
         #[test]
         fn fenced_variants_roundtrip(epoch in proptest::prelude::any::<u64>(),
                                      push_seq in proptest::prelude::any::<u64>(),
-                                     seq in proptest::prelude::any::<u64>()) {
-            match ClusterReq::decoded(&ClusterReq::Pull { epoch }.encoded()).unwrap() {
-                ClusterReq::Pull { epoch: back } => proptest::prop_assert_eq!(back, epoch),
+                                     seq in proptest::prelude::any::<u64>(),
+                                     shard in proptest::prelude::any::<u32>()) {
+            match ClusterReq::decoded(&ClusterReq::Pull { epoch, shard }.encoded()).unwrap() {
+                ClusterReq::Pull { epoch: back, shard: sh } => {
+                    proptest::prop_assert_eq!((back, sh), (epoch, shard));
+                }
                 _ => return Err(proptest::test_runner::TestCaseError::fail("variant changed")),
             }
             let grad = ClusterReq::Grad {
@@ -634,10 +657,11 @@ mod tests {
                 running: BnState::default(),
                 epoch,
                 push_seq,
+                shard,
             };
             match ClusterReq::decoded(&grad.encoded()).unwrap() {
-                ClusterReq::Grad { epoch: e, push_seq: s, .. } => {
-                    proptest::prop_assert_eq!((e, s), (epoch, push_seq));
+                ClusterReq::Grad { epoch: e, push_seq: s, shard: sh, .. } => {
+                    proptest::prop_assert_eq!((e, s, sh), (epoch, push_seq, shard));
                 }
                 _ => return Err(proptest::test_runner::TestCaseError::fail("variant changed")),
             }
@@ -668,6 +692,7 @@ mod tests {
                 delta,
                 arrival: None,
                 bn: None,
+                shard: 0,
             };
             let bytes = ClusterReq::Replicate(ReplicaPayload::Records(vec![rec])).encoded();
             let cut = cut_pick as usize % bytes.len();

@@ -49,6 +49,7 @@
 
 use crate::checkpoint::{crc32, TrainingCheckpoint};
 use crate::protocol::{ClusterReq, ClusterResp};
+use crate::shard::ShardSpec;
 use lcasgd_nn::network::BnState;
 use lcasgd_simcluster::backend::wire;
 use lcasgd_simcluster::{ClusterError, ReplicaDuplex, WireMsg, WireReader};
@@ -79,8 +80,14 @@ impl Default for StandbyConfig {
 
 // ------------------------------------------------------------ log record
 
-/// One entry of the write-ahead update log: an applied push and its
-/// server-side effects, sufficient for a replica to replay the apply.
+/// One entry of the write-ahead update log: an applied push *slice* and
+/// its server-side effects, sufficient for a replica to replay the
+/// apply. Under sharding one applied push produces one record per shard
+/// (consecutive `seq`, shard 0..N−1); the last shard's record is the
+/// *completing* record and alone carries the push-global side effects
+/// (arrival, BN, staleness/loss sample). Unsharded runs emit exactly one
+/// record per push, addressed to shard 0, which is therefore always
+/// completing.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LogRecord {
     /// Global log sequence number (1-based, gap-free).
@@ -98,17 +105,22 @@ pub struct LogRecord {
     pub staleness: u32,
     /// Training loss reported with the push.
     pub loss: f32,
-    /// Weight delta of the apply (`w_after - w_before`).
+    /// Weight delta of the apply over this shard's slice
+    /// (`w_after - w_before`).
     pub delta: Vec<f32>,
     /// CRC-32 over `delta`'s little-endian bytes; verified on the
     /// standby before the delta is applied.
     pub digest: u32,
     /// Arrival-log side effect: `Some(v)` when the apply recorded the
-    /// worker's arrival at server version `v` (ASGD/DC paths).
+    /// worker's arrival at server version `v` (ASGD/DC paths). Only on
+    /// completing records.
     pub arrival: Option<u64>,
     /// BN side effect: the server's running statistics after absorbing
-    /// this push's batch stats, when absorption happened.
+    /// this push's batch stats, when absorption happened. Only on
+    /// completing records.
     pub bn: Option<BnState>,
+    /// Model shard the delta applies to.
+    pub shard: u32,
 }
 
 impl LogRecord {
@@ -153,6 +165,7 @@ impl WireMsg for LogRecord {
                 crate::protocol::put_bn_state(buf, bn);
             }
         }
+        wire::put_u32(buf, self.shard);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, ClusterError> {
@@ -175,6 +188,7 @@ impl WireMsg for LogRecord {
             1 => Some(crate::protocol::read_bn_state(r)?),
             b => return Err(ClusterError::Protocol(format!("bad bn presence byte {b}"))),
         };
+        let shard = r.u32()?;
         Ok(LogRecord {
             seq,
             epoch,
@@ -187,6 +201,7 @@ impl WireMsg for LogRecord {
             digest,
             arrival,
             bn,
+            shard,
         })
     }
 }
@@ -235,7 +250,7 @@ impl WireMsg for ReplicaPayload {
             1 => {
                 // Records are variable-size; guard the count against the
                 // minimum encoded record size instead of a fixed stride.
-                let n = r.len(45)?;
+                let n = r.len(49)?;
                 let recs = (0..n).map(|_| LogRecord::decode(r)).collect::<Result<_, _>>()?;
                 Ok(ReplicaPayload::Records(recs))
             }
@@ -253,18 +268,29 @@ pub struct StandbyReplica {
     state: TrainingCheckpoint,
     next_seq: u64,
     updates_per_epoch: u64,
+    spec: ShardSpec,
 }
 
 impl StandbyReplica {
     /// Bootstraps (or refreshes) the replica from a snapshot; the record
-    /// stream continues at `next_seq`.
+    /// stream continues at `next_seq`. The shard layout is derived from
+    /// the snapshot's per-shard version list (empty = one shard).
     pub fn from_snapshot(state: TrainingCheckpoint, next_seq: u64, updates_per_epoch: u64) -> Self {
-        StandbyReplica { state, next_seq, updates_per_epoch: updates_per_epoch.max(1) }
+        let n = state.shard_versions.len().max(1);
+        let spec = ShardSpec::even(state.weights.len(), n)
+            .unwrap_or_else(|_| ShardSpec::even(state.weights.len().max(1), 1).unwrap());
+        StandbyReplica { state, next_seq, updates_per_epoch: updates_per_epoch.max(1), spec }
+    }
+
+    /// Number of model shards the record stream carries slices for.
+    fn shards(&self) -> usize {
+        self.spec.count()
     }
 
     /// Applies one log record: verifies sequence continuity and the
-    /// delta digest, then replays the weight update and its side
-    /// effects.
+    /// delta digest, then replays the slice update; a *completing*
+    /// record (the last shard of its push) additionally replays the
+    /// push-global side effects.
     pub fn apply(&mut self, rec: &LogRecord) -> Result<(), String> {
         if rec.seq != self.next_seq {
             return Err(format!("log gap: expected seq {}, got {}", self.next_seq, rec.seq));
@@ -272,20 +298,39 @@ impl StandbyReplica {
         if !rec.verify() {
             return Err(format!("log record {} digest mismatch", rec.seq));
         }
-        if rec.delta.len() != self.state.weights.len() {
+        let s = rec.shard as usize;
+        if s >= self.shards() {
             return Err(format!(
-                "log record {} delta length {} != weight length {}",
+                "log record {} addresses shard {} of a {}-shard model",
                 rec.seq,
-                rec.delta.len(),
-                self.state.weights.len()
+                s,
+                self.shards()
             ));
         }
-        for (w, d) in self.state.weights.iter_mut().zip(&rec.delta) {
+        let range = self.spec.range(s);
+        if rec.delta.len() != range.len() {
+            return Err(format!(
+                "log record {} delta length {} != shard {} slice length {}",
+                rec.seq,
+                rec.delta.len(),
+                s,
+                range.len()
+            ));
+        }
+        for (w, d) in self.state.weights[range].iter_mut().zip(&rec.delta) {
             *w += d;
         }
+        if !self.state.shard_versions.is_empty() {
+            self.state.shard_versions[s] = rec.version;
+        }
         self.state.version = rec.version;
-        self.state.applied += 1;
         self.state.server_epoch = rec.epoch;
+        let completing = s + 1 == self.shards();
+        if !completing {
+            self.next_seq += 1;
+            return Ok(());
+        }
+        self.state.applied += 1;
         let w = rec.worker as usize;
         if rec.push_seq != 0 {
             if self.state.push_seqs.len() <= w {
@@ -567,15 +612,23 @@ pub struct ReplicationReport {
     /// Largest primary-to-standby lag observed at a flush boundary, in
     /// log records (bounded by `flush_every - 1` plus the flush batch).
     pub max_lag: u64,
+    /// `Some(update_count)` when the standby duplex was lost mid-run and
+    /// the primary degraded to unreplicated mode instead of aborting;
+    /// `None` while replication stayed healthy to the end.
+    pub degraded_at: Option<u64>,
 }
 
 impl ReplicationReport {
     /// One-line human summary for CLI output.
     pub fn to_text(&self) -> String {
+        let degraded = match self.degraded_at {
+            Some(at) => format!(", DEGRADED (standby lost at update {at})"),
+            None => String::new(),
+        };
         format!(
             "replication: {} records / {} flushes / {} snapshots, \
              failovers {}, final epoch {}, lost {}, \
-             fenced {} reads + {} pushes, {} duplicates, max lag {}",
+             fenced {} reads + {} pushes, {} duplicates, max lag {}{}",
             self.log_records,
             self.flushes,
             self.snapshots,
@@ -585,7 +638,8 @@ impl ReplicationReport {
             self.fenced_reads,
             self.fenced_pushes,
             self.duplicate_pushes,
-            self.max_lag
+            self.max_lag,
+            degraded
         )
     }
 }
@@ -608,6 +662,7 @@ mod tests {
             digest,
             arrival: Some(seq),
             bn: None,
+            shard: 0,
         }
     }
 
@@ -627,6 +682,7 @@ mod tests {
             worker_batches: vec![(0, 0); 3],
             server_epoch: 0,
             push_seqs: vec![0; 3],
+            shard_versions: Vec::new(),
         }
     }
 
@@ -678,6 +734,30 @@ mod tests {
         // Nothing was applied.
         assert_eq!(rep.applied(), 0);
         assert_eq!(rep.state().weights, vec![0.0]);
+    }
+
+    #[test]
+    fn sharded_replica_applies_slices_and_counts_completed_pushes() {
+        let mut snap = snapshot(vec![0.0, 0.0, 10.0, 10.0]);
+        snap.shard_versions = vec![0, 0];
+        let mut rep = StandbyReplica::from_snapshot(snap, 1, 100);
+        // One push = two records: shard 0 (no side effects), then the
+        // completing shard-1 record.
+        let slice0 = LogRecord { arrival: None, shard: 0, ..record(1, vec![1.0, 2.0]) };
+        let slice1 = LogRecord { shard: 1, ..record(2, vec![-1.0, -2.0]) };
+        rep.apply(&slice0).unwrap();
+        assert_eq!(rep.applied(), 0, "a push counts only once its last slice lands");
+        assert!(rep.state().staleness.is_empty());
+        rep.apply(&slice1).unwrap();
+        assert_eq!(rep.applied(), 1);
+        assert_eq!(rep.state().weights, vec![1.0, 2.0, 9.0, 8.0], "slices land at their offsets");
+        assert_eq!(rep.state().shard_versions, vec![1, 2]);
+        assert_eq!(rep.state().staleness, vec![1], "one sample per completed push");
+        // Bad shard addressing is rejected.
+        let stray = LogRecord { shard: 5, ..record(3, vec![0.5, 0.5]) };
+        assert!(rep.apply(&stray).unwrap_err().contains("shard 5"));
+        let wrong_len = LogRecord { shard: 0, ..record(3, vec![0.5]) };
+        assert!(rep.apply(&wrong_len).unwrap_err().contains("slice length"));
     }
 
     #[test]

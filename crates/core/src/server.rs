@@ -98,11 +98,22 @@ impl ParameterServer {
     }
 
     /// Restores the arrival bookkeeping captured by
-    /// [`ParameterServer::arrival_state`]. Panics on a worker-count
-    /// mismatch.
-    pub fn restore_arrival_state(&mut self, state: &[Option<u64>]) {
-        assert_eq!(state.len(), self.last_arrival_version.len(), "worker count mismatch");
+    /// [`ParameterServer::arrival_state`]. Errs on a worker-count
+    /// mismatch (e.g. a checkpoint taken with a different `--workers`)
+    /// instead of aborting, so the caller can surface the mismatch
+    /// through checkpoint load.
+    pub fn restore_arrival_state(&mut self, state: &[Option<u64>]) -> Result<(), String> {
+        if state.len() != self.last_arrival_version.len() {
+            return Err(format!(
+                "checkpoint arrival state covers {} workers but the run has {}; \
+                 resume with --workers {} or start fresh",
+                state.len(),
+                self.last_arrival_version.len(),
+                state.len()
+            ));
+        }
         self.last_arrival_version = state.to_vec();
+        Ok(())
     }
 
     /// Absorbs a worker's BN statistics into the global state.
@@ -208,6 +219,19 @@ mod tests {
         s.apply_grad(&g, 0.1);
         assert_eq!(s.log_arrival(0), 3); // three updates since its last arrival
         assert_eq!(s.iter, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn restore_arrival_state_rejects_worker_count_mismatch() {
+        let mut s = server(BnMode::Async); // 3 workers
+        let err = s.restore_arrival_state(&[Some(4), None]).unwrap_err();
+        assert!(err.contains("2 workers"), "{err}");
+        assert!(err.contains("has 3"), "{err}");
+        // Matching count restores and is observable through log_arrival.
+        s.restore_arrival_state(&[Some(0), None, None]).unwrap();
+        let g = vec![0.0; s.weights.len()];
+        s.apply_grad(&g, 0.1);
+        assert_eq!(s.log_arrival(0), 1, "restored history survives the roundtrip");
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Parameter-server sharding: the flat weight vector split into N
+//! contiguous ranges, each owned by its own [`ParameterServer`] with an
+//! independent version counter.
+//!
+//! The split is *coordinator-free*: workers fan each pull/push out to the
+//! owning shards over their single ordered link, so no extra process or
+//! routing table exists. Because every push carries a slice for **every**
+//! shard and the slices of one push are applied together, the per-shard
+//! version counters advance in lockstep — shard 0 (the *lead* shard)
+//! therefore also carries the merged bookkeeping that is global to the
+//! model: the `iter` arrival log feeding the LC-ASGD step predictor, and
+//! the BN running statistics. See DESIGN.md §11.
+
+use crate::bnmode::BnMode;
+use crate::server::ParameterServer;
+use lcasgd_autograd::ops::norm::BnBatchStats;
+use lcasgd_nn::network::BnState;
+use lcasgd_nn::Network;
+use std::ops::Range;
+
+/// Partition of a flat weight vector of length `len` into `n` contiguous
+/// ranges. Shard `s` owns `range(s)`; the first `len % n` shards are one
+/// element longer so the split is as even as possible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// `n + 1` cut points: `bounds[s]..bounds[s + 1]` is shard `s`.
+    bounds: Vec<usize>,
+}
+
+impl ShardSpec {
+    /// Upper bound on the shard count: per-push slice completion is
+    /// tracked in a `u64` bitmask, and more shards than this would only
+    /// multiply message count without any remaining parallelism to win.
+    pub const MAX_SHARDS: usize = 64;
+
+    /// Evenly partitions `len` weights into `n` shards.
+    pub fn even(len: usize, n: usize) -> Result<ShardSpec, String> {
+        if n == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if n > Self::MAX_SHARDS {
+            return Err(format!("shard count {n} exceeds the maximum of {}", Self::MAX_SHARDS));
+        }
+        if len < n {
+            return Err(format!("cannot split {len} weights into {n} non-empty shards"));
+        }
+        let (base, extra) = (len / n, len % n);
+        let mut bounds = Vec::with_capacity(n + 1);
+        let mut at = 0;
+        bounds.push(0);
+        for s in 0..n {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+        }
+        Ok(ShardSpec { bounds })
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total weight count across all shards.
+    pub fn len(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    /// True when the partition covers zero weights (never produced by
+    /// [`ShardSpec::even`], which rejects `len < n`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The index range shard `s` owns within the flat vector.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Borrows shard `s`'s slice of a full-length flat vector.
+    pub fn slice<'a>(&self, flat: &'a [f32], s: usize) -> &'a [f32] {
+        assert_eq!(flat.len(), self.len(), "flat vector length mismatch");
+        &flat[self.range(s)]
+    }
+
+    /// Splits a full-length flat vector into owned per-shard slices.
+    pub fn split(&self, flat: &[f32]) -> Vec<Vec<f32>> {
+        (0..self.count()).map(|s| self.slice(flat, s).to_vec()).collect()
+    }
+
+    /// Concatenates per-shard slices back into the full flat vector,
+    /// checking every slice against its owning range.
+    pub fn assemble(&self, parts: &[Vec<f32>]) -> Vec<f32> {
+        assert_eq!(parts.len(), self.count(), "shard count mismatch");
+        let mut flat = Vec::with_capacity(self.len());
+        for (s, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), self.range(s).len(), "shard {s} slice length mismatch");
+            flat.extend_from_slice(part);
+        }
+        flat
+    }
+}
+
+/// The sharded parameter server: one [`ParameterServer`] per shard, all
+/// behind the single serialized server event loop. Shard 0 is the *lead*
+/// shard carrying the merged (model-global) bookkeeping — the arrival log
+/// and BN statistics — while every shard keeps its own weights slice and
+/// version counter.
+pub struct ShardGroup {
+    spec: ShardSpec,
+    shards: Vec<ParameterServer>,
+}
+
+impl ShardGroup {
+    /// Builds `n` shards from the canonical network.
+    pub fn new(
+        net: &Network,
+        num_workers: usize,
+        bn_mode: BnMode,
+        bn_momentum: f32,
+        n: usize,
+    ) -> Result<ShardGroup, String> {
+        let flat = net.flat_params();
+        let spec = ShardSpec::even(flat.len(), n)?;
+        let shards = (0..n)
+            .map(|s| {
+                let mut ps = ParameterServer::new(net, num_workers, bn_mode, bn_momentum);
+                ps.weights = spec.slice(&flat, s).to_vec();
+                ps
+            })
+            .collect();
+        Ok(ShardGroup { spec, shards })
+    }
+
+    /// The partition.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `s`, immutable.
+    pub fn shard(&self, s: usize) -> &ParameterServer {
+        &self.shards[s]
+    }
+
+    /// Shard `s`, mutable.
+    pub fn shard_mut(&mut self, s: usize) -> &mut ParameterServer {
+        &mut self.shards[s]
+    }
+
+    /// The lead shard (shard 0), owner of the merged bookkeeping.
+    pub fn lead(&self) -> &ParameterServer {
+        &self.shards[0]
+    }
+
+    /// The lead shard, mutable.
+    pub fn lead_mut(&mut self) -> &mut ParameterServer {
+        &mut self.shards[0]
+    }
+
+    /// Merged update count: the number of completed pushes. Identical on
+    /// every shard (slices of one push are applied together), so the lead
+    /// shard's counter is authoritative.
+    pub fn version(&self) -> u64 {
+        self.shards[0].version
+    }
+
+    /// Per-shard version counters, for checkpointing.
+    pub fn versions(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.version).collect()
+    }
+
+    /// Restores per-shard version counters from a checkpoint.
+    pub fn restore_versions(&mut self, versions: &[u64]) -> Result<(), String> {
+        if versions.len() != self.shards.len() {
+            return Err(format!(
+                "checkpoint carries {} shard versions but the run has {} shards",
+                versions.len(),
+                self.shards.len()
+            ));
+        }
+        for (shard, &v) in self.shards.iter_mut().zip(versions) {
+            shard.version = v;
+        }
+        Ok(())
+    }
+
+    /// Assembles the full flat weight vector from the shard slices.
+    pub fn assembled_weights(&self) -> Vec<f32> {
+        let parts: Vec<&[f32]> = self.shards.iter().map(|s| s.weights.as_slice()).collect();
+        let mut flat = Vec::with_capacity(self.spec.len());
+        for part in parts {
+            flat.extend_from_slice(part);
+        }
+        flat
+    }
+
+    /// Overwrites every shard's slice from a full flat vector (rollback,
+    /// checkpoint restore, failover adoption).
+    pub fn load_weights(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.spec.len(), "flat vector length mismatch");
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.weights.copy_from_slice(&flat[self.spec.range(s)]);
+        }
+    }
+
+    /// Formula 8 across all shards: each shard applies its slice, so
+    /// every per-shard version counter advances by one.
+    pub fn apply_grad(&mut self, grads: &[f32], lr: f32) {
+        assert_eq!(grads.len(), self.spec.len(), "gradient length mismatch");
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.apply_grad(&grads[self.spec.range(s)], lr);
+        }
+    }
+
+    /// DC-ASGD's Formula 3 across all shards, against the per-shard
+    /// slices of the pushing worker's backup.
+    pub fn apply_grad_dc(&mut self, grads: &[f32], lr: f32, lambda: f32, w_bak: &[f32]) {
+        assert_eq!(grads.len(), self.spec.len(), "gradient length mismatch");
+        assert_eq!(w_bak.len(), self.spec.len(), "backup length mismatch");
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let r = self.spec.range(s);
+            shard.apply_grad_dc(&grads[r.clone()], lr, lambda, &w_bak[r]);
+        }
+    }
+
+    /// SSGD's averaged update (Formula 1) across all shards.
+    pub fn apply_grad_avg(&mut self, grads: &[Vec<f32>], lr: f32) {
+        assert!(!grads.is_empty());
+        for g in grads {
+            assert_eq!(g.len(), self.spec.len(), "gradient length mismatch");
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let r = self.spec.range(s);
+            let slices: Vec<Vec<f32>> = grads.iter().map(|g| g[r.clone()].to_vec()).collect();
+            shard.apply_grad_avg(&slices, lr);
+        }
+    }
+
+    /// Merged arrival log (lead shard): "Append m to iter" and derive the
+    /// actual step count since `m`'s previous arrival.
+    pub fn log_arrival(&mut self, m: usize) -> u64 {
+        self.shards[0].log_arrival(m)
+    }
+
+    /// Forgets worker `m`'s arrival history (worker rejoin).
+    pub fn reset_arrival(&mut self, m: usize) {
+        self.shards[0].reset_arrival(m);
+    }
+
+    /// Merged per-worker version-at-last-arrival, for checkpointing.
+    pub fn arrival_state(&self) -> Vec<Option<u64>> {
+        self.shards[0].arrival_state()
+    }
+
+    /// Restores the merged arrival bookkeeping.
+    pub fn restore_arrival_state(&mut self, state: &[Option<u64>]) -> Result<(), String> {
+        self.shards[0].restore_arrival_state(state)
+    }
+
+    /// Absorbs a worker's BN statistics into the merged (lead-shard) BN
+    /// state.
+    pub fn absorb_bn(&mut self, worker_running: &BnState, batch: &[BnBatchStats]) {
+        self.shards[0].absorb_bn(worker_running, batch);
+    }
+
+    /// The merged BN state.
+    pub fn bn(&self) -> &BnState {
+        &self.shards[0].bn
+    }
+
+    /// Overwrites the merged BN state (restore paths).
+    pub fn set_bn(&mut self, bn: BnState) {
+        self.shards[0].bn = bn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcasgd_nn::mlp::mlp;
+    use lcasgd_tensor::Rng;
+
+    #[test]
+    fn even_split_covers_everything_once() {
+        for (len, n) in [(10, 1), (10, 3), (64, 64), (7, 7), (1000, 6)] {
+            let spec = ShardSpec::even(len, n).unwrap();
+            assert_eq!(spec.count(), n);
+            assert_eq!(spec.len(), len);
+            let mut covered = 0;
+            for s in 0..n {
+                let r = spec.range(s);
+                assert_eq!(r.start, covered, "shards must be contiguous");
+                assert!(!r.is_empty(), "no shard may be empty");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            // Even to within one element.
+            let sizes: Vec<usize> = (0..n).map(|s| spec.range(s).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "uneven split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        assert!(ShardSpec::even(10, 0).is_err());
+        assert!(ShardSpec::even(3, 4).is_err(), "more shards than weights");
+        assert!(ShardSpec::even(100, ShardSpec::MAX_SHARDS + 1).is_err());
+    }
+
+    #[test]
+    fn split_and_assemble_roundtrip() {
+        let spec = ShardSpec::even(11, 4).unwrap();
+        let flat: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let parts = spec.split(&flat);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(spec.assemble(&parts), flat);
+    }
+
+    fn group(n: usize) -> ShardGroup {
+        let mut rng = Rng::seed_from_u64(77);
+        let net = mlp(&[4, 6, 2], false, &mut rng);
+        ShardGroup::new(&net, 2, BnMode::Regular, 0.5, n).unwrap()
+    }
+
+    #[test]
+    fn sharded_apply_matches_unsharded() {
+        let mut one = group(1);
+        let mut four = group(4);
+        assert_eq!(one.assembled_weights(), four.assembled_weights());
+        let g: Vec<f32> = (0..one.spec().len()).map(|i| (i % 7) as f32 * 0.01).collect();
+        one.apply_grad(&g, 0.1);
+        four.apply_grad(&g, 0.1);
+        assert_eq!(one.assembled_weights(), four.assembled_weights());
+        assert_eq!(four.version(), 1);
+        assert_eq!(four.versions(), vec![1; 4], "per-shard counters advance in lockstep");
+
+        let bak = one.assembled_weights();
+        one.apply_grad_dc(&g, 0.1, 0.04, &bak);
+        four.apply_grad_dc(&g, 0.1, 0.04, &bak);
+        assert_eq!(one.assembled_weights(), four.assembled_weights());
+
+        one.apply_grad_avg(&[g.clone(), bak.clone()], 0.1);
+        four.apply_grad_avg(&[g, bak], 0.1);
+        assert_eq!(one.assembled_weights(), four.assembled_weights());
+        assert_eq!(four.versions(), vec![3; 4]);
+    }
+
+    #[test]
+    fn load_weights_roundtrips_through_shards() {
+        let mut g = group(3);
+        let flat: Vec<f32> = (0..g.spec().len()).map(|i| i as f32 * 0.5).collect();
+        g.load_weights(&flat);
+        assert_eq!(g.assembled_weights(), flat);
+    }
+
+    #[test]
+    fn restore_versions_validates_shard_count() {
+        let mut g = group(3);
+        assert!(g.restore_versions(&[5, 5]).is_err());
+        g.restore_versions(&[5, 5, 5]).unwrap();
+        assert_eq!(g.version(), 5);
+    }
+}

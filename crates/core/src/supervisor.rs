@@ -218,6 +218,9 @@ pub enum HealthEvent {
     /// The primary parameter server was killed and its hot standby
     /// promoted, discarding `lost_updates` unreplicated updates.
     Failover { from_epoch: u64, to_epoch: u64, lost_updates: u64 },
+    /// The standby duplex closed (or stopped acknowledging) mid-run and
+    /// the primary degraded to unreplicated mode instead of aborting.
+    StandbyLost { at_update: u64 },
 }
 
 impl HealthEvent {
@@ -237,7 +240,8 @@ impl HealthEvent {
             | HealthEvent::StragglerResharded { worker, .. } => Some(*worker),
             HealthEvent::LossExplosion { .. }
             | HealthEvent::RolledBack { .. }
-            | HealthEvent::Failover { .. } => None,
+            | HealthEvent::Failover { .. }
+            | HealthEvent::StandbyLost { .. } => None,
         }
     }
 }
@@ -283,6 +287,9 @@ impl fmt::Display for HealthEvent {
                     "failover from-epoch={from_epoch} to-epoch={to_epoch} \
                      lost-updates={lost_updates}"
                 )
+            }
+            HealthEvent::StandbyLost { at_update } => {
+                write!(f, "standby-lost at-update={at_update} (replication degraded)")
             }
         }
     }
@@ -463,6 +470,13 @@ impl Supervisor {
         lost_updates: u64,
     ) {
         self.event(applied, HealthEvent::Failover { from_epoch, to_epoch, lost_updates });
+    }
+
+    /// Records a standby loss — the replication stream degraded to
+    /// unreplicated mode instead of aborting the run (the trainer calls
+    /// this when the standby duplex closes or stops acknowledging).
+    pub fn record_standby_lost(&mut self, applied: u64) {
+        self.event(applied, HealthEvent::StandbyLost { at_update: applied });
     }
 
     fn event(&mut self, applied: u64, ev: HealthEvent) {

@@ -24,6 +24,7 @@ use crate::replication::{
     StandbyReplica,
 };
 use crate::server::ParameterServer;
+use crate::shard::{ShardGroup, ShardSpec};
 use crate::supervisor::{AlgoMode, Supervisor, SupervisorConfig};
 use crate::trace::{phase, ClockDomain, TraceSink};
 use crate::worker::WorkerNode;
@@ -96,11 +97,12 @@ fn epoch_record(
     epoch: usize,
     time: f64,
     harness: &mut EvalHarness<'_>,
-    server: &ParameterServer,
+    weights: &[f32],
+    bn: &BnState,
     epoch_losses: &mut Vec<f32>,
     lr: f32,
 ) -> EpochRecord {
-    let (train_error, test_error) = harness.evaluate(&server.weights, &server.bn);
+    let (train_error, test_error) = harness.evaluate(weights, bn);
     let train_loss = if epoch_losses.is_empty() {
         f32::NAN
     } else {
@@ -115,6 +117,18 @@ fn worker_shards(cfg: &ExperimentConfig, m: usize, n: usize) -> Vec<Vec<usize>> 
     match cfg.partition {
         DataPartition::Shared => (0..m).map(|_| (0..n).collect()).collect(),
         DataPartition::Partitioned => BatchIter::partition(n, m),
+    }
+}
+
+/// Clamps a raw step-predictor forecast (Algorithm 2's `k_m`) to a whole
+/// step count: `NaN` and negative forecasts saturate to zero, everything
+/// else rounds to the nearest step (overlarge values saturate at
+/// `usize::MAX` via Rust's saturating float-to-int cast).
+fn km_steps(km: f32) -> usize {
+    if km.is_nan() || km <= 0.0 {
+        0
+    } else {
+        km.round() as usize
     }
 }
 
@@ -148,7 +162,15 @@ fn run_sequential(
             losses.push(loss);
             time += cfg.cost.iteration();
         }
-        records.push(epoch_record(epoch + 1, time, &mut harness, &server, &mut losses, lr));
+        records.push(epoch_record(
+            epoch + 1,
+            time,
+            &mut harness,
+            &server.weights,
+            &server.bn,
+            &mut losses,
+            lr,
+        ));
     }
 
     RunResult {
@@ -166,6 +188,7 @@ fn run_sequential(
         timeline: None,
         health: None,
         replication: None,
+        shards: 0,
     }
 }
 
@@ -238,7 +261,15 @@ fn run_ssgd(
             let bcast = (0..m).map(|w| sim.downlink(w)).fold(0.0, f64::max);
             round_start = barrier + bcast;
         }
-        records.push(epoch_record(epoch + 1, round_start, &mut harness, &server, &mut losses, lr));
+        records.push(epoch_record(
+            epoch + 1,
+            round_start,
+            &mut harness,
+            &server.weights,
+            &server.bn,
+            &mut losses,
+            lr,
+        ));
     }
 
     RunResult {
@@ -256,6 +287,7 @@ fn run_ssgd(
         timeline: None,
         health: None,
         replication: None,
+        shards: 0,
     }
 }
 
@@ -401,7 +433,7 @@ fn run_async(
                 );
                 sim.charge_server(cfg.cost.step_pred);
 
-                let km_int = km.round().max(0.0) as usize;
+                let km_int = km_steps(km);
                 let one_step_forecast = loss_pred.pending_forecast();
                 let lp = loss_pred.observe_and_predict(loss, km_int);
                 sim.charge_server(cfg.cost.loss_pred);
@@ -466,7 +498,8 @@ fn run_async(
                         epoch,
                         sim.now(),
                         &mut harness,
-                        &server,
+                        &server.weights,
+                        &server.bn,
                         &mut losses,
                         lr,
                     ));
@@ -496,6 +529,7 @@ fn run_async(
         timeline: None,
         health: None,
         replication: None,
+        shards: 0,
     }
 }
 
@@ -589,6 +623,21 @@ pub struct RunOptions {
     /// with `primary_kill_at_update` set promotes the standby in place of
     /// the killed primary. Asynchronous algorithms only.
     pub standby: Option<StandbyConfig>,
+    /// Number of contiguous parameter-server shards the flat weight
+    /// vector is partitioned into ([`ShardSpec::even`]). `0` and `1` both
+    /// run the single-shard protocol — bitwise identical to the unsharded
+    /// seed on the simulator. Higher counts fan every pull and push out
+    /// across the shard group over the worker's ordered link (DESIGN.md
+    /// §11). Asynchronous algorithms only; SSGD rejects `shards > 1`.
+    pub shards: usize,
+}
+
+impl RunOptions {
+    /// Builder: partition the parameter server across `n` model shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
 }
 
 /// The primary side of the replication stream: buffers [`LogRecord`]s and
@@ -604,6 +653,14 @@ struct ReplicationStream {
     lease: Lease,
     lease_timeout: Duration,
     report: crate::replication::ReplicationReport,
+    /// Set when the standby duplex closed or stopped acknowledging: the
+    /// stream degrades to an inert no-op — training continues
+    /// *unreplicated* — instead of panicking mid-run.
+    degraded: bool,
+    /// The degradation cause, handed out exactly once via
+    /// [`ReplicationStream::take_degradation`] so the trainer can emit
+    /// the health event and fault record.
+    pending_degradation: Option<String>,
 }
 
 impl ReplicationStream {
@@ -616,11 +673,17 @@ impl ReplicationStream {
             lease: Lease::new(cfg.lease),
             lease_timeout: cfg.lease,
             report: crate::replication::ReplicationReport::default(),
+            degraded: false,
+            pending_degradation: None,
         }
     }
 
     /// Appends an applied push to the log; auto-flushes a full batch.
+    /// Inert once degraded.
     fn log(&mut self, mut rec: LogRecord) {
+        if self.degraded {
+            return;
+        }
         rec.seq = self.next_seq;
         self.next_seq += 1;
         self.report.log_records += 1;
@@ -631,29 +694,42 @@ impl ReplicationStream {
     }
 
     /// Synchronous flush of the buffered batch (possibly empty — a lease
-    /// heartbeat). Blocks for the standby's ack.
+    /// heartbeat). Blocks for the standby's ack. Inert once degraded.
     fn flush(&mut self) {
+        if self.degraded {
+            self.buffer.clear();
+            return;
+        }
         let lag = self.buffer.len() as u64;
         self.report.max_lag = self.report.max_lag.max(lag);
         let recs = std::mem::take(&mut self.buffer);
         self.send_acked(ReplicaPayload::Records(recs));
-        self.report.flushes += 1;
+        if !self.degraded {
+            self.report.flushes += 1;
+        }
     }
 
     /// Ships a full-state snapshot, superseding (and discarding) any
     /// buffered records — the snapshot already contains their effects.
+    /// Inert once degraded.
     fn snapshot(&mut self, state: &crate::checkpoint::TrainingCheckpoint) {
+        if self.degraded {
+            return;
+        }
         self.buffer.clear();
         self.send_acked(ReplicaPayload::Snapshot {
             next_seq: self.next_seq,
             blob: state.to_bytes(),
         });
-        self.report.snapshots += 1;
+        if !self.degraded {
+            self.report.snapshots += 1;
+        }
     }
 
     /// Wall-clock lease enforcement: an expired (but unrevoked) lease
     /// forces a heartbeat round-trip — proof the standby is still
-    /// acknowledging — before the caller applies its next write.
+    /// acknowledging — before the caller applies its next write. A
+    /// degraded stream's lease stays revoked, so this is a no-op.
     fn ensure_lease(&mut self) {
         if !self.lease.is_revoked() && !self.lease.held() {
             self.flush();
@@ -663,12 +739,37 @@ impl ReplicationStream {
     fn send_acked(&mut self, payload: ReplicaPayload) {
         let expect = self.next_seq - 1;
         let msg = ClusterReq::Replicate(payload);
-        self.duplex.send(&msg.encoded()).expect("standby duplex closed");
+        if let Err(e) = self.duplex.send(&msg.encoded()) {
+            self.degrade(format!("standby duplex closed: {e:?}"));
+            return;
+        }
         let ack = self.duplex.recv().ok().and_then(|b| ClusterResp::decoded(&b).ok());
         match ack {
             Some(ClusterResp::ReplicaAck { seq }) if seq == expect => self.lease.renew(),
-            _ => panic!("standby failed to acknowledge replication batch ending at seq {expect}"),
+            Some(ClusterResp::ReplicaAck { seq }) => {
+                self.degrade(format!("standby acknowledged seq {seq} where {expect} was expected"))
+            }
+            _ => self.degrade(format!(
+                "standby failed to acknowledge replication batch ending at seq {expect}"
+            )),
         }
+    }
+
+    /// Drops into unreplicated mode: the lease is revoked (no future
+    /// write will wait on the dead standby) and the buffered tail is
+    /// discarded.
+    fn degrade(&mut self, why: String) {
+        self.degraded = true;
+        self.buffer.clear();
+        self.lease.revoke();
+        self.pending_degradation = Some(why);
+    }
+
+    /// Returns the degradation cause exactly once, the first time it is
+    /// polled after the stream degraded — the caller's cue to emit the
+    /// one-time health event, fault record, and trace instant.
+    fn take_degradation(&mut self) -> Option<String> {
+        self.pending_degradation.take()
     }
 }
 
@@ -676,7 +777,7 @@ impl ReplicationStream {
 /// (bootstrap, epoch-boundary refresh, post-promotion re-arm).
 #[allow(clippy::too_many_arguments)]
 fn state_snapshot(
-    server: &ParameterServer,
+    group: &ShardGroup,
     applied: u64,
     staleness: &[u32],
     losses: &[f32],
@@ -688,12 +789,12 @@ fn state_snapshot(
     fence: &EpochFence,
 ) -> TrainingCheckpoint {
     TrainingCheckpoint {
-        weights: server.weights.clone(),
-        bn: server.bn.clone(),
-        version: server.version,
+        weights: group.assembled_weights(),
+        bn: group.bn().clone(),
+        version: group.version(),
         applied,
-        arrival: server.arrival_state(),
-        iter: server.iter.clone(),
+        arrival: group.arrival_state(),
+        iter: group.lead().iter.clone(),
         staleness: staleness.to_vec(),
         epoch_losses: losses.to_vec(),
         epochs: records.to_vec(),
@@ -702,7 +803,103 @@ fn state_snapshot(
         worker_batches,
         server_epoch: fence.epoch(),
         push_seqs: fence.push_seqs().to_vec(),
+        shard_versions: if group.count() == 1 { Vec::new() } else { group.versions() },
     }
+}
+
+/// Adopts a checkpoint's server state into the shard group (checkpoint
+/// resume and failover promotion). Validates *before* mutating: a
+/// mismatched worker count, weight length, or shard-version count is a
+/// descriptive error, never a panic.
+fn adopt_server_state(group: &mut ShardGroup, ck: &TrainingCheckpoint) -> Result<(), String> {
+    if ck.weights.len() != group.spec().len() {
+        return Err(format!(
+            "checkpoint holds {} weights but the model flattens to {}",
+            ck.weights.len(),
+            group.spec().len()
+        ));
+    }
+    if !ck.shard_versions.is_empty() && ck.shard_versions.len() != group.count() {
+        return Err(format!(
+            "checkpoint records {} shard versions but the run partitions the server into {} shards",
+            ck.shard_versions.len(),
+            group.count()
+        ));
+    }
+    group.restore_arrival_state(&ck.arrival)?;
+    if ck.shard_versions.is_empty() {
+        // An unsharded (or single-shard) checkpoint: lockstep version
+        // counters mean every shard adopts the global count, so such a
+        // checkpoint resumes under any shard layout.
+        for s in 0..group.count() {
+            group.shard_mut(s).version = ck.version;
+        }
+    } else {
+        group.restore_versions(&ck.shard_versions)?;
+    }
+    group.load_weights(&ck.weights);
+    group.set_bn(ck.bn.clone());
+    group.lead_mut().iter = ck.iter.clone();
+    Ok(())
+}
+
+/// A partially assembled sharded push: the slices a worker has fanned out
+/// arrive as individual `Grad` messages and buffer here until the last
+/// one lands, at which point the full gradient is applied to every shard
+/// atomically. `n = 1` completes on the first (only) slice, preserving
+/// the unsharded apply path bit for bit.
+struct PendingPush {
+    push_seq: u64,
+    pull_version: u64,
+    loss: f32,
+    /// Full-length assembly buffer; slice `s` is written at the spec's
+    /// range for `s`.
+    grads: Vec<f32>,
+    /// Bitmask of shards whose slice has arrived (`ShardSpec::MAX_SHARDS`
+    /// is 64 so one word suffices).
+    seen: u64,
+    got: usize,
+    /// BN payloads, carried by the lead (shard-0) slice only.
+    batch_stats: Vec<BnBatchStats>,
+    running: BnState,
+}
+
+/// Outcome of the worker's follower-shard pull fan-out.
+enum ShardPullOutcome {
+    Assembled,
+    Fenced,
+    Stop,
+}
+
+/// Compresses a full gradient into per-shard wire slices, maintaining the
+/// worker's full-length error-feedback residual. One shard delegates to
+/// [`wire_grads`] unchanged (bitwise-identical to the unsharded path);
+/// with more shards each slice is compressed independently against its
+/// slice of the residual.
+fn shard_wire_grads(
+    scheme: &crate::comm::Compression,
+    spec: &ShardSpec,
+    grads: Vec<f32>,
+    residual: &mut Vec<f32>,
+) -> Vec<crate::comm::CompressedGrad> {
+    if spec.count() == 1 {
+        return vec![wire_grads(scheme, grads, residual)];
+    }
+    if *scheme == crate::comm::Compression::None {
+        return spec.split(&grads).into_iter().map(crate::comm::CompressedGrad::Dense).collect();
+    }
+    if residual.len() != grads.len() {
+        *residual = vec![0.0; grads.len()];
+    }
+    (0..spec.count())
+        .map(|s| {
+            let r = spec.range(s);
+            let mut res = residual[r.clone()].to_vec();
+            let cg = scheme.compress(&grads[r.clone()], Some(&mut res));
+            residual[r].copy_from_slice(&res);
+            cg
+        })
+        .collect()
 }
 
 /// [`run_cluster`] plus the robustness machinery of [`RunOptions`]:
@@ -728,15 +925,28 @@ pub fn run_cluster_with<B: ClusterBackend>(
         trace: want_trace,
         supervisor,
         standby,
+        shards: shard_count,
     } = opts;
     let m = backend.workers();
     let is_lc = cfg.algorithm == Algorithm::LcAsgd;
     let is_dc = cfg.algorithm == Algorithm::DcAsgd;
     let is_ssgd = cfg.algorithm == Algorithm::Ssgd;
 
+    // ---- sharded parameter server -------------------------------------
+    // N per-shard server instances behind the one serialized event loop.
+    // Workers fan pulls/pushes out over their single ordered link, so the
+    // sharding is coordinator-free and `n = 1` reproduces the unsharded
+    // message sequence exactly (DESIGN.md §11).
+    let n_shards = shard_count.max(1);
+    assert!(
+        !(is_ssgd && n_shards > 1),
+        "SSGD's barrier replies with full weights from inside the Grad arm; it does not shard"
+    );
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let canonical = build(&mut rng);
-    let mut server = ParameterServer::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum);
+    let mut group = ShardGroup::new(&canonical, m, cfg.bn_mode, cfg.bn_momentum, n_shards)
+        .map_err(ClusterError::Protocol)?;
+    let wspec = group.spec().clone();
     let mut shards = worker_shards(cfg, m, train.len());
 
     // ---- supervisor ---------------------------------------------------
@@ -803,6 +1013,12 @@ pub fn run_cluster_with<B: ClusterBackend>(
     let mut trace = PredictorTrace::default();
 
     let mut backups: Vec<Vec<f32>> = vec![Vec::new(); m];
+    // Whether the worker's current iteration is refreshing its DC backup:
+    // decided at the lead pull, and follower-shard pulls then copy their
+    // slices into the same full-length buffer.
+    let mut backup_live: Vec<bool> = vec![false; m];
+    // Per-worker in-flight push assembly (see [`PendingPush`]).
+    let mut pending: Vec<Option<PendingPush>> = (0..m).map(|_| None).collect();
     let mut applied = 0usize;
     let mut rounds_done = 0usize;
     let mut records = Vec::with_capacity(cfg.epochs);
@@ -831,12 +1047,11 @@ pub fn run_cluster_with<B: ClusterBackend>(
 
     let mut resumed_at = 0u64;
     if let Some(ck) = &resume {
-        assert_eq!(ck.arrival.len(), m, "checkpoint worker count mismatch");
-        server.weights = ck.weights.clone();
-        server.bn = ck.bn.clone();
-        server.version = ck.version;
-        server.iter = ck.iter.clone();
-        server.restore_arrival_state(&ck.arrival);
+        // A mismatched checkpoint (wrong worker count, wrong model, wrong
+        // shard layout) is a descriptive error surfaced to the caller,
+        // not an assertion failure.
+        adopt_server_state(&mut group, ck)
+            .map_err(|e| ClusterError::Protocol(format!("cannot resume from checkpoint: {e}")))?;
         applied = ck.applied as usize;
         staleness = ck.staleness.clone();
         losses = ck.epoch_losses.clone();
@@ -909,7 +1124,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
         // Bootstrap: the standby starts from a full snapshot of the
         // (possibly resumed) initial server state.
         rs.snapshot(&state_snapshot(
-            &server,
+            &group,
             applied as u64,
             &staleness,
             &losses,
@@ -920,6 +1135,14 @@ pub fn run_cluster_with<B: ClusterBackend>(
             batch_pos.lock().clone(),
             &fence,
         ));
+        if let Some(error) = rs.take_degradation() {
+            // The standby was lost before the run even started: record it
+            // and run unreplicated rather than aborting.
+            rs.report.degraded_at = Some(applied as u64);
+            if let Some(plan) = &fault_plan {
+                plan.log().push(FaultRecord::StandbyLost { at_update: applied as u64, error });
+            }
+        }
         repl = Some(rs);
     }
 
@@ -958,29 +1181,35 @@ pub fn run_cluster_with<B: ClusterBackend>(
             // (fire-and-forget). Algorithm 2's per-worker bookkeeping
             // restarts: the arrival history and the step-predictor series
             // described the dead incarnation, not this one.
-            server.reset_arrival(w);
+            group.reset_arrival(w);
             if is_lc {
                 step_pred.reset_worker(w);
             }
             prev_step_pred[w] = None;
             backups[w] = Vec::new();
+            backup_live[w] = false;
+            // Any half-assembled push belonged to the dead incarnation.
+            pending[w] = None;
         }
         // `Replicate` frames travel the dedicated replica duplex, not the
         // worker links; one arriving here is a protocol violation and is
         // ignored.
         ClusterReq::Replicate(_) => {}
-        ClusterReq::Pull { epoch } => {
-            if !fence.admit_read(epoch) {
-                // Addressed to a fenced (dead) primary: tell the worker
-                // the current epoch so its retry carries it.
+        ClusterReq::Pull { epoch, shard } => {
+            let sh = shard as usize;
+            if !fence.admit_read(epoch) || sh >= group.count() {
+                // Addressed to a fenced (dead) primary — or to a shard
+                // outside the group (a misconfigured peer): tell the
+                // worker the current epoch so its retry carries it.
                 ctx.reply(ClusterResp::Fenced { epoch: fence.epoch() });
             } else if !is_ssgd && (applied >= target || halted) {
                 ctx.reply(ClusterResp::Stop);
-            } else {
-                // The directive pins the rung (and any reassigned shard)
-                // for the iteration this pull starts; the push coming
-                // back is interpreted under the same rung even if the
-                // worker is demoted meanwhile.
+            } else if sh == 0 {
+                // The *lead* pull of an iteration. The directive pins the
+                // rung (and any reassigned data shard) for the iteration
+                // this pull starts; the push coming back is interpreted
+                // under the same rung even if the worker is demoted
+                // meanwhile.
                 let directive = sup.as_mut().map(|s| {
                     let mode = s.mode(w);
                     pulled_mode[w] = mode;
@@ -992,12 +1221,33 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     }
                 });
                 if pulled_mode[w] == AlgoMode::Dc {
-                    backups[w] = server.weights.clone();
+                    // Snapshot w_bak slice by slice: the lead slice now,
+                    // the follower-shard pulls of this same iteration
+                    // copy theirs below.
+                    if backups[w].len() != wspec.len() {
+                        backups[w] = vec![0.0; wspec.len()];
+                    }
+                    backups[w][wspec.range(0)].copy_from_slice(&group.lead().weights);
+                    backup_live[w] = true;
+                } else {
+                    backup_live[w] = false;
                 }
                 ctx.reply(ClusterResp::Weights {
-                    flat: server.weights.clone(),
-                    version: server.version,
+                    flat: group.lead().weights.clone(),
+                    version: group.lead().version,
                     directive,
+                    epoch: fence.epoch(),
+                });
+            } else {
+                // Follower-shard pull: the lead pull already answered the
+                // stop/directive questions for this iteration.
+                if backup_live[w] {
+                    backups[w][wspec.range(sh)].copy_from_slice(&group.shard(sh).weights);
+                }
+                ctx.reply(ClusterResp::Weights {
+                    flat: group.shard(sh).weights.clone(),
+                    version: group.shard(sh).version,
+                    directive: None,
                     epoch: fence.epoch(),
                 });
             }
@@ -1010,12 +1260,13 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 ctx.reply(ClusterResp::Fenced { epoch: fence.epoch() });
                 break 'state;
             }
-            // Algorithm 2 lines 2–7, on real measured timings.
-            let actual_step = server.log_arrival(w) as f32;
+            // Algorithm 2 lines 2–7, on real measured timings. Arrival
+            // bookkeeping is model-global, so it lives on the lead shard.
+            let actual_step = group.log_arrival(w) as f32;
             let t_sp = Instant::now();
             let km = step_pred.observe_and_predict(w, actual_step, t_comm, t_comp);
             sink.wall_span_at(Some(w), phase::PREDICTOR_STEP, t_sp, t_sp.elapsed().as_secs_f64());
-            let km_int = km.round().max(0.0) as usize;
+            let km_int = km_steps(km);
             let one_step_forecast = loss_pred.pending_forecast();
             let t_lp = Instant::now();
             let lp = loss_pred.observe_and_predict(loss, km_int);
@@ -1030,7 +1281,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 }
             }
             prev_step_pred[w] = Some(km);
-            server.absorb_bn(&running, &batch_stats);
+            group.absorb_bn(&running, &batch_stats);
             if let Some(s) = sup.as_mut() {
                 // Predictor-health watchdog: a wildly wrong one-step
                 // forecast is a demerit against this worker's LC rung.
@@ -1058,14 +1309,19 @@ pub fn run_cluster_with<B: ClusterBackend>(
             running,
             epoch,
             push_seq,
+            shard,
         } => 'grad: {
             match fence.check_push(w, epoch, push_seq) {
                 PushVerdict::Admit => {}
                 // Addressed to a dead epoch, or a delayed duplicate of a
-                // push already applied: dropped on the floor. Gradient
-                // pushes are oneway sends in the async protocols, so no
-                // reply is owed. (SSGD never runs with an active fence.)
-                PushVerdict::StaleEpoch | PushVerdict::Duplicate => break 'grad,
+                // push already applied: dropped on the floor, along with
+                // any half-assembled slices of it. Gradient pushes are
+                // oneway sends in the async protocols, so no reply is
+                // owed. (SSGD never runs with an active fence.)
+                PushVerdict::StaleEpoch | PushVerdict::Duplicate => {
+                    pending[w] = None;
+                    break 'grad;
+                }
             }
             if is_ssgd {
                 // Formula 1's barrier: park until all M contributions are
@@ -1076,9 +1332,9 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let lr = cfg.lr.at_epoch(rounds_done / rounds_per_epoch) * cfg.ssgd_lr_scale;
                     let gs: Vec<Vec<f32>> = round.iter().map(|(_, g, _, _)| g.clone()).collect();
                     let t_apply = Instant::now();
-                    server.apply_grad_avg(&gs, lr);
+                    group.apply_grad_avg(&gs, lr);
                     for (_, _, running, batch) in &round {
-                        server.absorb_bn(running, batch);
+                        group.absorb_bn(running, batch);
                     }
                     sink.wall_span_at(
                         None,
@@ -1086,7 +1342,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         t_apply,
                         t_apply.elapsed().as_secs_f64(),
                     );
-                    sink.note_version(server.version);
+                    sink.note_version(group.version());
                     rounds_done += 1;
                     if rounds_done.is_multiple_of(rounds_per_epoch) {
                         let epoch = rounds_done / rounds_per_epoch;
@@ -1094,7 +1350,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                             epoch,
                             run_now(&sink),
                             &mut harness,
-                            &server,
+                            &group.lead().weights,
+                            group.bn(),
                             &mut losses,
                             lr,
                         ));
@@ -1107,8 +1364,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                                 ClusterResp::Stop
                             } else {
                                 ClusterResp::Weights {
-                                    flat: server.weights.clone(),
-                                    version: server.version,
+                                    flat: group.lead().weights.clone(),
+                                    version: group.version(),
                                     directive: None,
                                     epoch: fence.epoch(),
                                 }
@@ -1120,8 +1377,57 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 // Late gradients past the target (or past a planned
                 // halt) are dropped, as a real server shutting down
                 // would drop them.
-                let stale = (server.version - pull_version) as u32;
-                let g = grads.decompress();
+                let sh = shard as usize;
+                if sh >= n_shards {
+                    break 'grad;
+                }
+                let slice = grads.decompress();
+                if slice.len() != wspec.range(sh).len() {
+                    // A slice that does not fit its shard cannot be
+                    // assembled; drop the whole push rather than apply
+                    // garbage.
+                    pending[w] = None;
+                    break 'grad;
+                }
+                // Buffer the slice; the push applies when the last one
+                // lands. The worker's link is ordered, but assembly
+                // tolerates any arrival order (and injected duplicates)
+                // within one push.
+                let p = match pending[w].as_mut() {
+                    Some(p) if p.push_seq == push_seq => p,
+                    _ => {
+                        // First slice of a new push; a leftover buffer
+                        // from an abandoned one is discarded.
+                        pending[w] = Some(PendingPush {
+                            push_seq,
+                            pull_version,
+                            loss,
+                            grads: vec![0.0; wspec.len()],
+                            seen: 0,
+                            got: 0,
+                            batch_stats: Vec::new(),
+                            running: BnState::default(),
+                        });
+                        pending[w].as_mut().expect("just inserted")
+                    }
+                };
+                if p.seen & (1 << sh) == 0 {
+                    p.seen |= 1 << sh;
+                    p.got += 1;
+                }
+                p.grads[wspec.range(sh)].copy_from_slice(&slice);
+                if sh == 0 {
+                    // BN payloads ride the lead slice only.
+                    p.batch_stats = batch_stats;
+                    p.running = running;
+                }
+                if p.got < n_shards {
+                    break 'grad;
+                }
+                let done = pending[w].take().expect("assembly just completed");
+                let (g, loss) = (done.grads, done.loss);
+                let (batch_stats, running) = (done.batch_stats, done.running);
+                let stale = (group.version() - done.pull_version) as u32;
                 // Admission control: the supervisor may discard, park, or
                 // LR-scale the gradient. Staleness samples are recorded
                 // for *applied* updates only, so the admitted stream is
@@ -1145,24 +1451,25 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     staleness.push(stale);
                     sink.note_staleness(stale);
                     let lr = cfg.lr.at_epoch(applied / updates_per_epoch) * lr_scale;
-                    // The write-ahead log ships the apply as a delta, so
-                    // snapshot the weights it is taken against.
-                    let w_before = repl.as_ref().map(|_| server.weights.clone());
+                    // The write-ahead log ships the apply as per-shard
+                    // deltas, so snapshot the weights they are taken
+                    // against.
+                    let w_before = repl.as_ref().map(|_| group.assembled_weights());
                     let t_apply = Instant::now();
                     // A rejoined worker's backup was cleared at Join; until
                     // its next pull re-snapshots, fall back to the plain
                     // update (zero assumed drift).
                     if pulled_mode[w] == AlgoMode::Dc && backups[w].len() == g.len() {
-                        server.apply_grad_dc(&g, lr, cfg.lambda, &backups[w]);
+                        group.apply_grad_dc(&g, lr, cfg.lambda, &backups[w]);
                     } else {
-                        server.apply_grad(&g, lr);
+                        group.apply_grad(&g, lr);
                     }
                     let mut arrival = None;
                     let mut bn_absorbed = false;
                     if pulled_mode[w] != AlgoMode::Lc {
-                        server.log_arrival(w);
-                        arrival = Some(server.version);
-                        server.absorb_bn(&running, &batch_stats);
+                        group.log_arrival(w);
+                        arrival = Some(group.version());
+                        group.absorb_bn(&running, &batch_stats);
                         bn_absorbed = true;
                     }
                     sink.wall_span_at(
@@ -1171,28 +1478,47 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         t_apply,
                         t_apply.elapsed().as_secs_f64(),
                     );
-                    sink.note_version(server.version);
+                    sink.note_version(group.version());
                     losses.push(loss);
                     applied += 1;
                     fence.commit_push(w, push_seq);
                     if let Some(rs) = repl.as_mut() {
+                        // One log record per shard slice, consecutive
+                        // seqs; the completing (last-shard) record alone
+                        // carries the arrival/BN side effects, so the
+                        // standby counts a push applied only when all its
+                        // slices have landed.
                         let before = w_before.expect("delta base captured while replicating");
-                        let delta: Vec<f32> =
-                            server.weights.iter().zip(&before).map(|(a, b)| a - b).collect();
-                        let digest = LogRecord::digest_of(&delta);
-                        rs.log(LogRecord {
-                            seq: 0, // assigned by the stream
-                            epoch: fence.epoch(),
-                            worker: w as u32,
-                            push_seq,
-                            version: server.version,
-                            staleness: stale,
-                            loss,
-                            delta,
-                            digest,
-                            arrival,
-                            bn: bn_absorbed.then(|| server.bn.clone()),
-                        });
+                        for s in 0..n_shards {
+                            let r = wspec.range(s);
+                            let delta: Vec<f32> = group
+                                .shard(s)
+                                .weights
+                                .iter()
+                                .zip(&before[r])
+                                .map(|(a, b)| a - b)
+                                .collect();
+                            let digest = LogRecord::digest_of(&delta);
+                            let completing = s + 1 == n_shards;
+                            rs.log(LogRecord {
+                                seq: 0, // assigned by the stream
+                                epoch: fence.epoch(),
+                                worker: w as u32,
+                                push_seq,
+                                version: group.version(),
+                                staleness: stale,
+                                loss,
+                                delta,
+                                digest,
+                                arrival: if completing { arrival } else { None },
+                                bn: if completing {
+                                    bn_absorbed.then(|| group.bn().clone())
+                                } else {
+                                    None
+                                },
+                                shard: s as u32,
+                            });
+                        }
                     }
                     if applied.is_multiple_of(updates_per_epoch) {
                         let epoch = applied / updates_per_epoch;
@@ -1200,7 +1526,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                             epoch,
                             run_now(&sink),
                             &mut harness,
-                            &server,
+                            &group.assembled_weights(),
+                            group.bn(),
                             &mut losses,
                             lr,
                         ));
@@ -1209,7 +1536,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         // positions, epoch records) catch up here.
                         if let Some(rs) = repl.as_mut() {
                             rs.snapshot(&state_snapshot(
-                                &server,
+                                &group,
                                 applied as u64,
                                 &staleness,
                                 &losses,
@@ -1232,12 +1559,12 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     if let Some(path) = &checkpoint_path {
                         if halt_now || applied.is_multiple_of(ckpt_every) {
                             let ck = TrainingCheckpoint {
-                                weights: server.weights.clone(),
-                                bn: server.bn.clone(),
-                                version: server.version,
+                                weights: group.assembled_weights(),
+                                bn: group.bn().clone(),
+                                version: group.version(),
                                 applied: applied as u64,
-                                arrival: server.arrival_state(),
-                                iter: server.iter.clone(),
+                                arrival: group.arrival_state(),
+                                iter: group.lead().iter.clone(),
                                 staleness: staleness.clone(),
                                 epoch_losses: losses.clone(),
                                 epochs: records.clone(),
@@ -1246,6 +1573,11 @@ pub fn run_cluster_with<B: ClusterBackend>(
                                 worker_batches: batch_pos.lock().clone(),
                                 server_epoch: fence.epoch(),
                                 push_seqs: fence.push_seqs().to_vec(),
+                                shard_versions: if group.count() == 1 {
+                                    Vec::new()
+                                } else {
+                                    group.versions()
+                                },
                             };
                             let t_ck = Instant::now();
                             match ck.save(path) {
@@ -1288,81 +1620,126 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     // by the synchronous flush cadence, and the promoted
                     // state is a pure function of both.
                     if kill_pending.is_some_and(|k| applied as u64 >= k) {
-                        let killed_at = kill_pending.take().expect("trigger checked");
-                        let rs = repl.as_mut().expect("primary kill requires a standby");
-                        let slot = standby_slot.as_ref().expect("standby slot exists");
-                        // Fence the dead primary: its lease never renews
-                        // again, and its unflushed tail is discarded.
-                        rs.lease.revoke();
-                        let replica = slot
-                            .lock()
-                            .take()
-                            .expect("standby replica bootstrapped before the kill");
-                        let ck = replica.into_state();
-                        let lost = applied as u64 - ck.applied;
-                        let from_epoch = fence.epoch();
-                        // Adopt the standby's mirrored state wholesale.
-                        server.weights = ck.weights.clone();
-                        server.bn = ck.bn.clone();
-                        server.version = ck.version;
-                        server.iter = ck.iter.clone();
-                        server.restore_arrival_state(&ck.arrival);
-                        applied = ck.applied as usize;
-                        staleness = ck.staleness.clone();
-                        losses = ck.epoch_losses.clone();
-                        while records.len() > applied / updates_per_epoch {
-                            // Epoch records computed from discarded
-                            // updates: recomputed when the boundary is
-                            // crossed again.
-                            records.pop();
+                        'kill: {
+                            let killed_at = kill_pending.take().expect("trigger checked");
+                            let rs = repl.as_mut().expect("primary kill requires a standby");
+                            let slot = standby_slot.as_ref().expect("standby slot exists");
+                            // Fence the dead primary: its lease never
+                            // renews again, and its unflushed tail is
+                            // discarded.
+                            rs.lease.revoke();
+                            let Some(replica) = slot.lock().take() else {
+                                // The standby was already lost (the stream
+                                // degraded): there is nothing to promote.
+                                // The run continues on the primary's
+                                // surviving state, unreplicated.
+                                if let Some(log) = &fault_log {
+                                    log.push(FaultRecord::StandbyLost {
+                                        at_update: killed_at,
+                                        error: "planned primary kill found no standby to promote"
+                                            .into(),
+                                    });
+                                }
+                                break 'kill;
+                            };
+                            let ck = replica.into_state();
+                            let lost = applied as u64 - ck.applied;
+                            let from_epoch = fence.epoch();
+                            // Adopt the standby's mirrored state wholesale.
+                            if let Err(error) = adopt_server_state(&mut group, &ck) {
+                                // A mirror the promoted layout cannot adopt
+                                // is as good as a lost standby: record it
+                                // and keep the primary's state.
+                                if let Some(log) = &fault_log {
+                                    log.push(FaultRecord::StandbyLost {
+                                        at_update: killed_at,
+                                        error,
+                                    });
+                                }
+                                break 'kill;
+                            }
+                            applied = ck.applied as usize;
+                            staleness = ck.staleness.clone();
+                            losses = ck.epoch_losses.clone();
+                            while records.len() > applied / updates_per_epoch {
+                                // Epoch records computed from discarded
+                                // updates: recomputed when the boundary is
+                                // crossed again.
+                                records.pop();
+                            }
+                            if let Some(lp) = &ck.loss_pred {
+                                loss_pred.restore(lp);
+                            }
+                            if let Some(sp) = &ck.step_pred {
+                                step_pred.restore(sp);
+                            }
+                            // DC backups and half-assembled pushes
+                            // reference pulls from the dead primary.
+                            for b in backups.iter_mut() {
+                                b.clear();
+                            }
+                            for (live, pend) in backup_live.iter_mut().zip(pending.iter_mut()) {
+                                *live = false;
+                                *pend = None;
+                            }
+                            let to_epoch = fence.promote(ck.push_seqs.clone());
+                            rs.report.failovers += 1;
+                            rs.report.lost_updates += lost;
+                            rs.lease = Lease::new(rs.lease_timeout);
+                            // Re-arm: the promoted server is the new
+                            // primary; re-bootstrap the (now empty)
+                            // standby slot.
+                            rs.snapshot(&state_snapshot(
+                                &group,
+                                applied as u64,
+                                &staleness,
+                                &losses,
+                                &records,
+                                is_lc,
+                                &loss_pred,
+                                &step_pred,
+                                batch_pos.lock().clone(),
+                                &fence,
+                            ));
+                            if let Some(s) = sup.as_mut() {
+                                s.record_failover(applied as u64, from_epoch, to_epoch, lost);
+                            }
+                            sink.wall_instant(
+                                None,
+                                phase::HEALTH,
+                                Instant::now(),
+                                format!(
+                                    "at-update={applied} failover from-epoch={from_epoch} \
+                                     to-epoch={to_epoch} lost-updates={lost}"
+                                ),
+                            );
+                            if let Some(log) = &fault_log {
+                                log.push(FaultRecord::FailedOver {
+                                    at_update: killed_at,
+                                    from_epoch,
+                                    to_epoch,
+                                    lost_updates: lost,
+                                });
+                            }
                         }
-                        if let Some(lp) = &ck.loss_pred {
-                            loss_pred.restore(lp);
-                        }
-                        if let Some(sp) = &ck.step_pred {
-                            step_pred.restore(sp);
-                        }
-                        // DC backups reference pulls from the dead primary.
-                        for b in backups.iter_mut() {
-                            b.clear();
-                        }
-                        let to_epoch = fence.promote(ck.push_seqs.clone());
-                        rs.report.failovers += 1;
-                        rs.report.lost_updates += lost;
-                        rs.lease = Lease::new(rs.lease_timeout);
-                        // Re-arm: the promoted server is the new primary;
-                        // re-bootstrap the (now empty) standby slot.
-                        rs.snapshot(&state_snapshot(
-                            &server,
-                            applied as u64,
-                            &staleness,
-                            &losses,
-                            &records,
-                            is_lc,
-                            &loss_pred,
-                            &step_pred,
-                            batch_pos.lock().clone(),
-                            &fence,
-                        ));
-                        if let Some(s) = sup.as_mut() {
-                            s.record_failover(applied as u64, from_epoch, to_epoch, lost);
-                        }
-                        sink.wall_instant(
-                            None,
-                            phase::HEALTH,
-                            Instant::now(),
-                            format!(
-                                "at-update={applied} failover from-epoch={from_epoch} \
-                                 to-epoch={to_epoch} lost-updates={lost}"
-                            ),
-                        );
-                        if let Some(log) = &fault_log {
-                            log.push(FaultRecord::FailedOver {
-                                at_update: killed_at,
-                                from_epoch,
-                                to_epoch,
-                                lost_updates: lost,
-                            });
+                    }
+                    // ---- standby-loss degradation ---------------------
+                    // Any replication interaction this push triggered may
+                    // have found the standby gone; report the one-time
+                    // degradation on every channel (satellite of DESIGN
+                    // §10): the replication report, the fault log, the
+                    // health timeline, and the trace.
+                    if let Some(rs) = repl.as_mut() {
+                        if let Some(error) = rs.take_degradation() {
+                            rs.report.degraded_at = Some(applied as u64);
+                            let rec = FaultRecord::StandbyLost { at_update: applied as u64, error };
+                            sink.wall_instant(None, phase::HEALTH, Instant::now(), rec.to_string());
+                            if let Some(log) = &fault_log {
+                                log.push(rec);
+                            }
+                            if let Some(s) = sup.as_mut() {
+                                s.record_standby_lost(applied as u64);
+                            }
                         }
                     }
                 }
@@ -1373,8 +1750,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         // staleness accounting must never see the clock
                         // move backwards; only the *state* rewinds.
                         if let Some(good) = &last_good {
-                            server.weights = good.weights.clone();
-                            server.bn = good.bn.clone();
+                            group.load_weights(&good.weights);
+                            group.set_bn(good.bn.clone());
                             if let Some(lp) = &good.loss_pred {
                                 loss_pred.restore(lp);
                             }
@@ -1385,8 +1762,8 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         }
                     } else if s.should_snapshot(applied as u64) {
                         last_good = Some(GoodState {
-                            weights: server.weights.clone(),
-                            bn: server.bn.clone(),
+                            weights: group.assembled_weights(),
+                            bn: group.bn().clone(),
                             applied: applied as u64,
                             loss_pred: is_lc.then(|| loss_pred.snapshot()),
                             step_pred: is_lc.then(|| step_pred.snapshot()),
@@ -1425,7 +1802,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 let pull_start = Instant::now();
                 // SSGD never runs fenced (no standby support): epoch 0,
                 // push_seq 0 (the "no sequencing" sentinel).
-                let mut resp = match link.request(ClusterReq::Pull { epoch: 0 }) {
+                let mut resp = match link.request(ClusterReq::Pull { epoch: 0, shard: 0 }) {
                     Ok(r) => r,
                     Err(_) => break 'run,
                 };
@@ -1452,6 +1829,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         running,
                         epoch: 0,
                         push_seq: 0,
+                        shard: 0,
                     }) {
                         Ok(r) => r,
                         Err(_) => break,
@@ -1470,13 +1848,13 @@ pub fn run_cluster_with<B: ClusterBackend>(
             let mut fenced_retries = 0u32;
             loop {
                 let pull_start = Instant::now();
-                let resp = match link.request(ClusterReq::Pull { epoch: srv_epoch }) {
+                let resp = match link.request(ClusterReq::Pull { epoch: srv_epoch, shard: 0 }) {
                     Ok(r) => r,
                     Err(_) => break,
                 };
                 wspan(w, phase::PULL, pull_start);
                 let t_comm = pull_start.elapsed().as_secs_f32();
-                let (flat, version, directive) = match resp {
+                let (mut flat, version, directive) = match resp {
                     ClusterResp::Stop => break,
                     ClusterResp::Weights { flat, version, directive, epoch } => {
                         srv_epoch = epoch;
@@ -1498,6 +1876,62 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     }
                     _ => break,
                 };
+                // Sharded layout: the lead pull delivered shard 0's slice;
+                // fan out one pull per remaining shard and assemble the
+                // full vector. With a single shard this is a no-op and the
+                // message sequence is exactly the unsharded protocol's.
+                let mut outcome = ShardPullOutcome::Assembled;
+                if n_shards > 1 {
+                    let mut full = vec![0.0f32; wspec.len()];
+                    if flat.len() != wspec.range(0).len() {
+                        break;
+                    }
+                    full[wspec.range(0)].copy_from_slice(&flat);
+                    for sh in 1..n_shards {
+                        let shard_start = Instant::now();
+                        let req = ClusterReq::Pull { epoch: srv_epoch, shard: sh as u32 };
+                        match link.request(req) {
+                            Ok(ClusterResp::Weights { flat: slice, epoch, .. }) => {
+                                srv_epoch = epoch;
+                                let r = wspec.range(sh);
+                                if slice.len() != r.len() {
+                                    outcome = ShardPullOutcome::Stop;
+                                    break;
+                                }
+                                full[r].copy_from_slice(&slice);
+                                wspan(w, phase::PULL, shard_start);
+                            }
+                            Ok(ClusterResp::Fenced { epoch }) => {
+                                srv_epoch = epoch;
+                                outcome = ShardPullOutcome::Fenced;
+                                break;
+                            }
+                            _ => {
+                                outcome = ShardPullOutcome::Stop;
+                                break;
+                            }
+                        }
+                    }
+                    flat = full;
+                }
+                match outcome {
+                    ShardPullOutcome::Assembled => {}
+                    ShardPullOutcome::Fenced => {
+                        // A follower shard answered from behind the new
+                        // fence: abandon the half-assembled pull and
+                        // restart the iteration against the promoted
+                        // epoch, with the same bounded backoff as above.
+                        fenced_retries += 1;
+                        if fenced_retries > 64 {
+                            break;
+                        }
+                        if clock == ClockDomain::Wall {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        continue;
+                    }
+                    ShardPullOutcome::Stop => break,
+                }
                 fenced_retries = 0;
                 // Supervisor directives: a reassigned data shard takes
                 // effect now, and the ladder rung decides whether this
@@ -1546,19 +1980,28 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let grads = node.backward_phase(seed);
                     wspan(w, phase::COMPUTE, backward_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
-                    let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    let slices = shard_wire_grads(&cfg.compression, &wspec, grads, &mut residual);
                     push_counter += 1;
-                    let push = ClusterReq::Grad {
-                        grads,
-                        pull_version: version,
-                        loss,
-                        batch_stats: Vec::new(),
-                        running: BnState::default(),
-                        epoch: srv_epoch,
-                        push_seq: seq_base | push_counter,
-                    };
+                    let push_seq = seq_base | push_counter;
                     let push_start = Instant::now();
-                    if link.send(push).is_err() {
+                    let mut dead = false;
+                    for (sh, grads) in slices.into_iter().enumerate() {
+                        let push = ClusterReq::Grad {
+                            grads,
+                            pull_version: version,
+                            loss,
+                            batch_stats: Vec::new(),
+                            running: BnState::default(),
+                            epoch: srv_epoch,
+                            push_seq,
+                            shard: sh as u32,
+                        };
+                        if link.send(push).is_err() {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    if dead {
                         break;
                     }
                     wspan(w, phase::PUSH, push_start);
@@ -1566,22 +2009,40 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
                     wspan(w, phase::COMPUTE, compute_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
-                    let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    let slices = shard_wire_grads(&cfg.compression, &wspec, grads, &mut residual);
                     let running = node.bn_running();
                     let push_start = Instant::now();
                     push_counter += 1;
-                    if link
-                        .send(ClusterReq::Grad {
-                            grads,
-                            pull_version: version,
-                            loss,
-                            batch_stats,
-                            running,
-                            epoch: srv_epoch,
-                            push_seq: seq_base | push_counter,
-                        })
-                        .is_err()
-                    {
+                    let push_seq = seq_base | push_counter;
+                    // The BN payload rides only the lead-shard slice; the
+                    // follower slices carry empty stats so the merged
+                    // absorption happens exactly once per push.
+                    let mut payload = Some((batch_stats, running));
+                    let mut dead = false;
+                    for (sh, grads) in slices.into_iter().enumerate() {
+                        let (batch_stats, running) = if sh == 0 {
+                            payload.take().expect("lead payload consumed once")
+                        } else {
+                            (Vec::new(), BnState::default())
+                        };
+                        if link
+                            .send(ClusterReq::Grad {
+                                grads,
+                                pull_version: version,
+                                loss,
+                                batch_stats,
+                                running,
+                                epoch: srv_epoch,
+                                push_seq,
+                                shard: sh as u32,
+                            })
+                            .is_err()
+                        {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    if dead {
                         break;
                     }
                     wspan(w, phase::PUSH, push_start);
@@ -1632,12 +2093,12 @@ pub fn run_cluster_with<B: ClusterBackend>(
     }
 
     if is_ssgd {
-        staleness = vec![0; server.version as usize];
+        staleness = vec![0; group.version() as usize];
     }
     let overhead = is_lc.then_some(OverheadStats {
         loss_pred_ms: loss_pred.elapsed_ms,
         step_pred_ms: step_pred.elapsed_ms,
-        iterations: server.version,
+        iterations: group.version(),
     });
     // A resumed run (or a checkpoint-write failure) reports even without a
     // fault plan, so callers can see what happened.
@@ -1657,7 +2118,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
         staleness,
         trace: (is_lc && cfg.record_traces).then_some(trace),
         overhead,
-        iterations: server.version,
+        iterations: group.version(),
         total_time: run_now(&sink),
         clock,
         wall_time: t0.elapsed().as_secs_f64(),
@@ -1666,6 +2127,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
         timeline: want_trace.then(|| sink.finish()),
         health: sup.map(Supervisor::into_report),
         replication,
+        shards: n_shards,
     })
 }
 
@@ -1846,6 +2308,149 @@ mod tests {
         assert_eq!(r.iterations as usize, 10 * 12);
         assert!(r.final_test_error() < 0.3, "err {}", r.final_test_error());
         assert_eq!(r.staleness.len() as u64, r.iterations);
+    }
+
+    #[test]
+    fn km_steps_saturates_nan_and_negative() {
+        // The predictor can emit NaN (untrained LSTM on a degenerate
+        // stream) or a negative forecast; both must clamp to zero steps
+        // instead of wrapping through `as usize`.
+        assert_eq!(km_steps(f32::NAN), 0);
+        assert_eq!(km_steps(f32::NEG_INFINITY), 0);
+        assert_eq!(km_steps(-3.7), 0);
+        assert_eq!(km_steps(-0.0), 0);
+        assert_eq!(km_steps(0.0), 0);
+        assert_eq!(km_steps(0.4), 0);
+        assert_eq!(km_steps(0.6), 1);
+        assert_eq!(km_steps(2.5), 3);
+        assert_eq!(km_steps(7.2), 7);
+    }
+
+    /// A duplex whose peer is gone: every operation fails immediately.
+    struct DeadDuplex;
+
+    impl ReplicaDuplex for DeadDuplex {
+        fn send(&mut self, _payload: &[u8]) -> Result<(), ClusterError> {
+            Err(ClusterError::Disconnected)
+        }
+
+        fn recv(&mut self) -> Result<Vec<u8>, ClusterError> {
+            Err(ClusterError::Disconnected)
+        }
+    }
+
+    fn dead_record() -> LogRecord {
+        LogRecord {
+            seq: 0,
+            epoch: 0,
+            worker: 0,
+            push_seq: 1,
+            version: 1,
+            staleness: 0,
+            loss: 1.0,
+            delta: vec![0.25, -0.5],
+            digest: 0,
+            arrival: Some(1),
+            bn: None,
+            shard: 0,
+        }
+    }
+
+    #[test]
+    fn replication_stream_degrades_instead_of_panicking() {
+        let cfg = StandbyConfig { flush_every: 1, ..StandbyConfig::default() };
+        let mut rs = ReplicationStream::new(Box::new(DeadDuplex), &cfg);
+        // flush_every=1: the first log flushes synchronously into the
+        // dead duplex. Before the fix this was a
+        // `.expect("standby duplex closed")` panic.
+        rs.log(dead_record());
+        assert!(rs.degraded, "send failure must degrade the stream");
+        assert!(rs.lease.is_revoked(), "a degraded stream never waits on its lease");
+        assert!(rs.buffer.is_empty(), "the unflushed tail is discarded");
+        assert_eq!(rs.report.flushes, 0, "a failed flush is not a flush");
+        let why = rs.take_degradation().expect("cause surfaces exactly once");
+        assert!(why.contains("standby"), "cause names the standby: {why}");
+        assert!(rs.take_degradation().is_none(), "the cause is one-shot");
+        // Once degraded every entry point is inert — no panic, no buffer
+        // growth, no counter movement.
+        rs.log(dead_record());
+        rs.flush();
+        rs.snapshot(&TrainingCheckpoint::default());
+        rs.ensure_lease();
+        assert!(rs.buffer.is_empty());
+        assert_eq!(rs.report.flushes, 0);
+        assert_eq!(rs.report.snapshots, 0);
+        assert!(rs.take_degradation().is_none(), "inert calls surface no new cause");
+    }
+
+    #[test]
+    fn checkpoint_worker_mismatch_is_a_descriptive_error() {
+        // Satellite: a checkpoint from an M=4 run resumed under M=2 used
+        // to die on `assert_eq!` inside `restore_arrival_state`; it must
+        // surface as a recoverable transport error instead.
+        let (train, test) = data();
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], false, rng);
+        let mut cfg4 = blob_cfg(Algorithm::Asgd, 4);
+        cfg4.epochs = 2;
+        let dir = std::env::temp_dir().join("lcasgd-worker-mismatch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m4.ck");
+        let opts = RunOptions {
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 5,
+            ..RunOptions::default()
+        };
+        run_cluster_with(ThreadCluster::new(4), &cfg4, &build, &train, &test, opts).unwrap();
+        let ck = TrainingCheckpoint::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg2 = blob_cfg(Algorithm::Asgd, 2);
+        cfg2.epochs = 2;
+        let opts = RunOptions { resume: Some(ck), ..RunOptions::default() };
+        let err = run_cluster_with(ThreadCluster::new(2), &cfg2, &build, &train, &test, opts)
+            .expect_err("worker-count mismatch must be an error, not a panic");
+        let msg = format!("{err:?}");
+        assert!(msg.contains("cannot resume"), "descriptive error, got: {msg}");
+        assert!(msg.contains('4') && msg.contains('2'), "names both counts: {msg}");
+    }
+
+    #[test]
+    fn sharded_cluster_run_matches_single_shard_on_sim() {
+        // The tentpole identity on the deterministic backend: shards=1 is
+        // the unsharded protocol verbatim, and shards=3 must produce the
+        // same applied-update count and converge (its message schedule
+        // differs, so floats may not be bitwise equal to shards=1 here —
+        // the bitwise claim for shards=1 vs the seed lives in
+        // tests/shard_equivalence.rs).
+        let (train, test) = data();
+        let build = |rng: &mut Rng| mlp(&[6, 16, 4], false, rng);
+        let mut cfg = blob_cfg(Algorithm::LcAsgd, 4);
+        cfg.epochs = 8;
+        let base =
+            run_cluster(ClusterSim::new(cfg.cluster.clone()), &cfg, &build, &train, &test).unwrap();
+        let one = run_cluster_with(
+            ClusterSim::new(cfg.cluster.clone()),
+            &cfg,
+            &build,
+            &train,
+            &test,
+            RunOptions::default().shards(1),
+        )
+        .unwrap();
+        assert_eq!(base.staleness, one.staleness, "shards=1 must not perturb the schedule");
+        assert_eq!(base.final_test_error(), one.final_test_error());
+        assert_eq!(one.shards, 1);
+        let three = run_cluster_with(
+            ClusterSim::new(cfg.cluster.clone()),
+            &cfg,
+            &build,
+            &train,
+            &test,
+            RunOptions::default().shards(3),
+        )
+        .unwrap();
+        assert_eq!(three.shards, 3);
+        assert_eq!(three.epochs.len(), cfg.epochs);
+        assert!(three.final_test_error() < 0.35, "err {}", three.final_test_error());
     }
 }
 

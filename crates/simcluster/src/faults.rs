@@ -128,6 +128,10 @@ pub enum FaultRecord {
     /// `lost_updates` is how many applied-but-unreplicated updates the
     /// promotion discarded.
     FailedOver { at_update: u64, from_epoch: u64, to_epoch: u64, lost_updates: u64 },
+    /// The standby duplex closed (or stopped acknowledging) mid-run. The
+    /// run continues *unreplicated* — no further failover is possible —
+    /// instead of aborting.
+    StandbyLost { at_update: u64, error: String },
 }
 
 impl fmt::Display for FaultRecord {
@@ -152,6 +156,9 @@ impl fmt::Display for FaultRecord {
                     "primary killed at update {at_update}: standby promoted \
                      (epoch {from_epoch} -> {to_epoch}, {lost_updates} updates lost)"
                 )
+            }
+            FaultRecord::StandbyLost { at_update, error } => {
+                write!(f, "standby lost at update {at_update}: {error} (continuing unreplicated)")
             }
         }
     }
@@ -251,6 +258,7 @@ impl FaultPlan {
             FaultRecord::Resumed { at_update } => (3, 0, *at_update),
             FaultRecord::CheckpointFailed { at_update, .. } => (4, 0, *at_update),
             FaultRecord::FailedOver { at_update, .. } => (5, 0, *at_update),
+            FaultRecord::StandbyLost { at_update, .. } => (6, 0, *at_update),
         });
         recs
     }

@@ -103,6 +103,9 @@ fn main() {
                      (epoch {from_epoch}→{to_epoch}, {lost_updates} updates lost)"
                 )
             }
+            FaultRecord::StandbyLost { at_update, error } => {
+                println!("  standby lost at update {at_update}: {error} (running unreplicated)")
+            }
         }
     }
     println!(

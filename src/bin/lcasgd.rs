@@ -11,6 +11,7 @@
 //!                [--staleness-bound N] [--admission reject|clip|requeue]
 //!                [--fallback auto|off] [--health-log PATH]
 //!                [--standby] [--flush-every N] [--lease-ms N]
+//!                [--shards N]
 //! lcasgd staleness [--workers N] [--seed N] [--stragglers]
 //! lcasgd help
 //! ```
@@ -47,6 +48,13 @@
 //! (default 500), and a fault plan with a `primary-kill at-update=N`
 //! line promotes the standby in place of the killed primary with a
 //! bumped fencing epoch. Asynchronous algorithms only.
+//!
+//! `--shards N` partitions the parameter server into `N` model shards:
+//! each shard owns a contiguous range of the flat weight vector with its
+//! own version counter and DC-ASGD backups, and workers fan each pull
+//! and push out across the owning shards. `--shards 1` (the default) is
+//! bitwise identical to the unsharded protocol. Asynchronous algorithms
+//! only; routes the run through the thread cluster backend.
 
 use lc_asgd::core::config::DataPartition;
 use lc_asgd::nn::resnet::ResNetConfig;
@@ -79,7 +87,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n               [--standby] [--flush-every N] [--lease-ms N]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
+        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n               [--standby] [--flush-every N] [--lease-ms N]\n               [--shards N]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
     );
     exit(2)
 }
@@ -232,6 +240,11 @@ fn train(args: &Args) {
         flush_every: args.parse("--flush-every", StandbyConfig::default().flush_every),
         lease: std::time::Duration::from_millis(args.parse("--lease-ms", 500)),
     });
+    let shards: usize = args.parse("--shards", 1);
+    if shards == 0 {
+        eprintln!("--shards must be at least 1");
+        exit(2);
+    }
     // Any robustness or observability flag routes the run through the
     // real-thread cluster backend; the default path stays the
     // co-simulated experiment driver.
@@ -240,7 +253,8 @@ fn train(args: &Args) {
         || checkpoint_path.is_some()
         || trace_path.is_some()
         || supervisor.is_some()
-        || standby.is_some();
+        || standby.is_some()
+        || shards > 1;
     if fault_plan.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("--fault-plan requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
@@ -251,6 +265,10 @@ fn train(args: &Args) {
     }
     if standby.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("--standby requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
+        exit(2);
+    }
+    if shards > 1 && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
+        eprintln!("--shards requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
     }
 
@@ -273,6 +291,7 @@ fn train(args: &Args) {
             trace: trace_path.is_some(),
             supervisor,
             standby,
+            shards,
         };
         run_cluster_with(backend, &cfg, &build, &train_set, &test_set, opts).unwrap_or_else(|e| {
             eprintln!("cluster run failed: {e}");
@@ -328,6 +347,9 @@ fn train(args: &Args) {
         if f.server_halted {
             println!("server halted at the planned restart point; rerun with --resume to continue");
         }
+    }
+    if result.shards > 1 {
+        println!("parameter server sharded across {} model shards", result.shards);
     }
     if let Some(r) = &result.replication {
         println!("{}", r.to_text());

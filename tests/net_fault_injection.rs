@@ -55,7 +55,8 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                     Err(_) => return, // server already done
                 };
                 let mut pushed = 0usize;
-                while let Ok(resp) = link.request::<_, ClusterResp>(&ClusterReq::Pull { epoch: 0 })
+                while let Ok(resp) =
+                    link.request::<_, ClusterResp>(&ClusterReq::Pull { epoch: 0, shard: 0 })
                 {
                     let (flat, version) = match resp {
                         ClusterResp::Weights { flat, version, .. } => (flat, version),
@@ -70,6 +71,7 @@ fn hung_worker_is_dropped_and_survivors_finish() {
                         running: Default::default(),
                         epoch: 0,
                         push_seq: 0,
+                        shard: 0,
                     };
                     if link.send(&push).is_err() {
                         break;

@@ -148,6 +148,7 @@ proptest! {
         loss in 0.0f32..20.0,
         epoch in any::<u64>(),
         push_seq in any::<u64>(),
+        shard in any::<u32>(),
     ) {
         let msg = ClusterReq::Grad {
             grads: CompressedGrad::Dense(grads.clone()),
@@ -157,14 +158,18 @@ proptest! {
             running: Default::default(),
             epoch,
             push_seq,
+            shard,
         };
         match ClusterReq::decoded(&msg.encoded()).unwrap() {
-            ClusterReq::Grad { grads: g, pull_version: v, loss: l, epoch: e, push_seq: s, .. } => {
+            ClusterReq::Grad {
+                grads: g, pull_version: v, loss: l, epoch: e, push_seq: s, shard: sh, ..
+            } => {
                 prop_assert_eq!(g.decompress(), grads);
                 prop_assert_eq!(v, pull_version);
                 prop_assert_eq!(l, loss);
                 prop_assert_eq!(e, epoch);
                 prop_assert_eq!(s, push_seq);
+                prop_assert_eq!(sh, shard);
             }
             _ => prop_assert!(false, "variant changed across the wire"),
         }

@@ -1,0 +1,314 @@
+//! Shard equivalence suite: the parameter server partitioned across N
+//! model shards must be invisible to training semantics. `--shards 1` is
+//! the unsharded protocol verbatim (bitwise identical on the
+//! deterministic simulator), higher shard counts complete and learn on
+//! all three backends, and the hot-standby failover path promotes a
+//! sharded mirror exactly like a single-shard one.
+
+use lc_asgd::prelude::*;
+use lc_asgd::simcluster::{ClusterSim, SimPayload};
+
+fn task() -> (Dataset, Dataset) {
+    lc_asgd::data::synth::blobs_split(4, 6, 30, 12, 0.5, 37)
+}
+
+fn cfg(algo: Algorithm, workers: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(algo, workers, Scale::Tiny, 29);
+    cfg.epochs = 10;
+    cfg.batch_size = 10;
+    cfg.lr = lc_asgd::nn::optimizer::LrSchedule::constant(0.1);
+    cfg
+}
+
+fn build(rng: &mut Rng) -> lc_asgd::nn::Network {
+    lc_asgd::nn::mlp::mlp(&[6, 16, 4], false, rng)
+}
+
+/// `shards == 1` must not perturb the run at all: same message schedule,
+/// same RNG draws, same floats. Compared bitwise against the plain
+/// (pre-sharding) driver on the deterministic simulator, for both the
+/// fused ASGD push and LC-ASGD's two-phase exchange.
+#[test]
+fn single_shard_is_bitwise_identical_to_unsharded_on_sim() {
+    let (train, test) = task();
+    for algo in [Algorithm::Asgd, Algorithm::LcAsgd] {
+        let c = cfg(algo, 4);
+        let base = run_cluster(ClusterSim::new(c.cluster.clone()), &c, &build, &train, &test)
+            .expect("unsharded sim run failed");
+        let one = run_cluster_with(
+            ClusterSim::new(c.cluster.clone()),
+            &c,
+            &build,
+            &train,
+            &test,
+            RunOptions::default().shards(1),
+        )
+        .expect("shards=1 sim run failed");
+        assert_eq!(one.shards, 1, "{algo}");
+        assert_eq!(base.staleness, one.staleness, "{algo}: staleness stream must be identical");
+        assert_eq!(base.iterations, one.iterations, "{algo}");
+        for (b, o) in base.epochs.iter().zip(&one.epochs) {
+            assert_eq!(b.time, o.time, "{algo}: epoch {} virtual time", b.epoch);
+        }
+        if algo == Algorithm::Asgd {
+            // The fused ASGD path is a pure function of the schedule:
+            // hold every float to bitwise equality.
+            assert_eq!(
+                base.final_test_error(),
+                one.final_test_error(),
+                "final error must be bitwise identical"
+            );
+            for (b, o) in base.epochs.iter().zip(&one.epochs) {
+                assert_eq!(b.train_loss, o.train_loss, "epoch {} loss", b.epoch);
+                assert_eq!(b.test_error, o.test_error, "epoch {} error", b.epoch);
+            }
+        } else {
+            // LC-ASGD's step predictor ingests *measured* wall times
+            // (t_comm/t_comp) even on the simulator, so its floats
+            // wobble in the low bits between any two runs of the same
+            // binary (cf. sim_failover_is_bit_reproducible pinning ASGD,
+            // not LC). The schedule assertions above are the sharding
+            // claim; the learning outcome only has to agree closely.
+            assert!(
+                (base.final_test_error() - one.final_test_error()).abs() < 0.05,
+                "final error drifted: {} vs {}",
+                base.final_test_error(),
+                one.final_test_error()
+            );
+        }
+    }
+}
+
+/// Sharded runs are pure reorderings of the same arithmetic: every
+/// backend must reach the same applied-update target and learn the task,
+/// and the simulator must be bit-reproducible at every shard count.
+#[test]
+fn sharded_runs_complete_on_all_three_backends() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    for shards in [2usize, 4] {
+        let opts = || RunOptions::default().shards(shards);
+        let sim_run = || {
+            let sim: ClusterSim<SimPayload> = ClusterSim::new(c.cluster.clone());
+            run_cluster_with(sim, &c, &build, &train, &test, opts())
+                .expect("sim sharded run failed")
+        };
+        let runs: Vec<(&str, RunResult)> = vec![
+            ("sim", sim_run()),
+            (
+                "threads",
+                run_cluster_with(ThreadCluster::new(4), &c, &build, &train, &test, opts())
+                    .expect("thread sharded run failed"),
+            ),
+            (
+                "tcp",
+                run_cluster_with(
+                    NetCluster::new(4).with_config(NetConfig::fast()),
+                    &c,
+                    &build,
+                    &train,
+                    &test,
+                    opts(),
+                )
+                .expect("tcp sharded run failed"),
+            ),
+        ];
+        for (name, r) in &runs {
+            assert_eq!(r.shards, shards, "{name}");
+            assert_eq!(
+                r.iterations as usize, target,
+                "{name}: shards={shards} must reach the update target"
+            );
+            assert_eq!(r.epochs.len(), c.epochs, "{name}: shards={shards}");
+            assert!(
+                r.final_test_error() < 0.35,
+                "{name}: shards={shards} err {}",
+                r.final_test_error()
+            );
+        }
+        let again = sim_run();
+        assert_eq!(runs[0].1.staleness, again.staleness, "sim shards={shards} reproducible");
+        assert_eq!(runs[0].1.final_test_error(), again.final_test_error());
+    }
+}
+
+/// LC-ASGD over shards: the merged arrival stream on the lead shard must
+/// keep feeding the predictors — the run records a staleness sample per
+/// applied push and still converges.
+#[test]
+fn lc_asgd_predictors_ride_the_merged_shard_stream() {
+    let (train, test) = task();
+    let mut c = cfg(Algorithm::LcAsgd, 4);
+    c.record_traces = true;
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let sim: ClusterSim<SimPayload> = ClusterSim::new(c.cluster.clone());
+    let r = run_cluster_with(sim, &c, &build, &train, &test, RunOptions::default().shards(3))
+        .expect("LC sharded run failed");
+    assert_eq!(r.iterations as usize, target);
+    assert_eq!(r.staleness.len(), target, "one staleness sample per completed push");
+    let o = r.overhead.as_ref().expect("LC reports predictor overhead");
+    assert_eq!(o.iterations as usize, target);
+    assert!(r.final_test_error() < 0.35, "err {}", r.final_test_error());
+}
+
+/// The tentpole chaos gate: a planned primary kill with a 4-shard server
+/// and a hot standby must promote the mirrored shards and finish training
+/// on every backend, with the same accounting as the single-shard
+/// failover (one promotion, bounded lost tail, per-shard WAL records).
+#[test]
+fn primary_kill_failover_completes_with_four_shards() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let shards = 4usize;
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let kill_at = (target / 2) as u64;
+    let standby = StandbyConfig { flush_every: 4, lease: std::time::Duration::from_millis(500) };
+    let opts = |plan: &FaultPlan| RunOptions {
+        fault_plan: Some(plan.clone()),
+        standby: Some(standby.clone()),
+        shards,
+        ..RunOptions::default()
+    };
+    let plan = FaultPlan::new().with_primary_kill(kill_at);
+    let sim: ClusterSim<SimPayload> =
+        ClusterSim::new(c.cluster.clone()).with_fault_plan(plan.clone());
+    let runs: Vec<(&str, RunResult)> = vec![
+        (
+            "sim",
+            run_cluster_with(sim, &c, &build, &train, &test, opts(&plan))
+                .expect("sim sharded failover failed"),
+        ),
+        (
+            "threads",
+            run_cluster_with(
+                ThreadCluster::new(4).with_fault_plan(plan.clone()),
+                &c,
+                &build,
+                &train,
+                &test,
+                opts(&plan),
+            )
+            .expect("thread sharded failover failed"),
+        ),
+        (
+            "tcp",
+            run_cluster_with(
+                NetCluster::new(4).with_config(NetConfig::fast()).with_fault_plan(plan.clone()),
+                &c,
+                &build,
+                &train,
+                &test,
+                opts(&plan),
+            )
+            .expect("tcp sharded failover failed"),
+        ),
+    ];
+    for (name, r) in &runs {
+        assert_eq!(r.shards, shards, "{name}");
+        assert_eq!(r.iterations as usize, target, "{name}: promoted run reaches the target");
+        let rep = r.replication.as_ref().expect("standby runs carry a replication report");
+        assert_eq!(rep.failovers, 1, "{name}: exactly one promotion");
+        assert_eq!(rep.final_epoch, 1, "{name}: promotion bumps the fencing epoch once");
+        assert!(
+            rep.lost_updates < standby.flush_every,
+            "{name}: lost tail bounded by the flush batch, got {}",
+            rep.lost_updates
+        );
+        assert_eq!(
+            rep.log_records % shards as u64,
+            0,
+            "{name}: the WAL carries whole per-shard record groups"
+        );
+        assert!(rep.snapshots >= 2, "{name}: bootstrap plus post-promotion re-arm");
+        let faults = r.faults.as_ref().expect("fault plan must produce a report");
+        assert!(
+            faults.records.iter().any(|rec| matches!(
+                rec,
+                FaultRecord::FailedOver { at_update, from_epoch: 0, to_epoch: 1, .. }
+                    if *at_update >= kill_at
+            )),
+            "{name}: the failover is recorded at or after the planned kill"
+        );
+        assert!(r.final_test_error() < 0.4, "{name}: err {}", r.final_test_error());
+    }
+}
+
+/// Sharded checkpoints round-trip: a run snapshotted under `shards = 2`
+/// resumes under the same layout, and a *single-shard* checkpoint (empty
+/// `shard_versions`) resumes under any layout because lockstep versions
+/// let every shard adopt the global counter.
+#[test]
+fn sharded_checkpoints_resume() {
+    let (train, test) = task();
+    let c = cfg(Algorithm::Asgd, 4);
+    let target = c.epochs * train.len().div_ceil(c.batch_size);
+    let dir = std::env::temp_dir().join("lcasgd-shard-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Halt a sharded run midway via the fault plan's server restart.
+    let halt_at = (target / 2) as u64;
+    let path = dir.join("sharded.ck");
+    let plan = FaultPlan::new().with_server_restart(halt_at);
+    let halted = run_cluster_with(
+        ThreadCluster::new(4).with_fault_plan(plan.clone()),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions {
+            fault_plan: Some(plan),
+            checkpoint_path: Some(path.clone()),
+            shards: 2,
+            ..RunOptions::default()
+        },
+    )
+    .expect("sharded halt run failed");
+    let f = halted.faults.as_ref().expect("halt produces a report");
+    assert!(f.server_halted, "the plan halts the server at {halt_at}");
+
+    let ck = TrainingCheckpoint::load(&path).expect("halt wrote a resumable checkpoint");
+    assert_eq!(ck.shard_versions.len(), 2, "a 2-shard run records 2 shard versions");
+    let resumed = run_cluster_with(
+        ThreadCluster::new(4),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions { resume: Some(ck), shards: 2, ..RunOptions::default() },
+    )
+    .expect("sharded resume failed");
+    assert_eq!(resumed.iterations as usize, target, "resume finishes the remaining updates");
+    assert!(resumed.final_test_error() < 0.35, "err {}", resumed.final_test_error());
+
+    // A checkpoint with no shard-version list resumes under a sharded
+    // layout: every shard adopts the global version counter.
+    let path1 = dir.join("single.ck");
+    let plan = FaultPlan::new().with_server_restart(halt_at);
+    run_cluster_with(
+        ThreadCluster::new(4).with_fault_plan(plan.clone()),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions {
+            fault_plan: Some(plan),
+            checkpoint_path: Some(path1.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("single-shard halt run failed");
+    let ck = TrainingCheckpoint::load(&path1).expect("checkpoint loads");
+    assert!(ck.shard_versions.is_empty(), "single-shard checkpoints stay layout-free");
+    let cross = run_cluster_with(
+        ThreadCluster::new(4),
+        &c,
+        &build,
+        &train,
+        &test,
+        RunOptions { resume: Some(ck), shards: 4, ..RunOptions::default() },
+    )
+    .expect("layout-free checkpoint must resume under 4 shards");
+    assert_eq!(cross.iterations as usize, target);
+    std::fs::remove_dir_all(&dir).ok();
+}

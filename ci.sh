@@ -64,11 +64,30 @@ echo "==> kernel differential + determinism suites (hard 300s timeout)"
 timeout 300 cargo test -q --release -p lcasgd-tensor --test kernel_differential
 timeout 300 cargo test -q --release --test properties thread_invariance
 
+# Reactor scale-out + wire codecs: 256-worker zero-loss delivery,
+# coalesced-reply byte identity, mid-frame-disconnect chaos, and the
+# bf16/int8 codec property + convergence suites. Net tests hang rather
+# than fail when liveness regresses, hence the hard timeouts.
+echo "==> net scale-out + wire codec suites (hard 300s timeout)"
+timeout 300 cargo test -q --release --test net_scale
+timeout 300 cargo test -q --release --test wire_codec
+timeout 120 cargo test -q --release -p lcasgd-netcluster reactor
+timeout 120 cargo test -q --release -p lcasgd-netcluster pool
+
 # Kernel performance: re-measure the hot kernels and fail if any
 # optimized kernel regressed >20% against the committed BENCH_kernels.json
 # (schema is validated; the gate is skipped when no baseline exists).
 echo "==> kernel-baseline --smoke (hard 300s timeout)"
 timeout 300 ./target/release/kernel-baseline --smoke
+
+# Transport performance: re-measure the reactor at 256 loopback workers
+# and fail if applied updates/sec regressed >20% against the committed
+# BENCH_net.json (schema validated; skipped when no baseline exists).
+# The net-scale bin lives in lcasgd-bench, which the root release build
+# above does not cover — build it explicitly.
+echo "==> net-scale --smoke (hard 300s timeout)"
+cargo build --release -q -p lcasgd-bench --bin net-scale
+timeout 300 ./target/release/net-scale --smoke
 
 # CLI smoke: --trace must emit a non-empty, well-formed Chrome trace.
 echo "==> lcasgd train --trace smoke"
@@ -117,6 +136,13 @@ timeout 120 ./target/release/lcasgd train --algorithm asgd --workers 2 \
 grep -q 'sharded across 4 model shards' "$SHARD_OUT" || { echo "no shard summary"; exit 1; }
 grep -q 'failovers 1' "$SHARD_OUT" || { echo "sharded failover did not happen"; exit 1; }
 rm -f "$KILL_PLAN" "$SHARD_OUT"
+
+# CLI smoke: quantized runs must exit 0 on both lossy codecs.
+echo "==> lcasgd train --wire-codec smoke"
+for CODEC in bf16 int8; do
+    timeout 120 ./target/release/lcasgd train --algorithm asgd --workers 2 \
+        --scale tiny --epochs 2 --wire-codec "$CODEC" >/dev/null
+done
 
 echo "==> cargo fmt --check (touched crates)"
 cargo fmt --check "${TOUCHED[@]}"

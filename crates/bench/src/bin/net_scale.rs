@@ -1,0 +1,112 @@
+//! `net-scale` — measures the netcluster transports under 64–1024
+//! simulated workers and maintains `BENCH_net.json`.
+//!
+//! * `net-scale` — full run: measures the {threaded, reactor} × {64,
+//!   256, 1024} grid on loopback, prints the table, and (re)writes
+//!   `BENCH_net.json` in the working directory. Run from the repo root
+//!   to refresh the committed baseline.
+//! * `net-scale --smoke` — CI mode: quick re-measurement of the reactor
+//!   at 256 workers, validates the committed baseline's schema, and
+//!   exits nonzero if updates/sec regressed more than 20 % against it.
+//!   When no baseline file exists the gate is skipped (first run on a
+//!   new checkout).
+
+use lcasgd_bench::netscale::{
+    parse_baseline, regression_gate, run_one, to_json, Row, BASELINE_FILE, FULL_GRID,
+    GATE_TOLERANCE, SMOKE_WORKERS,
+};
+use lcasgd_netcluster::Transport;
+use std::time::Duration;
+
+fn print_table(rows: &[Row]) {
+    println!("{:<10} {:>8} {:>14} {:>12}", "transport", "workers", "updates/sec", "p99 rtt us");
+    for r in rows {
+        println!(
+            "{:<10} {:>8} {:>14.0} {:>12.0}",
+            r.transport, r.workers, r.updates_per_sec, r.p99_rtt_us
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warmup, measure) = if smoke {
+        (Duration::from_millis(300), Duration::from_millis(1000))
+    } else {
+        (Duration::from_millis(500), Duration::from_millis(2000))
+    };
+
+    if smoke {
+        eprintln!(
+            "net-scale: smoke mode (reactor @ {SMOKE_WORKERS} workers, {:.1}s window)...",
+            measure.as_secs_f64()
+        );
+        let row = run_one(Transport::Reactor, SMOKE_WORKERS, warmup, measure);
+        print_table(std::slice::from_ref(&row));
+        match std::fs::read_to_string(BASELINE_FILE) {
+            Ok(json) => {
+                let baseline = match parse_baseline(&json) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("net-scale: committed {BASELINE_FILE} is invalid: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if let Err(e) = regression_gate(&row, &baseline, GATE_TOLERANCE) {
+                    eprintln!("net-scale: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "net-scale --smoke: schema ok, reactor @ {SMOKE_WORKERS} within {:.0}% of baseline",
+                    GATE_TOLERANCE * 100.0
+                );
+            }
+            Err(_) => {
+                println!("net-scale --smoke: no {BASELINE_FILE} found; regression gate skipped");
+            }
+        }
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for &workers in &FULL_GRID {
+        // At 1024 workers the thread-per-connection server's first
+        // cycles take whole seconds (a thousand threads on few cores):
+        // stretch the windows so the slow transport completes enough
+        // cycles to measure at all.
+        let (warmup, measure) = if workers >= 1024 {
+            (Duration::from_secs(4), Duration::from_secs(6))
+        } else {
+            (warmup, measure)
+        };
+        for transport in [Transport::Threaded, Transport::Reactor] {
+            eprintln!(
+                "net-scale: measuring {} @ {workers} workers...",
+                lcasgd_bench::netscale::transport_name(transport)
+            );
+            rows.push(run_one(transport, workers, warmup, measure));
+        }
+    }
+    print_table(&rows);
+    for &workers in &FULL_GRID {
+        let find = |t: &str| rows.iter().find(|r| r.transport == t && r.workers == workers);
+        if let (Some(th), Some(re)) = (find("threaded"), find("reactor")) {
+            println!(
+                "reactor speedup @ {workers}: {:.2}x",
+                re.updates_per_sec / th.updates_per_sec.max(1e-9)
+            );
+        }
+    }
+
+    let json = to_json(&rows, measure);
+    // Validate what we are about to write with the same parser CI uses.
+    if let Err(e) = parse_baseline(&json) {
+        eprintln!("net-scale: generated document failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(BASELINE_FILE, &json).unwrap_or_else(|e| {
+        eprintln!("net-scale: cannot write {BASELINE_FILE}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {BASELINE_FILE}");
+}

@@ -11,6 +11,7 @@
 
 pub mod figures;
 pub mod kernels;
+pub mod netscale;
 pub mod render;
 pub mod scenario;
 pub mod tables;

@@ -9,7 +9,8 @@
 //! lost (the mechanism behind ECQ-SGD's convergence speedup).
 
 use lcasgd_simcluster::backend::wire;
-use lcasgd_simcluster::{ClusterError, WireMsg, WireReader};
+use lcasgd_simcluster::codec::{bf16_decode, bf16_encode};
+use lcasgd_simcluster::{ClusterError, WireCodec, WireMsg, WireReader};
 
 /// A gradient compression scheme.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,6 +29,10 @@ pub enum Compression {
         /// Bits per entry (2..=8).
         bits: u8,
     },
+    /// Every entry truncated to bf16 (round-to-nearest-even). Halves the
+    /// uplink with a scale-free relative error ≤ 2⁻⁸; like the other lossy
+    /// schemes it runs through the error-feedback residual.
+    Bf16,
 }
 
 /// A compressed gradient message.
@@ -44,6 +49,8 @@ pub enum CompressedGrad {
         scale: f32,
         levels: Vec<i8>,
     },
+    /// bf16 halves, one per entry.
+    Bf16(Vec<u16>),
 }
 
 impl CompressedGrad {
@@ -53,6 +60,7 @@ impl CompressedGrad {
             CompressedGrad::Dense(v) => v.len() * 4,
             CompressedGrad::Sparse { entries, .. } => 8 + entries.len() * 8,
             CompressedGrad::Quantized { levels, .. } => 4 + levels.len(),
+            CompressedGrad::Bf16(halves) => halves.len() * 2,
         }
     }
 
@@ -70,6 +78,7 @@ impl CompressedGrad {
             CompressedGrad::Quantized { scale, levels } => {
                 levels.iter().map(|&l| l as f32 * scale).collect()
             }
+            CompressedGrad::Bf16(halves) => halves.iter().map(|&b| bf16_decode(b)).collect(),
         }
     }
 }
@@ -100,6 +109,13 @@ impl WireMsg for CompressedGrad {
                 wire::put_u64(buf, levels.len() as u64);
                 for &l in levels {
                     wire::put_u8(buf, l as u8);
+                }
+            }
+            CompressedGrad::Bf16(halves) => {
+                wire::put_u8(buf, 3);
+                wire::put_u64(buf, halves.len() as u64);
+                for &h in halves {
+                    wire::put_u16(buf, h);
                 }
             }
         }
@@ -136,6 +152,11 @@ impl WireMsg for CompressedGrad {
                 let n = r.len(1)?;
                 let levels = (0..n).map(|_| r.u8().map(|b| b as i8)).collect::<Result<_, _>>()?;
                 Ok(CompressedGrad::Quantized { scale, levels })
+            }
+            3 => {
+                let n = r.len(2)?;
+                let halves = (0..n).map(|_| r.u16()).collect::<Result<_, _>>()?;
+                Ok(CompressedGrad::Bf16(halves))
             }
             tag => Err(ClusterError::Protocol(format!("unknown CompressedGrad tag {tag}"))),
         }
@@ -185,6 +206,9 @@ impl Compression {
                     .collect();
                 CompressedGrad::Quantized { scale, levels }
             }
+            Compression::Bf16 => {
+                CompressedGrad::Bf16(signal.iter().map(|&v| bf16_encode(v)).collect())
+            }
         };
 
         // Update the residual: e = signal − decompress(out).
@@ -195,6 +219,19 @@ impl Compression {
             }
         }
         out
+    }
+
+    /// The compression a wire codec implies when the run has none of its
+    /// own: the uplink mirrors the codec's precision so a quantized wire
+    /// is quantized end to end (downlink weights via the codec's packed
+    /// reply, uplink gradients via the matching residual-compensated
+    /// scheme).
+    pub fn for_codec(codec: WireCodec) -> Compression {
+        match codec {
+            WireCodec::F32 => Compression::None,
+            WireCodec::Bf16 => Compression::Bf16,
+            WireCodec::Int8 => Compression::Uniform { bits: 8 },
+        }
     }
 
     /// Compression ratio (dense bytes / wire bytes) for `n` entries.
@@ -277,6 +314,24 @@ mod tests {
     }
 
     #[test]
+    fn bf16_compression_bounded_relative_error() {
+        let g = sample();
+        let c = Compression::Bf16.compress(&g, None);
+        assert_eq!(c.wire_bytes(), g.len() * 2);
+        for (a, b) in g.iter().zip(c.decompress()) {
+            // bf16 keeps 8 mantissa bits: relative error ≤ 2⁻⁸.
+            assert!((a - b).abs() <= a.abs() / 256.0 + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn codec_derived_compression_matches_wire_precision() {
+        assert_eq!(Compression::for_codec(WireCodec::F32), Compression::None);
+        assert_eq!(Compression::for_codec(WireCodec::Bf16), Compression::Bf16);
+        assert_eq!(Compression::for_codec(WireCodec::Int8), Compression::Uniform { bits: 8 });
+    }
+
+    #[test]
     fn quantized_roundtrip_zero_vector() {
         let g = vec![0.0; 5];
         let c = Compression::Uniform { bits: 4 }.compress(&g, None);
@@ -296,6 +351,7 @@ mod tests {
             Compression::None,
             Compression::TopK { k_frac: 0.25 },
             Compression::Uniform { bits: 6 },
+            Compression::Bf16,
         ] {
             let c = scheme.compress(&g, None);
             let back = CompressedGrad::decoded(&c.encoded()).unwrap();

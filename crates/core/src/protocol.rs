@@ -17,7 +17,7 @@ use crate::supervisor::AlgoMode;
 use lcasgd_autograd::ops::norm::BnBatchStats;
 use lcasgd_nn::network::BnState;
 use lcasgd_simcluster::backend::wire;
-use lcasgd_simcluster::{ClusterError, WireMsg, WireReader};
+use lcasgd_simcluster::{ClusterError, PackedF32, WireCodec, WireMsg, WireReader};
 use lcasgd_tensor::Tensor;
 
 /// Worker → server messages (Algorithm 1's uplink).
@@ -105,6 +105,41 @@ pub enum ClusterResp {
     /// Standby → primary: records through log sequence `seq` (or the
     /// snapshot that precedes it) are durably applied on the replica.
     ReplicaAck { seq: u64 },
+    /// `Weights` with the flat vector quantized by the run's wire codec
+    /// (bf16 or int8-with-scale), the downlink half of the bandwidth
+    /// saving. Workers call [`ClusterResp::normalize`] right after decode
+    /// so the rest of the loop only ever sees `Weights`.
+    QWeights { packed: PackedF32, version: u64, directive: Option<PullDirective>, epoch: u64 },
+}
+
+impl ClusterResp {
+    /// Builds the weights reply a given wire codec calls for: plain
+    /// `Weights` for f32, `QWeights` otherwise (quantizing `flat`).
+    pub fn weights_for(
+        codec: WireCodec,
+        flat: Vec<f32>,
+        version: u64,
+        directive: Option<PullDirective>,
+        epoch: u64,
+    ) -> ClusterResp {
+        match PackedF32::pack(codec, &flat) {
+            Some(packed) => ClusterResp::QWeights { packed, version, directive, epoch },
+            None => ClusterResp::Weights { flat, version, directive, epoch },
+        }
+    }
+
+    /// Collapses the quantized variant: `QWeights` dequantizes into
+    /// `Weights`, everything else passes through. Workers call this once
+    /// per reply so code downstream of the transport never matches on
+    /// `QWeights`.
+    pub fn normalize(self) -> ClusterResp {
+        match self {
+            ClusterResp::QWeights { packed, version, directive, epoch } => {
+                ClusterResp::Weights { flat: packed.unpack(), version, directive, epoch }
+            }
+            other => other,
+        }
+    }
 }
 
 // ------------------------------------------------------- field helpers
@@ -165,6 +200,47 @@ fn put_batch_stats(buf: &mut Vec<u8>, stats: &[BnBatchStats]) {
 fn read_batch_stats(r: &mut WireReader<'_>) -> Result<Vec<BnBatchStats>, ClusterError> {
     let n = r.len(1)?;
     (0..n).map(|_| Ok(BnBatchStats { mean: read_tensor(r)?, var: read_tensor(r)? })).collect()
+}
+
+fn put_directive(buf: &mut Vec<u8>, directive: &Option<PullDirective>) {
+    match directive {
+        None => wire::put_u8(buf, 0),
+        Some(d) => {
+            wire::put_u8(buf, 1);
+            wire::put_u8(buf, d.mode.as_u8());
+            match &d.shard {
+                None => wire::put_u8(buf, 0),
+                Some(shard) => {
+                    wire::put_u8(buf, 1);
+                    wire::put_u64(buf, shard.len() as u64);
+                    for &i in shard {
+                        wire::put_u64(buf, i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read_directive(r: &mut WireReader<'_>) -> Result<Option<PullDirective>, ClusterError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let tag = r.u8()?;
+            let mode = AlgoMode::from_u8(tag)
+                .ok_or_else(|| ClusterError::Protocol(format!("unknown AlgoMode tag {tag}")))?;
+            let shard = match r.u8()? {
+                0 => None,
+                1 => {
+                    let n = r.len(8)?;
+                    Some((0..n).map(|_| r.u64()).collect::<Result<_, _>>()?)
+                }
+                b => return Err(ClusterError::Protocol(format!("bad shard presence byte {b}"))),
+            };
+            Ok(Some(PullDirective { mode, shard }))
+        }
+        b => Err(ClusterError::Protocol(format!("bad directive presence byte {b}"))),
+    }
 }
 
 // ------------------------------------------------------------- WireMsg
@@ -288,23 +364,7 @@ impl WireMsg for ClusterResp {
                 wire::put_vec_f32(buf, flat);
                 wire::put_u64(buf, *version);
                 wire::put_u64(buf, *epoch);
-                match directive {
-                    None => wire::put_u8(buf, 0),
-                    Some(d) => {
-                        wire::put_u8(buf, 1);
-                        wire::put_u8(buf, d.mode.as_u8());
-                        match &d.shard {
-                            None => wire::put_u8(buf, 0),
-                            Some(shard) => {
-                                wire::put_u8(buf, 1);
-                                wire::put_u64(buf, shard.len() as u64);
-                                for &i in shard {
-                                    wire::put_u64(buf, i);
-                                }
-                            }
-                        }
-                    }
-                }
+                put_directive(buf, directive);
             }
             ClusterResp::Compensation { l_delay, one_step, km } => {
                 wire::put_u8(buf, 1);
@@ -321,6 +381,13 @@ impl WireMsg for ClusterResp {
                 wire::put_u8(buf, 4);
                 wire::put_u64(buf, *seq);
             }
+            ClusterResp::QWeights { packed, version, directive, epoch } => {
+                wire::put_u8(buf, 5);
+                packed.encode(buf);
+                wire::put_u64(buf, *version);
+                wire::put_u64(buf, *epoch);
+                put_directive(buf, directive);
+            }
         }
     }
 
@@ -330,33 +397,7 @@ impl WireMsg for ClusterResp {
                 let flat = r.vec_f32()?;
                 let version = r.u64()?;
                 let epoch = r.u64()?;
-                let directive = match r.u8()? {
-                    0 => None,
-                    1 => {
-                        let tag = r.u8()?;
-                        let mode = AlgoMode::from_u8(tag).ok_or_else(|| {
-                            ClusterError::Protocol(format!("unknown AlgoMode tag {tag}"))
-                        })?;
-                        let shard = match r.u8()? {
-                            0 => None,
-                            1 => {
-                                let n = r.len(8)?;
-                                Some((0..n).map(|_| r.u64()).collect::<Result<_, _>>()?)
-                            }
-                            b => {
-                                return Err(ClusterError::Protocol(format!(
-                                    "bad shard presence byte {b}"
-                                )))
-                            }
-                        };
-                        Some(PullDirective { mode, shard })
-                    }
-                    b => {
-                        return Err(ClusterError::Protocol(format!(
-                            "bad directive presence byte {b}"
-                        )))
-                    }
-                };
+                let directive = read_directive(r)?;
                 Ok(ClusterResp::Weights { flat, version, directive, epoch })
             }
             1 => Ok(ClusterResp::Compensation {
@@ -367,6 +408,13 @@ impl WireMsg for ClusterResp {
             2 => Ok(ClusterResp::Stop),
             3 => Ok(ClusterResp::Fenced { epoch: r.u64()? }),
             4 => Ok(ClusterResp::ReplicaAck { seq: r.u64()? }),
+            5 => {
+                let packed = PackedF32::decode(r)?;
+                let version = r.u64()?;
+                let epoch = r.u64()?;
+                let directive = read_directive(r)?;
+                Ok(ClusterResp::QWeights { packed, version, directive, epoch })
+            }
             tag => Err(ClusterError::Protocol(format!("unknown ClusterResp tag {tag}"))),
         }
     }
@@ -523,6 +571,46 @@ mod tests {
             ClusterResp::decoded(&ClusterResp::ReplicaAck { seq: 1234 }.encoded()),
             Ok(ClusterResp::ReplicaAck { seq: 1234 })
         ));
+    }
+
+    #[test]
+    fn quantized_weights_roundtrip_and_normalize() {
+        let flat = vec![1.0f32, -2.5, 0.125, 1000.0, -0.004];
+        for codec in [WireCodec::Bf16, WireCodec::Int8] {
+            let directive = Some(PullDirective { mode: AlgoMode::Asgd, shard: Some(vec![2, 7]) });
+            let resp = ClusterResp::weights_for(codec, flat.clone(), 11, directive.clone(), 3);
+            assert!(matches!(resp, ClusterResp::QWeights { .. }), "{codec} should quantize");
+            let back = ClusterResp::decoded(&resp.encoded()).unwrap().normalize();
+            match back {
+                ClusterResp::Weights { flat: got, version, directive: d, epoch } => {
+                    assert_eq!((version, epoch), (11, 3));
+                    assert_eq!(d, directive);
+                    assert_eq!(got.len(), flat.len());
+                    for (a, b) in flat.iter().zip(&got) {
+                        // Both codecs bound relative error by their
+                        // precision (bf16: 2⁻⁸; int8: max/127 per block).
+                        assert!((a - b).abs() <= a.abs() / 100.0 + 8.0, "{codec}: {a} vs {b}");
+                    }
+                }
+                _ => panic!("normalize must yield Weights"),
+            }
+        }
+        // F32 stays a plain Weights reply — bit-identical seed encoding.
+        let resp = ClusterResp::weights_for(WireCodec::F32, flat.clone(), 11, None, 3);
+        assert!(matches!(resp, ClusterResp::Weights { .. }));
+        let plain = ClusterResp::Weights { flat, version: 11, directive: None, epoch: 3 };
+        assert_eq!(resp.encoded(), plain.encoded());
+        // normalize is the identity off the quantized variant.
+        assert!(matches!(ClusterResp::Stop.normalize(), ClusterResp::Stop));
+    }
+
+    #[test]
+    fn truncated_qweights_are_rejected() {
+        let resp = ClusterResp::weights_for(WireCodec::Int8, vec![0.5; 300], 1, None, 0);
+        let bytes = resp.encoded();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ClusterResp::decoded(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

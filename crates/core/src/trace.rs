@@ -64,6 +64,11 @@ pub mod phase {
     pub const CHECKPOINT: &str = "checkpoint";
     pub const FAULT_INJECT: &str = "fault_inject";
     pub const HEALTH: &str = "health";
+    /// A reply served from the TCP reactor's coalescing cache instead of
+    /// being re-encoded. Wall-clock, attributed to no worker (sweep-level
+    /// work); deliberately NOT part of `codec`, whose span total must
+    /// keep matching the transport's `serialize_seconds` exactly.
+    pub const COALESCE: &str = "coalesce";
 }
 
 /// One recorded event: a span (`dur > 0` or `instant == false`) or an

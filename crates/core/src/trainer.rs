@@ -548,6 +548,17 @@ fn push_through_wire(
 
 // ------------------------------------------------------ backend-driven
 
+/// Cache key under which a weights reply may be coalesced: requests for
+/// the same shard at the same fencing epoch and weight version receive
+/// byte-identical replies, so a readiness-driven transport can answer
+/// them all from one encoded snapshot. Directive-bearing replies are
+/// never keyed — the directive is per-worker. The packing wraps past
+/// version 2⁴⁰, far beyond any run, and the reactor's cache only ever
+/// holds entries for live versions.
+fn coalesce_key(shard: u32, epoch: u64, version: u64) -> u64 {
+    (version << 24) | ((epoch & 0xFFFF) << 8) | (shard as u64 & 0xFF)
+}
+
 /// Compresses a gradient for the wire, maintaining the worker's error-
 /// feedback residual. `Compression::None` short-circuits to a dense
 /// payload without touching the residual.
@@ -1156,6 +1167,17 @@ pub fn run_cluster_with<B: ClusterBackend>(
     let sink = TraceSink::new(want_trace);
     backend.attach_trace_hook(Arc::new(sink.clone()));
 
+    // Wire codec: the backend's negotiated downlink precision. Weights
+    // replies quantize through [`ClusterResp::weights_for`]; when the run
+    // has no compression scheme of its own, the uplink mirrors the codec
+    // so a quantized wire is quantized in both directions.
+    let codec = backend.wire_codec();
+    let compression = if cfg.compression == crate::comm::Compression::None {
+        crate::comm::Compression::for_codec(codec)
+    } else {
+        cfg.compression
+    };
+
     let t0 = Instant::now();
     sink.start_clock(t0);
     // Seconds "now" on the run's clock, for epoch-record stamping.
@@ -1232,24 +1254,39 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 } else {
                     backup_live[w] = false;
                 }
-                ctx.reply(ClusterResp::Weights {
-                    flat: group.lead().weights.clone(),
-                    version: group.lead().version,
+                // Directive-free lead replies carry a coalescing key: the
+                // reactor answers every pull at this (shard, epoch,
+                // version) from one encoded snapshot.
+                let version = group.lead().version;
+                let key = directive.is_none().then(|| coalesce_key(0, fence.epoch(), version));
+                let resp = ClusterResp::weights_for(
+                    codec,
+                    group.lead().weights.clone(),
+                    version,
                     directive,
-                    epoch: fence.epoch(),
-                });
+                    fence.epoch(),
+                );
+                match key {
+                    Some(k) => ctx.reply_keyed(resp, k),
+                    None => ctx.reply(resp),
+                }
             } else {
                 // Follower-shard pull: the lead pull already answered the
                 // stop/directive questions for this iteration.
                 if backup_live[w] {
                     backups[w][wspec.range(sh)].copy_from_slice(&group.shard(sh).weights);
                 }
-                ctx.reply(ClusterResp::Weights {
-                    flat: group.shard(sh).weights.clone(),
-                    version: group.shard(sh).version,
-                    directive: None,
-                    epoch: fence.epoch(),
-                });
+                let version = group.shard(sh).version;
+                ctx.reply_keyed(
+                    ClusterResp::weights_for(
+                        codec,
+                        group.shard(sh).weights.clone(),
+                        version,
+                        None,
+                        fence.epoch(),
+                    ),
+                    coalesce_key(shard, fence.epoch(), version),
+                );
             }
         }
         ClusterReq::State { loss, running, batch_stats, t_comm, t_comp, epoch } => 'state: {
@@ -1358,19 +1395,23 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     }
                     let stop = rounds_done >= rounds_target;
                     for (parked, _, _, _) in round.drain(..) {
-                        ctx.reply_to(
-                            parked,
-                            if stop {
-                                ClusterResp::Stop
-                            } else {
-                                ClusterResp::Weights {
-                                    flat: group.lead().weights.clone(),
-                                    version: group.version(),
-                                    directive: None,
-                                    epoch: fence.epoch(),
-                                }
-                            },
-                        );
+                        if stop {
+                            ctx.reply_to(parked, ClusterResp::Stop);
+                        } else {
+                            // The whole released round shares one weights
+                            // snapshot — the reactor encodes it once.
+                            ctx.reply_to_keyed(
+                                parked,
+                                ClusterResp::weights_for(
+                                    codec,
+                                    group.lead().weights.clone(),
+                                    group.version(),
+                                    None,
+                                    fence.epoch(),
+                                ),
+                                coalesce_key(0, fence.epoch(), group.version()),
+                            );
+                        }
                     }
                 }
             } else if applied < target && !halted {
@@ -1803,7 +1844,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                 // SSGD never runs fenced (no standby support): epoch 0,
                 // push_seq 0 (the "no sequencing" sentinel).
                 let mut resp = match link.request(ClusterReq::Pull { epoch: 0, shard: 0 }) {
-                    Ok(r) => r,
+                    Ok(r) => r.normalize(),
                     Err(_) => break 'run,
                 };
                 wspan(w, phase::PULL, pull_start);
@@ -1816,7 +1857,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let compute_start = Instant::now();
                     let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
                     wspan(w, phase::COMPUTE, compute_start);
-                    let grads = wire_grads(&cfg.compression, grads, &mut residual);
+                    let grads = wire_grads(&compression, grads, &mut residual);
                     let running = node.bn_running();
                     // The barrier: this request blocks until the whole round
                     // has arrived and the server releases the new weights.
@@ -1831,7 +1872,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                         push_seq: 0,
                         shard: 0,
                     }) {
-                        Ok(r) => r,
+                        Ok(r) => r.normalize(),
                         Err(_) => break,
                     };
                     wspan(w, phase::PUSH, push_start);
@@ -1849,7 +1890,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
             loop {
                 let pull_start = Instant::now();
                 let resp = match link.request(ClusterReq::Pull { epoch: srv_epoch, shard: 0 }) {
-                    Ok(r) => r,
+                    Ok(r) => r.normalize(),
                     Err(_) => break,
                 };
                 wspan(w, phase::PULL, pull_start);
@@ -1890,7 +1931,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     for sh in 1..n_shards {
                         let shard_start = Instant::now();
                         let req = ClusterReq::Pull { epoch: srv_epoch, shard: sh as u32 };
-                        match link.request(req) {
+                        match link.request(req).map(ClusterResp::normalize) {
                             Ok(ClusterResp::Weights { flat: slice, epoch, .. }) => {
                                 srv_epoch = epoch;
                                 let r = wspec.range(sh);
@@ -1980,7 +2021,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let grads = node.backward_phase(seed);
                     wspan(w, phase::COMPUTE, backward_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
-                    let slices = shard_wire_grads(&cfg.compression, &wspec, grads, &mut residual);
+                    let slices = shard_wire_grads(&compression, &wspec, grads, &mut residual);
                     push_counter += 1;
                     let push_seq = seq_base | push_counter;
                     let push_start = Instant::now();
@@ -2009,7 +2050,7 @@ pub fn run_cluster_with<B: ClusterBackend>(
                     let (loss, grads, batch_stats) = node.compute_gradient(&flat, train);
                     wspan(w, phase::COMPUTE, compute_start);
                     last_t_comp = compute_start.elapsed().as_secs_f32();
-                    let slices = shard_wire_grads(&cfg.compression, &wspec, grads, &mut residual);
+                    let slices = shard_wire_grads(&compression, &wspec, grads, &mut residual);
                     let running = node.bn_running();
                     let push_start = Instant::now();
                     push_counter += 1;

@@ -1,7 +1,62 @@
 //! Tuning knobs for the TCP backend's liveness machinery.
 
 use crate::breaker::BreakerConfig;
+use lcasgd_simcluster::WireCodec;
 use std::time::Duration;
+
+/// Which server implementation answers the cluster's sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One readiness-driven reactor thread owns every connection
+    /// ([`crate::ReactorServer`]): nonblocking sockets, pooled read
+    /// buffers, pull-reply coalescing. The default.
+    #[default]
+    Reactor,
+    /// The original thread-per-connection server ([`crate::NetServer`]):
+    /// one reader thread per socket feeding a serialized apply loop. Kept
+    /// as the bench baseline and as a fallback.
+    Threaded,
+}
+
+/// The bounded-exponential reconnect schedule derived from a
+/// [`NetConfig`]: attempt 0 dials immediately, attempt `i > 0` waits
+/// `initial · 2^(i-1)` first, clamped to `cap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    attempts: u32,
+    initial: Duration,
+    cap: Duration,
+}
+
+impl BackoffSchedule {
+    pub fn new(attempts: u32, initial: Duration, cap: Duration) -> Self {
+        BackoffSchedule { attempts: attempts.max(1), initial, cap }
+    }
+
+    /// Number of dial attempts the schedule allows (≥ 1).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The delay to sleep *before* each attempt, in order. Exactly
+    /// [`BackoffSchedule::attempts`] entries; the first is always zero.
+    pub fn delays(&self) -> impl Iterator<Item = Duration> + '_ {
+        let (initial, cap) = (self.initial, self.cap);
+        (0..self.attempts).map(move |i| {
+            if i == 0 {
+                Duration::ZERO
+            } else {
+                let doubled = initial.saturating_mul(1u32 << (i - 1).min(30));
+                doubled.min(cap)
+            }
+        })
+    }
+
+    /// Total time the schedule can spend sleeping (excludes dial time).
+    pub fn total_delay(&self) -> Duration {
+        self.delays().sum()
+    }
+}
 
 /// Timeouts and retry policy shared by [`crate::NetServer`] and
 /// [`crate::NetWorker`]. The invariants that make the protocol live:
@@ -38,6 +93,18 @@ pub struct NetConfig {
     /// redial storms and the server gates codec-failing ranks through
     /// the same error-rate window → open → half-open probe machine.
     pub breaker: BreakerConfig,
+    /// Which server implementation answers the sockets.
+    pub transport: Transport,
+    /// How dense `f32` payloads are packed on the wire. Negotiated at
+    /// `Hello` time: the server closes any connection advertising a
+    /// different codec. [`WireCodec::F32`] is byte-identical to the seed
+    /// protocol (including the 4-byte `Hello` payload).
+    pub wire_codec: WireCodec,
+    /// Reactor-only: answer every pull carrying the same coalescing key
+    /// from one cached encoding per server-version tick instead of
+    /// re-encoding per request. Replies are byte-identical either way;
+    /// disabling this only exists for A/B tests.
+    pub pull_coalescing: bool,
 }
 
 impl Default for NetConfig {
@@ -52,6 +119,9 @@ impl Default for NetConfig {
             connect_backoff_cap: Duration::from_secs(1),
             lease_timeout: Duration::from_millis(500),
             breaker: BreakerConfig::default(),
+            transport: Transport::Reactor,
+            wire_codec: WireCodec::F32,
+            pull_coalescing: true,
         }
     }
 }
@@ -70,7 +140,17 @@ impl NetConfig {
             connect_backoff_cap: Duration::from_millis(100),
             lease_timeout: Duration::from_millis(100),
             breaker: BreakerConfig::fast(),
+            transport: Transport::Reactor,
+            wire_codec: WireCodec::F32,
+            pull_coalescing: true,
         }
+    }
+
+    /// The reconnect schedule this config prescribes. `NetWorker` routes
+    /// every redial sleep through this — there is no other sleep in the
+    /// reconnect path.
+    pub fn backoff(&self) -> BackoffSchedule {
+        BackoffSchedule::new(self.connect_attempts, self.connect_backoff, self.connect_backoff_cap)
     }
 
     /// Invariants the *server* relies on, checked at
@@ -195,6 +275,58 @@ mod tests {
 
         let cfg = NetConfig { heartbeat_interval: Duration::ZERO, ..NetConfig::default() };
         assert!(cfg.validate_worker().unwrap_err().contains("heartbeat_interval"));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_from_zero_and_clamps_at_the_cap() {
+        let cfg = NetConfig {
+            connect_attempts: 6,
+            connect_backoff: Duration::from_millis(25),
+            connect_backoff_cap: Duration::from_millis(100),
+            ..NetConfig::default()
+        };
+        let delays: Vec<_> = cfg.backoff().delays().collect();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::ZERO,
+                Duration::from_millis(25),
+                Duration::from_millis(50),
+                Duration::from_millis(100),
+                Duration::from_millis(100),
+                Duration::from_millis(100),
+            ]
+        );
+        assert_eq!(cfg.backoff().attempts(), 6);
+        assert_eq!(cfg.backoff().total_delay(), Duration::from_millis(375));
+    }
+
+    #[test]
+    fn backoff_schedule_always_dials_at_least_once() {
+        // connect_attempts == 0 is rejected by validate_worker, but the
+        // schedule itself still guards: a zero-attempt schedule would turn
+        // every reconnect into an instant failure.
+        let sched = BackoffSchedule::new(0, Duration::from_millis(10), Duration::from_secs(1));
+        assert_eq!(sched.attempts(), 1);
+        assert_eq!(sched.delays().collect::<Vec<_>>(), vec![Duration::ZERO]);
+    }
+
+    #[test]
+    fn backoff_schedule_survives_huge_attempt_counts() {
+        // The shift in the doubling must not overflow for large schedules.
+        let sched = BackoffSchedule::new(64, Duration::from_millis(1), Duration::from_secs(2));
+        let delays: Vec<_> = sched.delays().collect();
+        assert_eq!(delays.len(), 64);
+        assert!(delays.iter().all(|d| *d <= Duration::from_secs(2)));
+        assert_eq!(delays[63], Duration::from_secs(2));
+    }
+
+    #[test]
+    fn default_transport_is_the_reactor_with_seed_codec() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.transport, Transport::Reactor);
+        assert_eq!(cfg.wire_codec, WireCodec::F32);
+        assert!(cfg.pull_coalescing);
     }
 
     #[test]

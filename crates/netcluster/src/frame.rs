@@ -23,7 +23,7 @@
 //! `From<std::io::Error>` (EOF/reset → `Disconnected`, deadline →
 //! `Timeout`).
 
-use lcasgd_simcluster::ClusterError;
+use lcasgd_simcluster::{ClusterError, WireCodec};
 use std::io::{Read, Write};
 use std::sync::OnceLock;
 
@@ -86,19 +86,43 @@ impl Frame {
         Frame { kind, seq, payload }
     }
 
-    /// Builds the connection-opening rank announcement.
+    /// Builds the connection-opening rank announcement (seed form: the
+    /// 4-byte rank, implying the [`WireCodec::F32`] codec).
     pub fn hello(rank: usize) -> Frame {
         Frame::new(FrameKind::Hello, 0, (rank as u32).to_le_bytes().to_vec())
     }
 
-    /// Parses the rank out of a `Hello` payload.
+    /// Builds a `Hello` advertising a wire codec. `F32` emits the seed
+    /// 4-byte form so a quantization-off cluster is byte-identical to the
+    /// seed protocol; other codecs append a fifth byte with the codec id.
+    pub fn hello_for(rank: usize, codec: WireCodec) -> Frame {
+        let mut payload = (rank as u32).to_le_bytes().to_vec();
+        if codec != WireCodec::F32 {
+            payload.push(codec.id());
+        }
+        Frame::new(FrameKind::Hello, 0, payload)
+    }
+
+    /// Parses the rank out of a `Hello` payload (either form).
     pub fn hello_rank(&self) -> Result<usize, ClusterError> {
-        let bytes: [u8; 4] = self
-            .payload
-            .as_slice()
-            .try_into()
-            .map_err(|_| ClusterError::Protocol("malformed hello payload".into()))?;
+        if self.payload.len() != 4 && self.payload.len() != 5 {
+            return Err(ClusterError::Protocol("malformed hello payload".into()));
+        }
+        let bytes: [u8; 4] = self.payload[..4].try_into().unwrap();
         Ok(u32::from_le_bytes(bytes) as usize)
+    }
+
+    /// Parses the advertised wire codec out of a `Hello` payload. The
+    /// 4-byte seed form means `F32`; an unknown codec id is a protocol
+    /// error.
+    pub fn hello_codec(&self) -> Result<WireCodec, ClusterError> {
+        match self.payload.len() {
+            4 => Ok(WireCodec::F32),
+            5 => WireCodec::from_id(self.payload[4]).ok_or_else(|| {
+                ClusterError::Protocol(format!("unknown wire codec id {}", self.payload[4]))
+            }),
+            _ => Err(ClusterError::Protocol("malformed hello payload".into())),
+        }
     }
 
     /// Total bytes this frame occupies on the wire.
@@ -132,22 +156,77 @@ pub fn crc32(data: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
-/// Writes one frame. Returns the number of bytes put on the wire.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<u64, ClusterError> {
-    let len = frame.payload.len();
-    if len as u64 > MAX_PAYLOAD as u64 {
+/// Builds one frame header for a payload whose CRC is already known.
+/// This is how the reactor stamps a fresh `seq` onto a cached payload
+/// encoding without rehashing it: the checksum covers only the payload,
+/// so the cached CRC stays valid under any header.
+pub fn header_bytes(
+    kind: FrameKind,
+    seq: u64,
+    payload_len: usize,
+    crc: u32,
+) -> Result<[u8; HEADER_LEN], ClusterError> {
+    if payload_len as u64 > MAX_PAYLOAD as u64 {
         return Err(ClusterError::Protocol(format!(
-            "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+            "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
         )));
     }
     let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
     header[4..6].copy_from_slice(&VERSION.to_le_bytes());
-    header[6] = frame.kind as u8;
+    header[6] = kind as u8;
     header[7] = 0; // flags
-    header[8..16].copy_from_slice(&frame.seq.to_le_bytes());
-    header[16..20].copy_from_slice(&(len as u32).to_le_bytes());
-    header[20..24].copy_from_slice(&crc32(&frame.payload).to_le_bytes());
+    header[8..16].copy_from_slice(&seq.to_le_bytes());
+    header[16..20].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    header[20..24].copy_from_slice(&crc.to_le_bytes());
+    Ok(header)
+}
+
+/// A validated frame header, parsed separately from its payload so a
+/// nonblocking reader can know how many payload bytes to wait for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedHeader {
+    pub kind: FrameKind,
+    pub seq: u64,
+    pub payload_len: usize,
+    pub crc: u32,
+}
+
+/// Validates the first [`HEADER_LEN`] bytes of `bytes` as a frame header
+/// (magic, version, kind, flags, length bound). The payload checksum is
+/// verified later, once the payload has fully arrived.
+pub fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, ClusterError> {
+    debug_assert!(bytes.len() >= HEADER_LEN);
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ClusterError::Protocol(format!("bad frame magic {magic:#010x}")));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(ClusterError::Protocol(format!(
+            "unsupported protocol version {version} (want {VERSION})"
+        )));
+    }
+    let Some(kind) = FrameKind::from_u8(bytes[6]) else {
+        return Err(ClusterError::Protocol(format!("unknown frame kind {}", bytes[6])));
+    };
+    if bytes[7] != 0 {
+        return Err(ClusterError::Protocol(format!("nonzero reserved flags {:#04x}", bytes[7])));
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ClusterError::Protocol(format!(
+            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+        )));
+    }
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    Ok(ParsedHeader { kind, seq, payload_len: len as usize, crc })
+}
+
+/// Writes one frame. Returns the number of bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<u64, ClusterError> {
+    let header = header_bytes(frame.kind, frame.seq, frame.payload.len(), crc32(&frame.payload))?;
     w.write_all(&header)?;
     w.write_all(&frame.payload)?;
     w.flush()?;
@@ -159,39 +238,17 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<u64, ClusterErro
 pub fn read_frame(r: &mut impl Read) -> Result<(Frame, u64), ClusterError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(ClusterError::Protocol(format!("bad frame magic {magic:#010x}")));
-    }
-    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
-    if version != VERSION {
-        return Err(ClusterError::Protocol(format!(
-            "unsupported protocol version {version} (want {VERSION})"
-        )));
-    }
-    let Some(kind) = FrameKind::from_u8(header[6]) else {
-        return Err(ClusterError::Protocol(format!("unknown frame kind {}", header[6])));
-    };
-    if header[7] != 0 {
-        return Err(ClusterError::Protocol(format!("nonzero reserved flags {:#04x}", header[7])));
-    }
-    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    let len = u32::from_le_bytes(header[16..20].try_into().unwrap());
-    if len > MAX_PAYLOAD {
-        return Err(ClusterError::Protocol(format!(
-            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
-        )));
-    }
-    let want_crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
-    let mut payload = vec![0u8; len as usize];
+    let parsed = parse_header(&header)?;
+    let mut payload = vec![0u8; parsed.payload_len];
     r.read_exact(&mut payload)?;
     let got_crc = crc32(&payload);
-    if got_crc != want_crc {
+    if got_crc != parsed.crc {
         return Err(ClusterError::Protocol(format!(
-            "payload checksum mismatch: header says {want_crc:#010x}, payload hashes to {got_crc:#010x}"
+            "payload checksum mismatch: header says {:#010x}, payload hashes to {got_crc:#010x}",
+            parsed.crc
         )));
     }
-    let frame = Frame { kind, seq, payload };
+    let frame = Frame { kind: parsed.kind, seq: parsed.seq, payload };
     let wire = frame.wire_len();
     Ok((frame, wire))
 }
@@ -237,9 +294,42 @@ mod tests {
     #[test]
     fn hello_carries_rank() {
         let f = Frame::hello(17);
+        assert_eq!(f.payload.len(), 4, "seed hello form is the bare rank");
         assert_eq!(f.hello_rank().unwrap(), 17);
+        assert_eq!(f.hello_codec().unwrap(), WireCodec::F32);
         let bad = Frame::new(FrameKind::Hello, 0, vec![1, 2]);
         assert!(matches!(bad.hello_rank(), Err(ClusterError::Protocol(_))));
+        assert!(matches!(bad.hello_codec(), Err(ClusterError::Protocol(_))));
+    }
+
+    #[test]
+    fn hello_negotiates_the_wire_codec() {
+        // F32 must stay byte-identical to the seed hello.
+        assert_eq!(Frame::hello_for(9, WireCodec::F32), Frame::hello(9));
+        for codec in [WireCodec::Bf16, WireCodec::Int8] {
+            let f = Frame::hello_for(9, codec);
+            assert_eq!(f.payload.len(), 5);
+            assert_eq!(f.hello_rank().unwrap(), 9);
+            assert_eq!(f.hello_codec().unwrap(), codec);
+        }
+        let unknown = Frame::new(FrameKind::Hello, 0, vec![9, 0, 0, 0, 0xEE]);
+        assert_eq!(unknown.hello_rank().unwrap(), 9);
+        assert!(matches!(unknown.hello_codec(), Err(ClusterError::Protocol(_))));
+    }
+
+    #[test]
+    fn parsed_header_matches_the_streaming_reader() {
+        let frame = Frame::new(FrameKind::Reply, 77, vec![3; 19]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let h = parse_header(&buf[..HEADER_LEN]).unwrap();
+        assert_eq!(h.kind, FrameKind::Reply);
+        assert_eq!(h.seq, 77);
+        assert_eq!(h.payload_len, 19);
+        assert_eq!(h.crc, crc32(&frame.payload));
+        // header_bytes must reproduce the writer's header exactly.
+        let rebuilt = header_bytes(h.kind, h.seq, h.payload_len, h.crc).unwrap();
+        assert_eq!(&buf[..HEADER_LEN], &rebuilt);
     }
 
     #[test]

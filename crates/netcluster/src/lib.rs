@@ -29,11 +29,15 @@
 pub mod breaker;
 pub mod config;
 pub mod frame;
+pub mod pool;
+pub mod reactor;
 pub mod server;
 pub mod worker;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use config::NetConfig;
+pub use config::{BackoffSchedule, NetConfig, Transport};
+pub use pool::BufferPool;
+pub use reactor::{ReactorServer, COALESCE_PHASE};
 pub use server::NetServer;
 pub use worker::NetWorker;
 
@@ -84,8 +88,52 @@ fn tcp_replica_pair() -> Result<(TcpReplicaDuplex, TcpReplicaDuplex), ClusterErr
     ))
 }
 
-/// TCP instantiation of [`ClusterBackend`]: one `NetServer` and M
-/// `NetWorker` threads over loopback by default.
+/// The server implementation selected by [`config::Transport`], bound and
+/// ready to serve. Both speak the identical wire protocol; they differ
+/// only in how the sockets are driven.
+enum AnyServer {
+    Threaded(NetServer),
+    Reactor(ReactorServer),
+}
+
+impl AnyServer {
+    fn bind(addr: SocketAddr, workers: usize, cfg: NetConfig) -> std::io::Result<AnyServer> {
+        Ok(match cfg.transport {
+            Transport::Threaded => AnyServer::Threaded(NetServer::bind(addr, workers, cfg)?),
+            Transport::Reactor => AnyServer::Reactor(ReactorServer::bind(addr, workers, cfg)?),
+        })
+    }
+
+    fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        match self {
+            AnyServer::Threaded(s) => s.local_addr(),
+            AnyServer::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    fn set_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
+        match self {
+            AnyServer::Threaded(s) => s.set_trace_hook(hook),
+            AnyServer::Reactor(s) => s.set_trace_hook(hook),
+        }
+    }
+
+    fn serve<Req, Resp, S>(self, server_fn: S) -> Result<TransportStats, ClusterError>
+    where
+        Req: WireMsg,
+        Resp: WireMsg,
+        S: FnMut(usize, Req, &mut ServerCtx<Resp>),
+    {
+        match self {
+            AnyServer::Threaded(s) => s.serve(server_fn),
+            AnyServer::Reactor(s) => s.serve(server_fn),
+        }
+    }
+}
+
+/// TCP instantiation of [`ClusterBackend`]: one server (reactor by
+/// default, see [`config::Transport`]) and M `NetWorker` threads over
+/// loopback by default.
 pub struct NetCluster {
     workers: usize,
     cfg: NetConfig,
@@ -135,6 +183,10 @@ impl ClusterBackend for NetCluster {
         self.workers
     }
 
+    fn wire_codec(&self) -> lcasgd_simcluster::WireCodec {
+        self.cfg.wire_codec
+    }
+
     fn attach_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
         self.trace_hook = Some(hook);
     }
@@ -156,7 +208,7 @@ impl ClusterBackend for NetCluster {
         W: Fn(usize, &mut dyn WorkerLink<Req, Resp>) + Send + Sync,
     {
         let m = self.workers;
-        let mut server = NetServer::bind(self.addr, m, self.cfg.clone())?;
+        let mut server = AnyServer::bind(self.addr, m, self.cfg.clone())?;
         if let Some(hook) = &self.trace_hook {
             server.set_trace_hook(Arc::clone(hook));
         }

@@ -1,0 +1,676 @@
+//! Readiness-driven parameter server: one thread, all connections.
+//!
+//! [`crate::NetServer`] spends a thread per connection; past a few dozen
+//! workers the scheduler, the per-frame allocations and the serialized
+//! reply encoding dominate the apply loop. `ReactorServer` keeps the
+//! protocol and its liveness semantics identical but restructures the
+//! transport:
+//!
+//! * **One reactor thread** owns the listener and every connection as
+//!   nonblocking sockets, sweeping them for readiness (a small poll loop —
+//!   no epoll binding, no extra threads, trivial teardown).
+//! * **Pooled read buffers**: each connection parses frames in place out
+//!   of a buffer borrowed from a [`BufferPool`], returned on every close
+//!   path, so connection churn stops allocating once warm.
+//! * **Pull coalescing**: within a sweep, control frames and oneways
+//!   (gradient pushes) are applied first and blocking requests are
+//!   answered second, at the post-apply server state. Replies carrying
+//!   the same coalescing key (see `ServerCtx::reply_keyed`) are then all
+//!   served from one cached payload encoding + CRC — the reply header is
+//!   re-stamped per request (the checksum covers only the payload), so N
+//!   concurrent pulls of one weights version cost one encode instead of N.
+//!
+//! Coalesced replies are *byte-identical* to per-request replies by
+//! construction: same payload bytes, same CRC, only the echoed `seq`
+//! differs — exactly as if each had been encoded fresh.
+//!
+//! Ordering contract: frames from one connection are processed in arrival
+//! order, except that a blocking `Request` is answered after any oneways
+//! that arrived in the same sweep (from any connection). A worker blocks
+//! on its own request, so a request is always the last frame of its
+//! connection's batch and per-connection FIFO is preserved; cross-
+//! connection ordering was never guaranteed by any backend.
+//!
+//! Everything else — heartbeat reaping, hello timeout, reconnect
+//! supersession, per-rank circuit breakers on codec failures, dead-rank
+//! reply discards, frame-exact byte accounting, Goodbye termination — is
+//! the same contract as `NetServer`, verified by running the existing
+//! integration suites against this transport (it is the default).
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::config::NetConfig;
+use crate::frame::{crc32, header_bytes, parse_header, FrameKind, HEADER_LEN};
+use crate::pool::BufferPool;
+use lcasgd_simcluster::{ClusterError, ServerCtx, TraceHook, TransportStats, WireMsg};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Phase label for a coalesced (cache-served) reply. Attributed to no
+/// worker: the span represents work *saved* for the whole sweep, not time
+/// inside any single worker's request. Wall-clock domain, like every
+/// server-side span on the TCP backend.
+pub const COALESCE_PHASE: &str = "coalesce";
+
+/// Sleep when a sweep found no work; bounds reactor latency while keeping
+/// the idle loop off the CPU.
+const IDLE_SLEEP: Duration = Duration::from_micros(300);
+
+/// Smallest read window; pool buffers grow geometrically beyond it.
+const READ_CHUNK: usize = 4 * 1024;
+
+/// Coalescing cache entries kept before wholesale clearing; keys are
+/// version-unique so the cache self-invalidates, this only bounds memory.
+const CACHE_CAP: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    Pending,
+    Active,
+    Finished,
+    Dead,
+}
+
+/// One queued outbound frame: a per-request header plus a payload that
+/// may be shared with other replies (coalescing) or the cache.
+struct PendingWrite {
+    header: [u8; HEADER_LEN],
+    payload: Rc<Vec<u8>>,
+    /// Bytes of header+payload already written.
+    off: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rank: Option<usize>,
+    last_seen: Instant,
+    /// Pooled read buffer; `buf[..filled]` holds unparsed stream bytes.
+    buf: Vec<u8>,
+    filled: usize,
+    wq: VecDeque<PendingWrite>,
+}
+
+struct CachedReply {
+    payload: Rc<Vec<u8>>,
+    crc: u32,
+}
+
+/// A blocking request parsed this sweep, answered after all oneways.
+struct PendingReq<Req> {
+    rank: usize,
+    seq: u64,
+    req: Req,
+}
+
+/// A bound-but-not-yet-serving reactor parameter server. Drop-in for
+/// [`crate::NetServer`]: same constructor shape, same `serve` contract.
+pub struct ReactorServer {
+    listener: TcpListener,
+    workers: usize,
+    cfg: NetConfig,
+    trace_hook: Option<Arc<dyn TraceHook>>,
+}
+
+impl ReactorServer {
+    /// Binds the listener. Pass `127.0.0.1:0` to let the OS pick a port.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        cfg: NetConfig,
+    ) -> io::Result<ReactorServer> {
+        assert!(workers > 0, "need at least one worker");
+        cfg.validate_server().map_err(|why| io::Error::new(io::ErrorKind::InvalidInput, why))?;
+        Ok(ReactorServer { listener: TcpListener::bind(addr)?, workers, cfg, trace_hook: None })
+    }
+
+    /// Installs a span observer (`codec` spans for encode/decode time,
+    /// [`COALESCE_PHASE`] spans for cache-served replies).
+    pub fn set_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
+        self.trace_hook = Some(hook);
+    }
+
+    /// The address workers should connect to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the reactor loop until every rank is finished or dead.
+    pub fn serve<Req, Resp, S>(self, mut server_fn: S) -> Result<TransportStats, ClusterError>
+    where
+        Req: WireMsg,
+        Resp: WireMsg,
+        S: FnMut(usize, Req, &mut ServerCtx<Resp>),
+    {
+        let m = self.workers;
+        let cfg = &self.cfg;
+        let hook = self.trace_hook.clone();
+        self.listener.set_nonblocking(true)?;
+
+        let mut pool = BufferPool::new();
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id = 0u64;
+        let mut rank_conn: Vec<Option<u64>> = vec![None; m];
+        let mut rank_breakers: Vec<CircuitBreaker> =
+            (0..m).map(|_| CircuitBreaker::new(cfg.breaker.clone())).collect();
+        let mut rank_state = vec![RankState::Pending; m];
+        let mut awaiting: Vec<Option<u64>> = vec![None; m];
+        let mut stats = TransportStats::default();
+        let mut result: Result<(), ClusterError> = Ok(());
+        let mut cache: HashMap<u64, CachedReply> = HashMap::new();
+        let mut pending: Vec<PendingReq<Req>> = Vec::new();
+        let started = Instant::now();
+
+        'serve: loop {
+            let mut activity = false;
+
+            // -- accept everything the listener has queued ------------
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let mut buf = pool.get();
+                        let cap = buf.capacity().max(READ_CHUNK);
+                        buf.resize(cap, 0);
+                        conns.insert(
+                            next_id,
+                            Conn {
+                                stream,
+                                rank: None,
+                                last_seen: Instant::now(),
+                                buf,
+                                filled: 0,
+                                wq: VecDeque::new(),
+                            },
+                        );
+                        next_id += 1;
+                        activity = true;
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+
+            // -- phase A: read every connection, apply control frames
+            //    and oneways, queue blocking requests -----------------
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for id in ids {
+                let Some(conn) = conns.get_mut(&id) else { continue };
+
+                let mut closed = false;
+                loop {
+                    if conn.filled == conn.buf.len() {
+                        let grown = (conn.buf.len() * 2).max(READ_CHUNK);
+                        conn.buf.resize(grown, 0);
+                    }
+                    match conn.stream.read(&mut conn.buf[conn.filled..]) {
+                        Ok(0) => {
+                            closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.filled += n;
+                            activity = true;
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+
+                // Take the buffer out so frame payloads can be decoded
+                // in place while handlers borrow the connection table.
+                let mut lbuf = std::mem::take(&mut conn.buf);
+                let lfilled = std::mem::replace(&mut conn.filled, 0);
+                let mut conn_rank = conn.rank;
+                let mut pos = 0usize;
+                let mut poison = false;
+                let mut parsed_any = false;
+
+                while lfilled - pos >= HEADER_LEN {
+                    let header = match parse_header(&lbuf[pos..pos + HEADER_LEN]) {
+                        Ok(h) => h,
+                        Err(_) => {
+                            // An unparseable header means the stream can
+                            // never resynchronize: drop the connection
+                            // (the threaded server's reader thread exits
+                            // here too). Not a breaker event — the
+                            // breaker guards the payload codec, not the
+                            // framing layer.
+                            poison = true;
+                            break;
+                        }
+                    };
+                    let total = HEADER_LEN + header.payload_len;
+                    if lfilled - pos < total {
+                        break; // incomplete frame; wait for more bytes
+                    }
+                    let payload = &lbuf[pos + HEADER_LEN..pos + total];
+                    if crc32(payload) != header.crc {
+                        poison = true;
+                        break;
+                    }
+                    pos += total;
+                    parsed_any = true;
+
+                    match header.kind {
+                        FrameKind::Heartbeat => {}
+                        FrameKind::Reply => {
+                            // Workers never send replies.
+                            poison = true;
+                            break;
+                        }
+                        FrameKind::Hello => {
+                            let hello =
+                                crate::frame::Frame::new(header.kind, header.seq, payload.to_vec());
+                            let (Ok(rank), Ok(codec)) = (hello.hello_rank(), hello.hello_codec())
+                            else {
+                                poison = true;
+                                break;
+                            };
+                            if rank >= m || conn_rank.is_some() || codec != cfg.wire_codec {
+                                poison = true;
+                                break;
+                            }
+                            if !rank_breakers[rank].allow(Instant::now()) {
+                                // Open breaker: refuse the redial. The
+                                // rank is still unbound, so this only
+                                // drops the socket.
+                                poison = true;
+                                break;
+                            }
+                            conn_rank = Some(rank);
+                            // A reconnect supersedes the old socket.
+                            if let Some(old) = rank_conn[rank] {
+                                if old != id {
+                                    close_conn(
+                                        &mut conns,
+                                        old,
+                                        &mut pool,
+                                        &mut rank_conn,
+                                        &mut rank_state,
+                                        &mut awaiting,
+                                    );
+                                }
+                            }
+                            rank_conn[rank] = Some(id);
+                            if rank_state[rank] != RankState::Finished {
+                                rank_state[rank] = RankState::Active;
+                            }
+                        }
+                        FrameKind::Goodbye => {
+                            if let Some(rank) = conn_rank {
+                                rank_state[rank] = RankState::Finished;
+                                awaiting[rank] = None;
+                            }
+                        }
+                        FrameKind::Request | FrameKind::Oneway => {
+                            let Some(rank) = conn_rank else {
+                                // Traffic before Hello: rogue peer.
+                                poison = true;
+                                break;
+                            };
+                            let expects_reply = header.kind == FrameKind::Request;
+                            stats.bytes_sent += total as u64;
+                            if expects_reply {
+                                stats.requests += 1;
+                                awaiting[rank] = Some(header.seq);
+                            } else {
+                                stats.oneways += 1;
+                            }
+                            let t0 = Instant::now();
+                            let req = match Req::decoded(payload) {
+                                Ok(req) => req,
+                                Err(_) => {
+                                    // Framed correctly but fails the
+                                    // codec: per-connection failure that
+                                    // feeds the rank's breaker, exactly
+                                    // like the threaded server.
+                                    rank_breakers[rank].record_failure(Instant::now());
+                                    poison = true;
+                                    break;
+                                }
+                            };
+                            if rank_breakers[rank].state(Instant::now()) != BreakerState::Closed {
+                                rank_breakers[rank].record_success();
+                            }
+                            let decode = t0.elapsed().as_secs_f64();
+                            stats.serialize_seconds += decode;
+                            if let Some(h) = &hook {
+                                h.wall_span(Some(rank), "codec", t0, decode);
+                            }
+
+                            if expects_reply {
+                                pending.push(PendingReq { rank, seq: header.seq, req });
+                            } else {
+                                let mut ctx = ServerCtx::new(rank, false);
+                                server_fn(rank, req, &mut ctx);
+                                if let Err(e) = deliver_replies(
+                                    ctx.take_keyed_replies(),
+                                    m,
+                                    cfg.pull_coalescing,
+                                    &mut conns,
+                                    &mut pool,
+                                    &mut rank_conn,
+                                    &mut rank_state,
+                                    &mut awaiting,
+                                    &mut cache,
+                                    &mut stats,
+                                    &hook,
+                                ) {
+                                    result = Err(e);
+                                    break 'serve;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Put the (compacted) buffer back, then apply whatever
+                // fate the batch decided. Every close path runs through
+                // close_conn, which returns the buffer to the pool.
+                if let Some(conn) = conns.get_mut(&id) {
+                    if pos > 0 {
+                        lbuf.copy_within(pos..lfilled, 0);
+                    }
+                    conn.filled = lfilled - pos;
+                    conn.buf = lbuf;
+                    conn.rank = conn_rank;
+                    if parsed_any {
+                        conn.last_seen = Instant::now();
+                    }
+                    if poison || closed {
+                        close_conn(
+                            &mut conns,
+                            id,
+                            &mut pool,
+                            &mut rank_conn,
+                            &mut rank_state,
+                            &mut awaiting,
+                        );
+                    }
+                } else {
+                    // The connection vanished while its frames were being
+                    // handled; its pool slot was already settled by
+                    // close_conn, so the taken buffer replaces the empty
+                    // one that was returned there.
+                    drop(lbuf);
+                }
+            }
+
+            // -- phase B: answer this sweep's blocking requests at the
+            //    post-apply server state. Same-key replies coalesce. ---
+            for preq in pending.drain(..) {
+                if rank_state[preq.rank] != RankState::Active
+                    || awaiting[preq.rank] != Some(preq.seq)
+                {
+                    // The connection died or said Goodbye after queueing:
+                    // the worker is gone, drop its request like the
+                    // threaded server drops replies to dead ranks.
+                    continue;
+                }
+                let mut ctx = ServerCtx::new(preq.rank, true);
+                server_fn(preq.rank, preq.req, &mut ctx);
+                if let Err(e) = deliver_replies(
+                    ctx.take_keyed_replies(),
+                    m,
+                    cfg.pull_coalescing,
+                    &mut conns,
+                    &mut pool,
+                    &mut rank_conn,
+                    &mut rank_state,
+                    &mut awaiting,
+                    &mut cache,
+                    &mut stats,
+                    &hook,
+                ) {
+                    result = Err(e);
+                    break 'serve;
+                }
+            }
+
+            // -- flush write queues stalled on a full socket -----------
+            let stalled: Vec<u64> =
+                conns.iter().filter(|(_, c)| !c.wq.is_empty()).map(|(&id, _)| id).collect();
+            for id in stalled {
+                let Some(conn) = conns.get_mut(&id) else { continue };
+                if try_flush(conn).is_err() {
+                    close_conn(
+                        &mut conns,
+                        id,
+                        &mut pool,
+                        &mut rank_conn,
+                        &mut rank_state,
+                        &mut awaiting,
+                    );
+                } else {
+                    activity = true;
+                }
+            }
+
+            // -- liveness sweeps --------------------------------------
+            let now = Instant::now();
+            let stale: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| now.duration_since(c.last_seen) > cfg.heartbeat_timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                close_conn(
+                    &mut conns,
+                    id,
+                    &mut pool,
+                    &mut rank_conn,
+                    &mut rank_state,
+                    &mut awaiting,
+                );
+            }
+            if started.elapsed() > cfg.hello_timeout {
+                for state in rank_state.iter_mut() {
+                    if *state == RankState::Pending {
+                        *state = RankState::Dead;
+                    }
+                }
+            }
+
+            if rank_state.iter().all(|s| matches!(s, RankState::Finished | RankState::Dead)) {
+                break 'serve;
+            }
+
+            if !activity {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+
+        // Give queued replies a bounded chance to drain before teardown
+        // (a worker may still be blocked reading its final reply).
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while conns.values().any(|c| !c.wq.is_empty()) && Instant::now() < deadline {
+            let stalled: Vec<u64> =
+                conns.iter().filter(|(_, c)| !c.wq.is_empty()).map(|(&id, _)| id).collect();
+            for id in stalled {
+                let Some(conn) = conns.get_mut(&id) else { continue };
+                if try_flush(conn).is_err() {
+                    conn.wq.clear();
+                }
+            }
+            std::thread::sleep(IDLE_SLEEP);
+        }
+
+        // Teardown: every surviving connection's buffer goes back to the
+        // pool; the audit proves no close path leaked one.
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        for id in ids {
+            close_conn(&mut conns, id, &mut pool, &mut rank_conn, &mut rank_state, &mut awaiting);
+        }
+        debug_assert_eq!(pool.outstanding(), 0, "reactor leaked read buffers");
+
+        result.map(|()| stats)
+    }
+}
+
+/// Hard-closes a connection: shuts the socket, returns the read buffer to
+/// the pool, and updates rank bookkeeping (an Active rank that loses its
+/// live connection is Dead until it re-Hellos).
+fn close_conn(
+    conns: &mut HashMap<u64, Conn>,
+    id: u64,
+    pool: &mut BufferPool,
+    rank_conn: &mut [Option<u64>],
+    rank_state: &mut [RankState],
+    awaiting: &mut [Option<u64>],
+) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        pool.put(conn.buf);
+        if let Some(rank) = conn.rank {
+            if rank_conn[rank] == Some(id) {
+                rank_conn[rank] = None;
+                if rank_state[rank] == RankState::Active {
+                    rank_state[rank] = RankState::Dead;
+                    awaiting[rank] = None;
+                }
+            }
+        }
+    }
+}
+
+/// Writes as much of `conn`'s queue as the socket will take. `Ok` means
+/// the socket is healthy (queue may still be nonempty); `Err` means the
+/// peer is gone and the connection should be closed.
+fn try_flush(conn: &mut Conn) -> io::Result<()> {
+    while let Some(front) = conn.wq.front_mut() {
+        while front.off < HEADER_LEN {
+            match conn.stream.write(&front.header[front.off..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => front.off += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let total = HEADER_LEN + front.payload.len();
+        while front.off < total {
+            match conn.stream.write(&front.payload[front.off - HEADER_LEN..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => front.off += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        conn.wq.pop_front();
+    }
+    Ok(())
+}
+
+/// Encodes and queues one batch of replies. Same-key replies are served
+/// from the coalescing cache: one payload encoding + CRC shared across
+/// requests, with a fresh header stamped per `seq`.
+#[allow(clippy::too_many_arguments)]
+fn deliver_replies<Resp: WireMsg>(
+    replies: Vec<(usize, Resp, Option<u64>)>,
+    m: usize,
+    coalescing: bool,
+    conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
+    rank_conn: &mut [Option<u64>],
+    rank_state: &mut [RankState],
+    awaiting: &mut [Option<u64>],
+    cache: &mut HashMap<u64, CachedReply>,
+    stats: &mut TransportStats,
+    hook: &Option<Arc<dyn TraceHook>>,
+) -> Result<(), ClusterError> {
+    for (target, resp, key) in replies {
+        if target >= m {
+            return Err(ClusterError::Protocol(format!(
+                "reply to worker {target}, but the cluster has {m}"
+            )));
+        }
+        if rank_state[target] == RankState::Dead {
+            // Dropped worker: discard, like a real PS talking to a ghost.
+            continue;
+        }
+        let Some(seq) = awaiting[target].take() else {
+            return Err(ClusterError::Protocol(format!(
+                "reply to worker {target}, which has no pending request"
+            )));
+        };
+
+        let t0 = Instant::now();
+        let (payload, crc) = match key.filter(|_| coalescing) {
+            Some(k) => {
+                if let Some(hit) = cache.get(&k) {
+                    // Cache hit: byte-identical to a fresh encode (same
+                    // payload, same CRC), no serialize time booked —
+                    // that's the whole point. The span is attributed to
+                    // no worker: it is sweep-level work, not part of any
+                    // single request.
+                    if let Some(h) = hook {
+                        h.wall_span(None, COALESCE_PHASE, t0, t0.elapsed().as_secs_f64());
+                    }
+                    (Rc::clone(&hit.payload), hit.crc)
+                } else {
+                    let payload = Rc::new(resp.encoded());
+                    let crc = crc32(&payload);
+                    let encode = t0.elapsed().as_secs_f64();
+                    stats.serialize_seconds += encode;
+                    if let Some(h) = hook {
+                        h.wall_span(Some(target), "codec", t0, encode);
+                    }
+                    if cache.len() >= CACHE_CAP {
+                        cache.clear();
+                    }
+                    cache.insert(k, CachedReply { payload: Rc::clone(&payload), crc });
+                    (payload, crc)
+                }
+            }
+            None => {
+                let payload = Rc::new(resp.encoded());
+                let crc = crc32(&payload);
+                let encode = t0.elapsed().as_secs_f64();
+                stats.serialize_seconds += encode;
+                if let Some(h) = hook {
+                    h.wall_span(Some(target), "codec", t0, encode);
+                }
+                (payload, crc)
+            }
+        };
+
+        let header = header_bytes(FrameKind::Reply, seq, payload.len(), crc)?;
+        let wire = (HEADER_LEN + payload.len()) as u64;
+        let cid = rank_conn[target];
+        let queued = match cid.and_then(|cid| conns.get_mut(&cid)) {
+            Some(conn) => {
+                conn.wq.push_back(PendingWrite { header, payload, off: 0 });
+                Some(try_flush(conn).is_ok())
+            }
+            None => None,
+        };
+        match queued {
+            Some(true) => stats.bytes_received += wire,
+            Some(false) => {
+                // Write failure: the worker is gone; reap it and move on.
+                close_conn(conns, cid.unwrap(), pool, rank_conn, rank_state, awaiting);
+            }
+            None => {
+                // No live connection: likewise.
+                rank_conn[target] = None;
+                if rank_state[target] == RankState::Active {
+                    rank_state[target] = RankState::Dead;
+                    awaiting[target] = None;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -220,7 +220,9 @@ impl NetServer {
                                 );
                             }
                             FrameKind::Hello => {
-                                let Ok(rank) = frame.hello_rank() else {
+                                let (Ok(rank), Ok(codec)) =
+                                    (frame.hello_rank(), frame.hello_codec())
+                                else {
                                     Self::close_conn(
                                         &mut conns,
                                         id,
@@ -230,7 +232,7 @@ impl NetServer {
                                     );
                                     continue;
                                 };
-                                if rank >= m || conn.rank.is_some() {
+                                if rank >= m || conn.rank.is_some() || codec != cfg.wire_codec {
                                     Self::close_conn(
                                         &mut conns,
                                         id,

@@ -125,20 +125,18 @@ impl NetWorker {
     }
 
     /// Tears down any existing connection, then dials the server again
-    /// with bounded exponential backoff and re-sends the `Hello`. An
-    /// open circuit breaker fails fast instead of dialing at all; a
-    /// successful dial closes it.
+    /// through the config's [`crate::BackoffSchedule`] and re-sends the
+    /// `Hello`. An open circuit breaker fails fast instead of dialing at
+    /// all; a successful dial closes it.
     fn reconnect(&mut self) -> Result<(), ClusterError> {
         self.teardown();
         if !self.breaker.allow(Instant::now()) {
             return Err(ClusterError::Disconnected);
         }
-        let mut backoff = self.cfg.connect_backoff;
         let mut last_err = ClusterError::Disconnected;
-        for attempt in 0..self.cfg.connect_attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(self.cfg.connect_backoff_cap);
+        for delay in self.cfg.backoff().delays() {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
             }
             let stream = match TcpStream::connect(self.addr) {
                 Ok(s) => s,
@@ -160,7 +158,8 @@ impl NetWorker {
                 }
             };
             let write = Arc::new(Mutex::new(write_half));
-            if let Err(e) = write_frame(&mut *write.lock(), &Frame::hello(self.rank)) {
+            let hello = Frame::hello_for(self.rank, self.cfg.wire_codec);
+            if let Err(e) = write_frame(&mut *write.lock(), &hello) {
                 last_err = e;
                 continue;
             }

@@ -500,7 +500,7 @@ pub trait WorkerLink<Req, Resp> {
 pub struct ServerCtx<Resp> {
     current: usize,
     expects_reply: bool,
-    queued: Vec<(usize, Resp)>,
+    queued: Vec<(usize, Resp, Option<u64>)>,
 }
 
 impl<Resp> ServerCtx<Resp> {
@@ -522,17 +522,38 @@ impl<Resp> ServerCtx<Resp> {
 
     /// Replies to the current worker.
     pub fn reply(&mut self, resp: Resp) {
-        self.queued.push((self.current, resp));
+        self.queued.push((self.current, resp, None));
     }
 
     /// Replies to an arbitrary blocked worker (barrier release). The
     /// backend verifies the target is actually awaiting a reply.
     pub fn reply_to(&mut self, worker: usize, resp: Resp) {
-        self.queued.push((worker, resp));
+        self.queued.push((worker, resp, None));
     }
 
-    /// Drains the queued replies. Backend-side only.
+    /// [`ServerCtx::reply`] plus a *coalescing key*: a caller-chosen id
+    /// that is stable iff the reply's encoded payload is stable. A
+    /// transport that encodes replies may serve every same-key reply from
+    /// one cached encoding (the TCP reactor does); transports that ship
+    /// values directly ignore the key.
+    pub fn reply_keyed(&mut self, resp: Resp, key: u64) {
+        self.queued.push((self.current, resp, Some(key)));
+    }
+
+    /// [`ServerCtx::reply_to`] with a coalescing key.
+    pub fn reply_to_keyed(&mut self, worker: usize, resp: Resp, key: u64) {
+        self.queued.push((worker, resp, Some(key)));
+    }
+
+    /// Drains the queued replies, dropping coalescing keys. Backend-side
+    /// only; backends that cannot exploit the key use this.
     pub fn take_replies(&mut self) -> Vec<(usize, Resp)> {
+        std::mem::take(&mut self.queued).into_iter().map(|(w, r, _)| (w, r)).collect()
+    }
+
+    /// Drains the queued replies with their coalescing keys. Backend-side
+    /// only.
+    pub fn take_keyed_replies(&mut self) -> Vec<(usize, Resp, Option<u64>)> {
         std::mem::take(&mut self.queued)
     }
 }
@@ -549,6 +570,14 @@ pub trait ClusterBackend {
     /// backends run on the wall clock; the simulator overrides this.
     fn clock_domain(&self) -> ClockDomain {
         ClockDomain::Wall
+    }
+
+    /// How this backend packs dense `f32` payloads on the wire. Protocols
+    /// that support quantized encodings consult this to pick matching
+    /// message variants; the default ([`WireCodec::F32`]) is the seed
+    /// protocol's bit-exact encoding.
+    fn wire_codec(&self) -> crate::codec::WireCodec {
+        crate::codec::WireCodec::F32
     }
 
     /// Installs a [`TraceHook`] the backend will report span events to

@@ -20,6 +20,7 @@
 //!   staleness distributions match organic ones.
 
 pub mod backend;
+pub mod codec;
 pub mod event;
 pub mod faults;
 pub mod models;
@@ -32,6 +33,7 @@ pub use backend::{
     LatencyHistogram, ReplicaDuplex, ReplicaDuplexPair, ServerCtx, TraceHook, TransportStats,
     WireMsg, WireReader, WorkerLink,
 };
+pub use codec::{PackedF32, WireCodec};
 pub use event::EventQueue;
 pub use faults::{FaultEvent, FaultHooks, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultyLink};
 pub use models::{ClusterSpec, LinkModel, WorkerModel};

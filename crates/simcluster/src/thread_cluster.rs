@@ -17,6 +17,7 @@
 use crate::backend::{
     ClusterBackend, ClusterError, ServerCtx, TransportStats, WireMsg, WorkerLink,
 };
+use crate::codec::WireCodec;
 use crate::faults::{FaultHooks, FaultPlan, FaultyLink};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Condvar, Mutex as StdMutex};
@@ -136,12 +137,28 @@ pub struct ThreadCluster {
     workers: usize,
     fault_plan: Option<FaultPlan>,
     shutdown_deadline: Duration,
+    wire_codec: WireCodec,
 }
 
 impl ThreadCluster {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        ThreadCluster { workers, fault_plan: None, shutdown_deadline: Duration::from_secs(30) }
+        ThreadCluster {
+            workers,
+            fault_plan: None,
+            shutdown_deadline: Duration::from_secs(30),
+            wire_codec: WireCodec::F32,
+        }
+    }
+
+    /// Selects the wire codec advertised to the protocol layer. This
+    /// backend ships values over channels without serializing, but the
+    /// protocol still quantizes dense payloads when asked — the lossy
+    /// effect lives in the message variants, so a quantized run here
+    /// matches a quantized run over TCP.
+    pub fn with_wire_codec(mut self, codec: WireCodec) -> Self {
+        self.wire_codec = codec;
+        self
     }
 
     /// Attaches a fault schedule: each worker's link is wrapped in a
@@ -167,6 +184,10 @@ impl ThreadCluster {
 impl ClusterBackend for ThreadCluster {
     fn workers(&self) -> usize {
         self.workers
+    }
+
+    fn wire_codec(&self) -> WireCodec {
+        self.wire_codec
     }
 
     fn run<Req, Resp, S, W>(

@@ -11,7 +11,7 @@
 //!                [--staleness-bound N] [--admission reject|clip|requeue]
 //!                [--fallback auto|off] [--health-log PATH]
 //!                [--standby] [--flush-every N] [--lease-ms N]
-//!                [--shards N]
+//!                [--shards N] [--wire-codec f32|bf16|int8]
 //! lcasgd staleness [--workers N] [--seed N] [--stragglers]
 //! lcasgd help
 //! ```
@@ -55,6 +55,15 @@
 //! and push out across the owning shards. `--shards 1` (the default) is
 //! bitwise identical to the unsharded protocol. Asynchronous algorithms
 //! only; routes the run through the thread cluster backend.
+//!
+//! `--wire-codec f32|bf16|int8` picks the wire precision for the
+//! pull/push exchange: `f32` (the default) is the lossless seed
+//! encoding, `bf16` halves both directions (weights as bf16 halves,
+//! gradients through the bf16 error-feedback scheme), and `int8`
+//! quarters them (block-scaled int8 weights, 8-bit uniform quantization
+//! with error feedback on the gradients). Routes the run through the
+//! thread cluster backend, whose lossy effect is identical to the TCP
+//! transport's.
 
 use lc_asgd::core::config::DataPartition;
 use lc_asgd::nn::resnet::ResNetConfig;
@@ -87,7 +96,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n               [--standby] [--flush-every N] [--lease-ms N]\n               [--shards N]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
+        "usage:\n  lcasgd train [--algorithm sgd|ssgd|asgd|dc-asgd|lc-asgd] [--workers N]\n               [--scale tiny|small|paper] [--epochs N] [--seed N]\n               [--bn regular|async] [--dataset cifar|imagenet]\n               [--partitioned] [--stragglers]\n               [--checkpoint PATH] [--checkpoint-every N]\n               [--fault-plan PATH] [--resume PATH]\n               [--trace PATH] [--trace-format chrome|prometheus|summary]\n               [--staleness-bound N] [--admission reject|clip|requeue]\n               [--fallback auto|off] [--health-log PATH]\n               [--standby] [--flush-every N] [--lease-ms N]\n               [--shards N] [--wire-codec f32|bf16|int8]\n  lcasgd staleness [--workers N] [--seed N] [--stragglers]"
     );
     exit(2)
 }
@@ -245,6 +254,12 @@ fn train(args: &Args) {
         eprintln!("--shards must be at least 1");
         exit(2);
     }
+    let wire_codec = args.value("--wire-codec").map(|v| {
+        lc_asgd::simcluster::WireCodec::parse(v).unwrap_or_else(|| {
+            eprintln!("invalid value for --wire-codec: {v} (expected f32, bf16 or int8)");
+            exit(2)
+        })
+    });
     // Any robustness or observability flag routes the run through the
     // real-thread cluster backend; the default path stays the
     // co-simulated experiment driver.
@@ -254,7 +269,8 @@ fn train(args: &Args) {
         || trace_path.is_some()
         || supervisor.is_some()
         || standby.is_some()
-        || shards > 1;
+        || shards > 1
+        || wire_codec.is_some();
     if fault_plan.is_some() && matches!(algorithm, Algorithm::Sgd | Algorithm::Ssgd) {
         eprintln!("--fault-plan requires an asynchronous algorithm (asgd, dc-asgd, lc-asgd)");
         exit(2);
@@ -279,10 +295,13 @@ fn train(args: &Args) {
         cfg.epochs
     );
     let result = if cluster_run {
-        let backend = match &fault_plan {
+        let mut backend = match &fault_plan {
             Some(plan) => ThreadCluster::new(workers.max(1)).with_fault_plan(plan.clone()),
             None => ThreadCluster::new(workers.max(1)),
         };
+        if let Some(codec) = wire_codec {
+            backend = backend.with_wire_codec(codec);
+        }
         let opts = RunOptions {
             fault_plan,
             checkpoint_path: checkpoint_path.clone(),
